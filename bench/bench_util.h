@@ -1,0 +1,106 @@
+// Shared plumbing for the paper-reproduction benches: flag parsing,
+// aligned table printing, and the per-method result record every figure
+// bench reports.
+//
+// These benches measure SIMULATED time (the discrete-event clock), not
+// wall time, which is why they use a custom main() rather than
+// google-benchmark; the micro-benches (real computation: dataloop
+// processing, packing) use google-benchmark.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "mpiio/file.h"
+
+namespace dtio::bench {
+
+// ---- Flags -------------------------------------------------------------------
+
+inline std::int64_t flag_int(int argc, char** argv, const char* name,
+                             std::int64_t fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atoll(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+inline bool flag_set(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+// ---- Results -----------------------------------------------------------------
+
+struct MethodResult {
+  mpiio::Method method = mpiio::Method::kPosix;
+  bool supported = true;
+  double seconds = 0;          ///< simulated seconds
+  double bandwidth = 0;        ///< aggregate desired bytes / second
+  IoStats per_client;          ///< rank 0's counters
+  std::uint64_t events = 0;    ///< simulator events (sanity/efficiency)
+};
+
+inline double to_mib(double bytes) { return bytes / (1024.0 * 1024.0); }
+inline double to_mb(double bytes) { return bytes / 1e6; }
+
+/// "Figure 8"-style row: method, aggregate MB/s, simulated seconds.
+inline void print_figure_row(const MethodResult& r) {
+  if (!r.supported) {
+    std::printf("  %-18s %12s %12s\n",
+                std::string(mpiio::method_name(r.method)).c_str(), "n/a",
+                "n/a");
+    return;
+  }
+  std::printf("  %-18s %12.2f %12.2f\n",
+              std::string(mpiio::method_name(r.method)).c_str(),
+              to_mb(r.bandwidth), r.seconds);
+}
+
+inline void print_figure_header(const char* title) {
+  std::printf("\n== %s ==\n", title);
+  std::printf("  %-18s %12s %12s\n", "method", "agg MB/s", "sim sec");
+}
+
+/// "Table 1/2/3"-style row: per-client desired/accessed/ops/resent.
+inline void print_table_row(const MethodResult& r) {
+  if (!r.supported) {
+    std::printf("  %-18s %11s %11s %11s %11s\n",
+                std::string(mpiio::method_name(r.method)).c_str(), "-", "-",
+                "-", "-");
+    return;
+  }
+  char resent[32];
+  if (r.per_client.resent_bytes == 0) {
+    std::snprintf(resent, sizeof resent, "-");
+  } else {
+    std::snprintf(resent, sizeof resent, "%.2f MB",
+                  to_mb(static_cast<double>(r.per_client.resent_bytes)));
+  }
+  std::printf("  %-18s %8.2f MB %8.2f MB %11llu %11s\n",
+              std::string(mpiio::method_name(r.method)).c_str(),
+              to_mb(static_cast<double>(r.per_client.desired_bytes)),
+              to_mb(static_cast<double>(r.per_client.accessed_bytes)),
+              static_cast<unsigned long long>(r.per_client.io_ops), resent);
+}
+
+inline void print_table_header(const char* title) {
+  std::printf("\n== %s ==\n", title);
+  std::printf("  %-18s %11s %11s %11s %11s\n", "method", "desired/cli",
+              "accessed", "io ops/cli", "resent/cli");
+}
+
+inline const char* paper_note(const char* text) { return text; }
+
+}  // namespace dtio::bench

@@ -1,0 +1,138 @@
+// Reproduces the paper's FLASH I/O checkpoint experiment:
+//   Figure 12 — aggregate write bandwidth versus client count (2..128)
+//               for POSIX, two-phase, list and datatype I/O;
+//   Table 3  — per-client I/O characteristics (983 040 POSIX ops, 15 360
+//               list ops, 2 two-phase ops, 1 datatype op; 7.5 MB desired).
+//
+// Both memory and file are noncontiguous at 8-byte granularity — the
+// paper's stress case for client-side processing. Datatype and list I/O
+// underperform two-phase at small client counts (clients cannot feed the
+// servers); datatype overtakes as clients multiply (paper: ~37% over
+// two-phase at 96 procs).
+//
+// Flags: --max-clients=N   (default 64; 128 matches the paper's sweep)
+//        --with-posix      include POSIX beyond 2 clients (very slow:
+//                          983 040 requests per client)
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "collective/comm.h"
+#include "io/methods.h"
+#include "mpiio/file.h"
+#include "pfs/cluster.h"
+#include "workloads/flash.h"
+
+namespace dtio {
+namespace {
+
+using bench::MethodResult;
+using mpiio::Method;
+using sim::Task;
+
+MethodResult run_flash(Method method, const workloads::FlashConfig& flash,
+                       int nclients, bool utilization = false) {
+  net::ClusterConfig cfg;
+  cfg.num_clients = nclients;
+
+  pfs::Cluster cluster(cfg);
+  coll::Communicator comm(cluster.scheduler(), cluster.network(),
+                          cluster.config(), nclients);
+  std::vector<std::unique_ptr<pfs::Client>> clients;
+  std::vector<std::unique_ptr<io::Context>> contexts;
+  std::vector<std::unique_ptr<mpiio::File>> files;
+  for (int r = 0; r < nclients; ++r) {
+    clients.push_back(cluster.make_client(r));
+    clients.back()->set_transfer_data(false);
+    contexts.push_back(std::make_unique<io::Context>(
+        io::Context{cluster.scheduler(), *clients.back(), cluster.config()}));
+    files.push_back(std::make_unique<mpiio::File>(*contexts.back()));
+  }
+
+  cluster.scheduler().spawn([](mpiio::File& f) -> Task<void> {
+    (void)co_await f.open("/checkpoint", true);
+  }(*files[0]));
+  cluster.run();
+
+  const SimTime t0 = cluster.scheduler().now();
+  for (int r = 0; r < nclients; ++r) {
+    cluster.scheduler().spawn(
+        [](mpiio::File& f, coll::Communicator& c,
+           const workloads::FlashConfig& fl, int rank, int n,
+           Method m) -> Task<void> {
+          if (rank != 0) (void)co_await f.open("/checkpoint", false);
+          f.set_view(fl.displacement(rank), types::byte_t(), fl.filetype(n));
+          auto memtype = fl.memtype();
+          (void)co_await f.write_at_all(c, rank, 0, nullptr, 1, memtype, m);
+        }(*files[r], comm, flash, r, nclients, method));
+  }
+  cluster.run();
+
+  MethodResult result;
+  result.method = method;
+  result.seconds = to_seconds(cluster.scheduler().now() - t0);
+  result.bandwidth =
+      static_cast<double>(flash.bytes_per_proc()) * nclients / result.seconds;
+  result.per_client = clients[0]->stats();
+  result.events = cluster.scheduler().events_processed();
+  if (utilization) {
+    std::printf("%s", cluster.utilization_report(t0).c_str());
+  }
+  return result;
+}
+
+int flash_main(int argc, char** argv) {
+  const workloads::FlashConfig flash;
+  const int max_clients =
+      static_cast<int>(bench::flag_int(argc, argv, "--max-clients", 64));
+  const bool with_posix = bench::flag_set(argc, argv, "--with-posix");
+  const bool utilization = bench::flag_set(argc, argv, "--utilization");
+  const bool csv = bench::flag_set(argc, argv, "--csv");
+  if (csv) std::printf("csv,clients,method,agg_mbps,sim_sec\n");
+
+  std::printf("FLASH I/O: %d blocks/proc, %d^3 interior cells (+%d guards), "
+              "%d vars, %.2f MB/proc, 16 I/O servers\n",
+              flash.blocks_per_proc, flash.interior, flash.guard,
+              flash.num_vars,
+              bench::to_mb(static_cast<double>(flash.bytes_per_proc())));
+
+  std::printf("\n== Figure 12: FLASH checkpoint write bandwidth ==\n");
+  std::printf("  %-8s %-18s %12s %12s\n", "clients", "method", "agg MB/s",
+              "sim sec");
+  std::vector<MethodResult> table_rows;
+  for (int n = 2; n <= max_clients; n *= 2) {
+    const Method methods[] = {Method::kPosix, Method::kTwoPhase,
+                              Method::kList, Method::kDatatype};
+    for (const Method m : methods) {
+      // POSIX issues 983 040 requests per client; the paper calls the
+      // result "nearly unusable" — run it only where tractable.
+      if (m == Method::kPosix && n > 2 && !with_posix) continue;
+      MethodResult r = run_flash(m, flash, n, utilization);
+      std::printf("  %-8d %-18s %12.2f %12.2f\n", n,
+                  std::string(mpiio::method_name(m)).c_str(),
+                  bench::to_mb(r.bandwidth), r.seconds);
+      if (csv) {
+        std::printf("csv,%d,%s,%.3f,%.3f\n", n,
+                    std::string(mpiio::method_name(m)).c_str(),
+                    bench::to_mb(r.bandwidth), r.seconds);
+      }
+      if (n == 2) table_rows.push_back(r);
+    }
+  }
+
+  bench::print_table_header(
+      "Table 3: I/O characteristics per client (at 2 clients)");
+  for (const auto& r : table_rows) bench::print_table_row(r);
+  std::printf("  paper: POSIX 983 040 ops; two-phase 2 ops, resent "
+              "7.5*(n-1)/n MB; list 15 360 ops; datatype 1 op\n");
+  std::printf("  paper shape: two-phase leads at small n; datatype "
+              "overtakes (~37%% faster by 96 procs); list never catches "
+              "two-phase\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtio
+
+int main(int argc, char** argv) { return dtio::flash_main(argc, argv); }

@@ -1,0 +1,106 @@
+// Hyperslab I/O: the paper's "other APIs" claim (§3) in action.
+//
+// A 2-D dataset (rows x columns of doubles) is written once; an
+// HDF5-style hyperslab selection — every third column block of the middle
+// rows — is then read through datatype I/O WITHOUT constructing any MPI
+// datatype by hand: the selection converts directly into the dataloop the
+// file system consumes. The same selection read via POSIX I/O shows what
+// the concise description replaces.
+//
+//   $ ./hyperslab_io
+#include <cstdio>
+#include <vector>
+
+#include "dataloop/serialize.h"
+#include "hyperslab/hyperslab.h"
+#include "io/methods.h"
+#include "mpiio/file.h"
+#include "pfs/cluster.h"
+
+using namespace dtio;
+using sim::Task;
+
+int main() {
+  constexpr std::int64_t kRows = 512;
+  constexpr std::int64_t kCols = 1024;
+
+  net::ClusterConfig config;
+  config.num_servers = 4;
+  config.num_clients = 1;
+  pfs::Cluster cluster(config);
+  auto client = cluster.make_client(0);
+  io::Context ctx{cluster.scheduler(), *client, cluster.config()};
+  mpiio::File file(ctx);
+
+  // Selection: rows 100..399, every third 8-column block.
+  const std::int64_t dims[] = {kRows, kCols};
+  const hyperslab::DimSelection sel[] = {
+      {100, 1, 300, 1},   // rows: contiguous band
+      {0, 24, 42, 8},     // cols: 42 blocks of 8, stride 24
+  };
+  hyperslab::Hyperslab slab(dims, sel);
+
+  std::vector<double> dataset(kRows * kCols);
+  for (std::int64_t r = 0; r < kRows; ++r) {
+    for (std::int64_t c = 0; c < kCols; ++c) {
+      dataset[static_cast<std::size_t>(r * kCols + c)] =
+          static_cast<double>(r) * 10000 + static_cast<double>(c);
+    }
+  }
+
+  std::vector<double> picked(static_cast<std::size_t>(slab.num_selected()));
+  bool ok = true;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, const hyperslab::Hyperslab& s,
+         const std::vector<double>& all, std::vector<double>& out,
+         bool& verified) -> Task<void> {
+        (void)co_await f.open("/dataset", true);
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto whole = types::contiguous(
+            static_cast<std::int64_t>(all.size() * 8), types::byte_t());
+        (void)co_await f.write_at(0, all.data(), 1, whole,
+                                  mpiio::Method::kDatatype);
+
+        // The hyperslab IS the file view.
+        f.set_view(0, types::double_t(), s.to_datatype(types::double_t()));
+        auto memtype = types::contiguous(s.num_selected() * 8,
+                                         types::byte_t());
+        Status st = co_await f.read_at(0, out.data(), 1, memtype,
+                                       mpiio::Method::kDatatype);
+        verified = st.is_ok();
+      }(file, slab, dataset, picked, ok));
+  cluster.run();
+
+  // Verify each picked value against the selection arithmetic.
+  std::int64_t errors = 0;
+  std::size_t at = 0;
+  for (std::int64_t r = 100; r < 400; ++r) {
+    for (std::int64_t blk = 0; blk < 42; ++blk) {
+      for (std::int64_t i = 0; i < 8; ++i) {
+        const std::int64_t c = blk * 24 + i;
+        const double expect = static_cast<double>(r) * 10000 + c;
+        if (picked[at++] != expect) ++errors;
+      }
+    }
+  }
+  ok = ok && errors == 0 && at == picked.size();
+
+  const auto& loop = slab.to_dataloop(8);
+  std::printf("hyperslab_io: %s\n", ok ? "VERIFIED" : "FAILED");
+  std::printf("  selection: %lld of %lld doubles (%lld regions)\n",
+              static_cast<long long>(slab.num_selected()),
+              static_cast<long long>(kRows * kCols),
+              static_cast<long long>(loop->region_count()));
+  std::printf("  shipped as a dataloop: %lld nodes, %s on the wire "
+              "(an offset-length list would be %s)\n",
+              static_cast<long long>(loop->node_count()),
+              format_bytes(dl::encoded_size(*loop)).c_str(),
+              format_bytes(static_cast<std::uint64_t>(
+                               loop->region_count() * 16))
+                  .c_str());
+  std::printf("  file-system ops: %llu (datatype I/O) — POSIX I/O would "
+              "need %lld\n",
+              static_cast<unsigned long long>(client->stats().io_ops - 1),
+              static_cast<long long>(loop->region_count()));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+// A climate-style dataset through the whole stack the paper's
+// introduction describes: application → high-level API (ncio, a
+// Parallel-netCDF-flavoured library) → MPI-IO facade → datatype I/O →
+// parallel file system.
+//
+// Four simulated processes collectively write a (time, lat, lon)
+// temperature variable, each owning a latitude band for every timestep —
+// a structured, strided access that reaches the servers as one dataloop
+// per process. A reader then re-opens the dataset by name, discovers the
+// schema from the self-describing header, and verifies a time slice.
+//
+//   $ ./netcdf_climate
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "collective/comm.h"
+#include "ncio/dataset.h"
+#include "pfs/cluster.h"
+
+using namespace dtio;
+using sim::Task;
+
+namespace {
+
+constexpr std::int64_t kTime = 8, kLat = 64, kLon = 128;
+constexpr int kRanks = 4;
+
+float temperature(std::int64_t t, std::int64_t lat, std::int64_t lon) {
+  return static_cast<float>(t) * 100000 + static_cast<float>(lat) * 1000 +
+         static_cast<float>(lon);
+}
+
+}  // namespace
+
+int main() {
+  net::ClusterConfig config;
+  config.num_servers = 8;
+  config.num_clients = kRanks;
+  pfs::Cluster cluster(config);
+  coll::Communicator comm(cluster.scheduler(), cluster.network(),
+                          cluster.config(), kRanks);
+
+  std::vector<std::unique_ptr<pfs::Client>> clients;
+  std::vector<std::unique_ptr<io::Context>> contexts;
+  std::vector<std::unique_ptr<ncio::Dataset>> datasets;
+  for (int r = 0; r < kRanks; ++r) {
+    clients.push_back(cluster.make_client(r));
+    contexts.push_back(std::make_unique<io::Context>(io::Context{
+        cluster.scheduler(), *clients.back(), cluster.config()}));
+    datasets.push_back(std::make_unique<ncio::Dataset>(*contexts.back()));
+  }
+
+  // Rank 0 defines the schema.
+  cluster.scheduler().spawn([](ncio::Dataset& d) -> Task<void> {
+    (void)co_await d.create("/climate.nc");
+    const int time = d.def_dim("time", kTime);
+    const int lat = d.def_dim("lat", kLat);
+    const int lon = d.def_dim("lon", kLon);
+    const int dims[] = {time, lat, lon};
+    (void)d.def_var("t2m", ncio::NcType::kFloat, dims);
+    (void)co_await d.enddef();
+  }(*datasets[0]));
+  cluster.run();
+
+  // All ranks collectively write their latitude band for all timesteps.
+  int finished = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.scheduler().spawn(
+        [](ncio::Dataset& d, coll::Communicator& c, int rank,
+           int& done) -> Task<void> {
+          if (rank != 0) (void)co_await d.open("/climate.nc");
+          const std::int64_t band = kLat / kRanks;
+          std::vector<float> mine(
+              static_cast<std::size_t>(kTime * band * kLon));
+          std::size_t i = 0;
+          for (std::int64_t t = 0; t < kTime; ++t) {
+            for (std::int64_t la = rank * band; la < (rank + 1) * band;
+                 ++la) {
+              for (std::int64_t lo = 0; lo < kLon; ++lo) {
+                mine[i++] = temperature(t, la, lo);
+              }
+            }
+          }
+          const std::int64_t starts[] = {0, rank * band, 0};
+          const std::int64_t counts[] = {kTime, band, kLon};
+          Status s = co_await d.put_vara_all(c, rank, 0, starts, counts,
+                                             mine.data());
+          if (!s.is_ok()) {
+            std::printf("rank %d write failed: %s\n", rank,
+                        s.to_string().c_str());
+          }
+          ++done;
+        }(*datasets[r], comm, r, finished));
+  }
+  cluster.run();
+
+  // A fresh reader: open by name, inspect schema, verify a time slice.
+  bool ok = finished == kRanks;
+  std::int64_t bad = 0;
+  cluster.scheduler().spawn(
+      [](io::Context& ctx, std::int64_t& errors, bool& opened) -> Task<void> {
+        ncio::Dataset reader(ctx);
+        Status s = co_await reader.open("/climate.nc");
+        if (!s.is_ok()) {
+          opened = false;
+          co_return;
+        }
+        const int v = reader.find_var("t2m");
+        std::vector<float> slice(kLat * kLon);
+        const std::int64_t starts[] = {5, 0, 0};  // timestep 5
+        const std::int64_t counts[] = {1, kLat, kLon};
+        s = co_await reader.get_vara(v, starts, counts, slice.data());
+        if (!s.is_ok()) {
+          opened = false;
+          co_return;
+        }
+        for (std::int64_t la = 0; la < kLat; ++la) {
+          for (std::int64_t lo = 0; lo < kLon; ++lo) {
+            if (slice[static_cast<std::size_t>(la * kLon + lo)] !=
+                temperature(5, la, lo)) {
+              ++errors;
+            }
+          }
+        }
+      }(*contexts[0], bad, ok));
+  cluster.run();
+  ok = ok && bad == 0;
+
+  std::printf("netcdf_climate: %s\n", ok ? "VERIFIED" : "FAILED");
+  std::printf("  dataset: t2m(time=%lld, lat=%lld, lon=%lld) floats = %s\n",
+              static_cast<long long>(kTime), static_cast<long long>(kLat),
+              static_cast<long long>(kLon),
+              format_bytes(kTime * kLat * kLon * 4).c_str());
+  std::printf("  %d ranks wrote latitude bands collectively; a reader "
+              "rediscovered the schema from the header and verified "
+              "timestep 5 (%lld wrong values)\n",
+              kRanks, static_cast<long long>(bad));
+  return ok ? 0 : 1;
+}

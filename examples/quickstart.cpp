@@ -1,0 +1,81 @@
+// Quickstart: the smallest complete dtio program.
+//
+// Builds a simulated PVFS cluster (4 I/O servers), writes a strided
+// dataset with datatype I/O, reads it back, and verifies every byte —
+// then prints what actually happened (ops, bytes, simulated time).
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "common/crc32.h"
+#include "io/methods.h"
+#include "mpiio/file.h"
+#include "pfs/cluster.h"
+#include "types/datatype.h"
+
+using namespace dtio;
+using sim::Task;
+
+int main() {
+  // 1. A cluster: 4 I/O servers, 1 client, 64 KiB strips.
+  net::ClusterConfig config;
+  config.num_servers = 4;
+  config.num_clients = 1;
+  pfs::Cluster cluster(config);
+
+  auto client = cluster.make_client(/*rank=*/0);
+  io::Context ctx{cluster.scheduler(), *client, cluster.config()};
+  mpiio::File file(ctx);
+
+  // 2. A structured access: every fourth 256-byte record of a file.
+  auto record = types::contiguous(256, types::byte_t());
+  auto every_fourth = types::resized(record, 0, 4 * 256);
+
+  std::vector<std::uint8_t> out(64 * 256);
+  std::iota(out.begin(), out.end(), 0);
+  std::vector<std::uint8_t> back(out.size(), 0);
+
+  bool ok = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, const types::Datatype& filetype,
+         const std::vector<std::uint8_t>& src, std::vector<std::uint8_t>& dst,
+         bool& verified) -> Task<void> {
+        Status s = co_await f.open("/quickstart.dat", /*create=*/true);
+        if (!s.is_ok()) {
+          std::printf("open failed: %s\n", s.to_string().c_str());
+          co_return;
+        }
+        // The file view: records 0, 4, 8, ... of the file.
+        f.set_view(0, types::byte_t(), filetype);
+
+        auto memtype = types::contiguous(
+            static_cast<std::int64_t>(src.size()), types::byte_t());
+        s = co_await f.write_at(0, src.data(), 1, memtype,
+                                mpiio::Method::kDatatype);
+        if (!s.is_ok()) co_return;
+
+        s = co_await f.read_at(0, dst.data(), 1, memtype,
+                               mpiio::Method::kDatatype);
+        if (!s.is_ok()) co_return;
+        verified = src == dst;
+      }(file, every_fourth, out, back, ok));
+
+  cluster.run();
+
+  const IoStats& stats = client->stats();
+  std::printf("quickstart: %s\n", ok ? "VERIFIED" : "FAILED");
+  std::printf("  data:      %s written + read back (CRC %08x)\n",
+              format_bytes(out.size()).c_str(),
+              crc32(std::span<const std::uint8_t>(back.data(), back.size())));
+  std::printf("  ops:       %llu file-system operations "
+              "(64 strided records each way -> 1 op each)\n",
+              static_cast<unsigned long long>(stats.io_ops));
+  std::printf("  requests:  %llu server requests, %s of descriptors\n",
+              static_cast<unsigned long long>(stats.requests_sent),
+              format_bytes(stats.request_bytes).c_str());
+  std::printf("  sim time:  %.3f ms\n",
+              to_seconds(cluster.scheduler().now()) * 1e3);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Rank-addressed message passing among the simulated application
+// processes — the MPI-1 substrate ROMIO's collective I/O builds on
+// (paper §2.3 notes two-phase "relies on the MPI implementation providing
+// high-performance data movement"; here that movement crosses the same
+// simulated links as file-system traffic, so the trade-off is physical).
+//
+// Tag discipline: every collective entry reserves a tag block with
+// reserve_block(); all ranks call collectives in the same order, so the
+// per-rank counters stay aligned without any coordination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/box.h"
+#include "common/region.h"
+#include "net/cost_model.h"
+#include "net/network.h"
+#include "pfs/protocol.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace dtio::coll {
+
+/// One rank's contribution to a two-phase exchange round: file regions
+/// (sorted, disjoint) and, for data-bearing messages, the bytes in region
+/// order. Carried inside sim::Message bodies.
+struct ExchangePayload {
+  std::vector<Region> regions;
+  pfs::DataBuffer data;
+};
+
+class Communicator {
+ public:
+  Communicator(sim::Scheduler& sched, net::Network& network,
+               const net::ClusterConfig& config, int nranks);
+
+  [[nodiscard]] int size() const noexcept { return nranks_; }
+
+  /// Reserve a tag block for one collective call (call once per rank per
+  /// collective, in program order).
+  [[nodiscard]] std::uint64_t reserve_block(int rank) noexcept {
+    return kBlockBase + kBlockStride * seq_[static_cast<std::size_t>(rank)]++;
+  }
+
+  /// Gather `mine` from every rank and return all values rank-ordered
+  /// (gather to rank 0, broadcast back; 2(n-1) small messages).
+  sim::Task<std::vector<std::int64_t>> allgather64(
+      int rank, Box<std::vector<std::int64_t>> mine);
+
+  /// All ranks must arrive before any returns.
+  sim::Task<void> barrier(int rank);
+
+  /// Point-to-point exchange for two-phase rounds. `wire_payload_bytes`
+  /// covers the region descriptors and data carried by the message.
+  sim::Task<void> send_exchange(int src_rank, int dst_rank, std::uint64_t tag,
+                                Box<ExchangePayload> payload,
+                                std::uint64_t wire_payload_bytes);
+  sim::Task<ExchangePayload> recv_exchange(int my_rank, int src_rank,
+                                           std::uint64_t tag);
+
+  [[nodiscard]] int node_of(int rank) const noexcept {
+    return config_->client_node(rank);
+  }
+
+ private:
+  static constexpr std::uint64_t kBlockBase = 0x434F'4C4C'0000'0000ULL;
+  static constexpr std::uint64_t kBlockStride = 1 << 20;
+
+  sim::Scheduler* sched_;
+  net::Network* network_;
+  const net::ClusterConfig* config_;
+  int nranks_;
+  std::vector<std::uint64_t> seq_;
+};
+
+}  // namespace dtio::coll

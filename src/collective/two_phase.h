@@ -1,0 +1,31 @@
+// Two-phase collective I/O (§2.3, Thakur et al.): aggregators perform
+// large contiguous file accesses over dynamically computed file domains;
+// data is redistributed between aggregators and owners across the
+// interconnect. All application processes act as aggregators (ROMIO's
+// default on this style of cluster); writes use read-modify-write when a
+// round's coverage has holes — permitted by MPI-IO consistency semantics
+// even without file locks (paper §4.1).
+//
+// Every rank of the communicator must call these collectively and in the
+// same order.
+#pragma once
+
+#include "collective/comm.h"
+#include "io/methods.h"
+
+namespace dtio::coll {
+
+sim::Task<Status> two_phase_write(io::Context& ctx, Communicator& comm,
+                                  int rank, std::uint64_t handle,
+                                  const io::FileView& view,
+                                  std::int64_t offset, const void* buf,
+                                  std::int64_t count,
+                                  const types::Datatype& memtype);
+
+sim::Task<Status> two_phase_read(io::Context& ctx, Communicator& comm,
+                                 int rank, std::uint64_t handle,
+                                 const io::FileView& view, std::int64_t offset,
+                                 void* buf, std::int64_t count,
+                                 const types::Datatype& memtype);
+
+}  // namespace dtio::coll

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial) used by tests and examples to verify that
+// data survives round trips through the simulated file-system stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dtio {
+
+/// Incremental CRC-32; pass the previous result as `seed` to chain calls.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace dtio

@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dtio {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void init_logging_from_env() {
+  const char* env = std::getenv("DTIO_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
+  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
+  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
+  else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+  else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::kOff);
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, std::string_view file, int line,
+              std::string_view message) {
+  // Trim the path to the basename to keep lines short.
+  const std::size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", level_name(level),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+}  // namespace dtio

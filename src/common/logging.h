@@ -1,0 +1,39 @@
+// Minimal leveled logging. Off by default so benches and tests stay quiet;
+// enable with DTIO_LOG=debug (or via set_log_level) when tracing the
+// simulated protocol.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace dtio {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Reads DTIO_LOG from the environment ("debug"/"info"/"warn"/"error").
+void init_logging_from_env();
+
+namespace detail {
+void emit_log(LogLevel level, std::string_view file, int line,
+              std::string_view message);
+}
+
+#define DTIO_LOG(level, expr)                                            \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::dtio::log_level())) { \
+      std::ostringstream dtio_log_oss;                                   \
+      dtio_log_oss << expr;                                              \
+      ::dtio::detail::emit_log(level, __FILE__, __LINE__,                \
+                               dtio_log_oss.str());                      \
+    }                                                                    \
+  } while (false)
+
+#define DTIO_DEBUG(expr) DTIO_LOG(::dtio::LogLevel::kDebug, expr)
+#define DTIO_INFO(expr) DTIO_LOG(::dtio::LogLevel::kInfo, expr)
+#define DTIO_WARN(expr) DTIO_LOG(::dtio::LogLevel::kWarn, expr)
+#define DTIO_ERROR(expr) DTIO_LOG(::dtio::LogLevel::kError, expr)
+
+}  // namespace dtio

@@ -1,0 +1,61 @@
+// Deterministic PRNG (xoshiro256**) for reproducible workload generation
+// and property tests. std::mt19937_64 would also work, but xoshiro keeps
+// state tiny and seeding trivially splittable across simulated processes.
+#pragma once
+
+#include <cstdint>
+
+namespace dtio {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// splitmix64 expansion of the seed, so nearby seeds give unrelated streams.
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace dtio

@@ -1,0 +1,17 @@
+#include "common/stats.h"
+
+#include "common/units.h"
+
+namespace dtio {
+
+std::string IoStats::to_string() const {
+  std::string out;
+  out += "desired=" + format_bytes(desired_bytes);
+  out += " accessed=" + format_bytes(accessed_bytes);
+  out += " io_ops=" + std::to_string(io_ops);
+  out += " resent=" + format_bytes(resent_bytes);
+  out += " req_bytes=" + format_bytes(request_bytes);
+  return out;
+}
+
+}  // namespace dtio

@@ -1,0 +1,36 @@
+#include "common/status.h"
+
+namespace dtio {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{status_code_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dtio

@@ -1,0 +1,113 @@
+// Lightweight Status / Result<T> error handling for dtio.
+//
+// The simulated file-system stack reports recoverable failures (file not
+// found, unsupported method, short access) through Status rather than
+// exceptions so that error paths are explicit at call sites, per the C++
+// Core Guidelines advice for libraries whose errors are expected outcomes.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dtio {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,   // e.g. data-sieving writes on a lock-free file system
+  kInternal,
+  kPermissionDenied,
+};
+
+/// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "NOT_FOUND: no such file" style rendering for logs and test output.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status unsupported(std::string msg) {
+  return {StatusCode::kUnsupported, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+/// Value-or-Status. Use `value()` only after checking `is_ok()`.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result from Status requires an error");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dtio

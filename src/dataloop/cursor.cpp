@@ -1,0 +1,319 @@
+#include "dataloop/cursor.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dtio::dl {
+
+namespace {
+
+bool packed(const Dataloop& loop) noexcept {
+  return loop.solid && loop.extent == loop.size;
+}
+
+}  // namespace
+
+Cursor::Cursor(DataloopPtr loop, std::int64_t base, std::int64_t count)
+    : loop_(std::move(loop)), base_(base), count_(count) {
+  if (!loop_) throw std::invalid_argument("Cursor: null dataloop");
+  if (count_ < 0) throw std::invalid_argument("Cursor: negative count");
+  if (count_ == 0 || loop_->size == 0) done_ = true;
+}
+
+bool Cursor::block_atomic(const Dataloop& loop) noexcept {
+  // Blocks of `blocklen` packed child instances form single contiguous
+  // runs: emit at block granularity instead of descending per element.
+  switch (loop.kind) {
+    case Kind::kVector:
+    case Kind::kBlockIndexed:
+    case Kind::kIndexed:
+      return packed(*loop.child);
+    case Kind::kStruct:
+      return false;  // handled per-block (children differ)
+    default:
+      return false;
+  }
+}
+
+void Cursor::settle() {
+  while (!done_) {
+    if (stack_.empty()) {
+      if (inst_ == count_) {
+        done_ = true;
+        return;
+      }
+      stack_.push_back(Frame{loop_.get(), base_ + inst_ * loop_->extent});
+      continue;
+    }
+    Frame& f = stack_.back();
+    const Dataloop& L = *f.loop;
+
+    if (L.kind == Kind::kLeaf || L.solid) return;  // atomic whole instance
+
+    switch (L.kind) {
+      case Kind::kContig: {
+        if (f.block == L.count || L.child->size == 0) {
+          pop_and_advance();
+          break;
+        }
+        stack_.push_back(
+            Frame{L.child.get(), f.origin + f.block * L.child->extent});
+        break;
+      }
+      case Kind::kVector:
+      case Kind::kBlockIndexed: {
+        if (f.block == L.count || L.child->size == 0 || L.blocklen == 0) {
+          pop_and_advance();
+          break;
+        }
+        if (block_atomic(L)) return;  // atomic block
+        if (f.elem == L.blocklen) {
+          f.elem = 0;
+          ++f.block;
+          break;
+        }
+        const std::int64_t start =
+            f.origin + (L.kind == Kind::kVector
+                            ? f.block * L.stride
+                            : L.offsets[static_cast<std::size_t>(f.block)]);
+        stack_.push_back(
+            Frame{L.child.get(), start + f.elem * L.child->extent});
+        break;
+      }
+      case Kind::kIndexed: {
+        if (f.block == L.count || L.child->size == 0) {
+          pop_and_advance();
+          break;
+        }
+        const std::int64_t bl = L.blocklens[static_cast<std::size_t>(f.block)];
+        if (bl == 0 || f.elem == bl) {
+          f.elem = 0;
+          ++f.block;
+          break;
+        }
+        if (block_atomic(L)) return;  // atomic block
+        const std::int64_t start =
+            f.origin + L.offsets[static_cast<std::size_t>(f.block)];
+        stack_.push_back(
+            Frame{L.child.get(), start + f.elem * L.child->extent});
+        break;
+      }
+      case Kind::kStruct: {
+        if (f.block == L.count) {
+          pop_and_advance();
+          break;
+        }
+        const auto bi = static_cast<std::size_t>(f.block);
+        const Dataloop& child = *L.children[bi];
+        const std::int64_t bl = L.blocklens[bi];
+        if (bl == 0 || child.size == 0 || f.elem == bl) {
+          f.elem = 0;
+          ++f.block;
+          break;
+        }
+        if (packed(child)) return;  // atomic block
+        stack_.push_back(Frame{&child, f.origin + L.offsets[bi] +
+                                           f.elem * child.extent});
+        break;
+      }
+      case Kind::kLeaf:
+        return;  // unreachable (handled above)
+    }
+  }
+}
+
+void Cursor::pop_and_advance() {
+  stack_.pop_back();
+  if (stack_.empty()) {
+    ++inst_;
+    return;
+  }
+  Frame& parent = stack_.back();
+  if (parent.loop->kind == Kind::kContig) {
+    ++parent.block;
+  } else {
+    ++parent.elem;
+  }
+}
+
+Region Cursor::current_region() const {
+  const Frame& f = stack_.back();
+  const Dataloop& L = *f.loop;
+  Region r;
+  if (L.kind == Kind::kLeaf) {
+    r = Region{f.origin, L.el_size};
+  } else if (L.solid) {
+    r = Region{f.origin + L.data_lb, L.size};
+  } else {
+    // Block-atomic: whole block of packed child instances.
+    const auto bi = static_cast<std::size_t>(f.block);
+    std::int64_t start = f.origin;
+    std::int64_t bl = 0;
+    const Dataloop* child = nullptr;
+    switch (L.kind) {
+      case Kind::kVector:
+        start += f.block * L.stride;
+        bl = L.blocklen;
+        child = L.child.get();
+        break;
+      case Kind::kBlockIndexed:
+        start += L.offsets[bi];
+        bl = L.blocklen;
+        child = L.child.get();
+        break;
+      case Kind::kIndexed:
+        start += L.offsets[bi];
+        bl = L.blocklens[bi];
+        child = L.child.get();
+        break;
+      case Kind::kStruct:
+        start += L.offsets[bi];
+        bl = L.blocklens[bi];
+        child = L.children[bi].get();
+        break;
+      default:
+        assert(false && "unexpected atomic frame kind");
+        return {};
+    }
+    r = Region{start + child->data_lb, bl * child->size};
+  }
+  r.offset += region_consumed_;
+  r.length -= region_consumed_;
+  return r;
+}
+
+bool Cursor::peek(Region& out) {
+  settle();
+  if (done_) return false;
+  out = current_region();
+  return true;
+}
+
+void Cursor::advance(std::int64_t len) {
+  assert(!done_ && !stack_.empty());
+  const Region r = current_region();
+  assert(len >= 0 && len <= r.length);
+  pos_ += len;
+  if (len < r.length) {
+    region_consumed_ += len;
+    return;
+  }
+  region_consumed_ = 0;
+
+  Frame& f = stack_.back();
+  const Dataloop& L = *f.loop;
+  if (L.kind == Kind::kLeaf || L.solid) {
+    pop_and_advance();
+  } else {
+    // Block-atomic frame: advance to the next block.
+    f.elem = 0;
+    ++f.block;
+  }
+}
+
+void Cursor::seek(std::int64_t stream_pos) {
+  if (stream_pos < 0 || stream_pos > total_bytes()) {
+    throw std::out_of_range("Cursor::seek: position outside stream");
+  }
+  stack_.clear();
+  region_consumed_ = 0;
+  pos_ = stream_pos;
+  done_ = false;
+  if (stream_pos == total_bytes() || loop_->size == 0) {
+    inst_ = count_;
+    done_ = true;
+    return;
+  }
+  inst_ = stream_pos / loop_->size;
+  const std::int64_t rem = stream_pos % loop_->size;
+  descend_to(loop_.get(), base_ + inst_ * loop_->extent, rem);
+}
+
+void Cursor::descend_to(const Dataloop* loop, std::int64_t origin,
+                        std::int64_t rem) {
+  const Dataloop& L = *loop;
+  Frame frame{loop, origin};
+
+  if (L.kind == Kind::kLeaf || L.solid) {
+    region_consumed_ = rem;
+    stack_.push_back(frame);
+    return;
+  }
+
+  switch (L.kind) {
+    case Kind::kContig: {
+      const std::int64_t i = rem / L.child->size;
+      frame.block = i;
+      stack_.push_back(frame);
+      descend_to(L.child.get(), origin + i * L.child->extent,
+                 rem % L.child->size);
+      return;
+    }
+    case Kind::kVector:
+    case Kind::kBlockIndexed: {
+      const std::int64_t bpb = L.blocklen * L.child->size;
+      const std::int64_t b = rem / bpb;
+      const std::int64_t in_block = rem % bpb;
+      frame.block = b;
+      const std::int64_t start =
+          origin + (L.kind == Kind::kVector
+                        ? b * L.stride
+                        : L.offsets[static_cast<std::size_t>(b)]);
+      if (block_atomic(L)) {
+        region_consumed_ = in_block;
+        stack_.push_back(frame);
+        return;
+      }
+      const std::int64_t e = in_block / L.child->size;
+      frame.elem = e;
+      stack_.push_back(frame);
+      descend_to(L.child.get(), start + e * L.child->extent,
+                 in_block % L.child->size);
+      return;
+    }
+    case Kind::kIndexed:
+    case Kind::kStruct: {
+      // Locate the block containing `rem` via the per-block byte prefix
+      // sums (zero-size blocks collapse to duplicate prefix entries and
+      // are skipped by taking the last block starting at or before rem).
+      const auto& prefix = L.block_bytes_prefix;
+      const auto it = std::upper_bound(prefix.begin(), prefix.end(), rem);
+      const std::int64_t b = (it - prefix.begin()) - 1;
+      const std::int64_t in_block = rem - prefix[static_cast<std::size_t>(b)];
+      const auto bi = static_cast<std::size_t>(b);
+      const Dataloop* child =
+          L.kind == Kind::kStruct ? L.children[bi].get() : L.child.get();
+      frame.block = b;
+      const std::int64_t start = origin + L.offsets[bi];
+      if (packed(*child)) {
+        region_consumed_ = in_block;
+        stack_.push_back(frame);
+        return;
+      }
+      const std::int64_t e = in_block / child->size;
+      frame.elem = e;
+      stack_.push_back(frame);
+      descend_to(child, start + e * child->extent, in_block % child->size);
+      return;
+    }
+    case Kind::kLeaf:
+      return;  // unreachable
+  }
+}
+
+std::vector<Region> flatten(const DataloopPtr& loop, std::int64_t base,
+                            std::int64_t count, bool coalesce) {
+  Cursor cursor(loop, base, count);
+  std::vector<Region> regions;
+  cursor.process(
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max(),
+      [&](std::int64_t off, std::int64_t len) {
+        regions.push_back(Region{off, len});
+      },
+      coalesce);
+  return regions;
+}
+
+}  // namespace dtio::dl

@@ -1,0 +1,127 @@
+// Cursor: resumable dataloop processing (MPICH2's "segment" in this
+// codebase's vocabulary).
+//
+// A dataloop instance defines a *stream*: its data bytes enumerated in
+// traversal order. A Cursor walks `count` instances of a dataloop anchored
+// at `base`, converting stream ranges into (offset, length) regions — the
+// operation at the heart of datatype I/O servicing. Three properties the
+// paper depends on are implemented here:
+//
+//   * partial processing: process() takes region/byte budgets and can be
+//     resumed, so intermediate offset-length storage stays bounded
+//     (paper §3.2);
+//   * separation of parsing from action: the region sink is a caller
+//     callback (build PVFS access lists, memcpy for pack/unpack, count);
+//   * coalescing: adjacent regions merge during emission (paper §3.2,
+//     "optimizations to coalesce adjacent regions").
+//
+// seek() repositions the cursor at an arbitrary stream byte in
+// O(depth * log blocks) using per-loop size metadata — this is what lets
+// an I/O server start processing at the first byte that falls in its own
+// stripe set without walking the prefix.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/region.h"
+#include "dataloop/dataloop.h"
+
+namespace dtio::dl {
+
+/// Outcome of one process() call.
+struct ProcessResult {
+  std::int64_t regions = 0;  ///< regions handed to the sink
+  std::int64_t bytes = 0;    ///< stream bytes consumed
+};
+
+class Cursor {
+ public:
+  /// Walk `count` instances of `loop`, instance i anchored at
+  /// base + i*loop->extent.
+  Cursor(DataloopPtr loop, std::int64_t base, std::int64_t count);
+
+  [[nodiscard]] std::int64_t total_bytes() const noexcept {
+    return count_ * loop_->size;
+  }
+  [[nodiscard]] std::int64_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Reposition at an absolute stream byte (0 <= pos <= total_bytes()).
+  void seek(std::int64_t stream_pos);
+
+  /// Emit regions to `sink(offset, length)` until `max_regions` regions or
+  /// `max_bytes` stream bytes have been produced, or the stream ends.
+  /// Regions arrive in stream order; with `coalesce`, adjacent ones are
+  /// merged before reaching the sink. Resumable: call again to continue.
+  template <typename Sink>
+  ProcessResult process(std::int64_t max_regions, std::int64_t max_bytes,
+                        Sink&& sink, bool coalesce = true) {
+    ProcessResult result;
+    Region pending{0, 0};
+    bool have_pending = false;
+    Region r;
+    while (result.bytes < max_bytes && peek(r)) {
+      const std::int64_t len = std::min(r.length, max_bytes - result.bytes);
+      if (have_pending && coalesce && pending.end() == r.offset) {
+        pending.length += len;
+      } else {
+        if (have_pending) {
+          sink(pending.offset, pending.length);
+          ++result.regions;
+          have_pending = false;
+          if (result.regions == max_regions) break;
+        }
+        pending = Region{r.offset, len};
+        have_pending = true;
+      }
+      advance(len);
+      result.bytes += len;
+    }
+    if (have_pending) {
+      sink(pending.offset, pending.length);
+      ++result.regions;
+    }
+    return result;
+  }
+
+  /// Expose the next atomic region without consuming it (false when done).
+  bool peek(Region& out);
+
+  /// Consume `len` bytes (len <= the length peek() reported).
+  void advance(std::int64_t len);
+
+ private:
+  struct Frame {
+    const Dataloop* loop;
+    std::int64_t origin;  ///< absolute byte offset of this instance's origin
+    std::int64_t block = 0;
+    std::int64_t elem = 0;
+  };
+
+  /// Ensure the stack top denotes the current atomic region (or done).
+  void settle();
+  void pop_and_advance();
+  void descend_to(const Dataloop* loop, std::int64_t origin, std::int64_t rem);
+
+  static bool block_atomic(const Dataloop& loop) noexcept;
+  [[nodiscard]] Region current_region() const;
+
+  DataloopPtr loop_;
+  std::int64_t base_;
+  std::int64_t count_;
+  std::int64_t inst_ = 0;
+  std::int64_t pos_ = 0;
+  std::int64_t region_consumed_ = 0;
+  bool done_ = false;
+  std::vector<Frame> stack_;
+};
+
+/// Convenience: fully flatten `count` instances into a region list.
+[[nodiscard]] std::vector<Region> flatten(const DataloopPtr& loop,
+                                          std::int64_t base,
+                                          std::int64_t count,
+                                          bool coalesce = true);
+
+}  // namespace dtio::dl

@@ -1,0 +1,127 @@
+// Dataloops: the concise structured-data representation at the heart of
+// datatype I/O (paper §3.2, after the MPICH2 datatype-processing component
+// of Ross, Miller & Gropp).
+//
+// A dataloop describes a (possibly noncontiguous) byte pattern using five
+// descriptor kinds — contig, vector, blockindexed, indexed, struct — plus a
+// leaf carrying an element size. The set is small enough to process fast
+// yet expresses every MPI datatype. The type's extent is retained in the
+// representation (MPI's LB/UB markers are eliminated), so resized types
+// process with no extra overhead.
+//
+// Layout semantics of one *instance* of a dataloop anchored at byte
+// `base` (instance i of a count-N access lives at base + i*extent):
+//
+//   leaf          el_size contiguous bytes at base.
+//   contig        count child instances at base + i*child.extent.
+//   vector        count blocks; block b starts at base + b*stride and
+//                 holds blocklen child instances spaced child.extent.
+//   blockindexed  count blocks; block b starts at base + offset[b] and
+//                 holds blocklen child instances.
+//   indexed       count blocks; block b starts at base + offset[b] and
+//                 holds blocklen[b] child instances.
+//   struct        count blocks; block b starts at base + offset[b] and
+//                 holds blocklen[b] instances of child[b].
+//
+// All offsets/strides are in bytes. `size` is the number of data bytes one
+// instance touches; `extent` is the spacing between consecutive instances.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dtio::dl {
+
+enum class Kind : std::uint8_t {
+  kLeaf = 0,
+  kContig,
+  kVector,
+  kBlockIndexed,
+  kIndexed,
+  kStruct,
+};
+
+std::string_view kind_name(Kind kind) noexcept;
+
+class Dataloop;
+using DataloopPtr = std::shared_ptr<const Dataloop>;
+
+class Dataloop {
+ public:
+  Kind kind = Kind::kLeaf;
+  std::int64_t count = 0;     ///< blocks (or child instances for contig)
+  std::int64_t blocklen = 0;  ///< child instances per block (vector/blockindexed)
+  std::int64_t stride = 0;    ///< bytes between block starts (vector)
+  std::int64_t el_size = 0;   ///< leaf payload bytes
+  std::vector<std::int64_t> offsets;    ///< block start bytes (blockindexed/indexed/struct)
+  std::vector<std::int64_t> blocklens;  ///< per-block child counts (indexed/struct)
+  DataloopPtr child;                    ///< single child (contig/vector/blockindexed/indexed)
+  std::vector<DataloopPtr> children;    ///< per-block children (struct)
+
+  // Derived, computed by the builders:
+  std::int64_t size = 0;    ///< data bytes in one instance
+  std::int64_t extent = 0;  ///< spacing between instances (MPI marker)
+  std::int64_t lb = 0;      ///< lower-bound marker (MPI lb; resize overrides)
+  std::int64_t data_lb = 0; ///< displacement of the first data byte; unlike
+                            ///< lb this is never changed by make_resized and
+                            ///< is what traversal uses for solid-run starts
+  bool solid = false;       ///< one instance is a single contiguous run of
+                            ///< `size` bytes at base (and extent may still
+                            ///< exceed size, leaving a trailing gap)
+  std::vector<std::int64_t> block_bytes_prefix;  ///< indexed/struct: prefix
+                                                 ///< sums of per-block data
+                                                 ///< bytes, for O(log n) seek
+
+  /// Nodes in this dataloop tree (cost model: decode/build charge per node).
+  [[nodiscard]] std::int64_t node_count() const noexcept;
+
+  /// Tree depth (leaf = 1).
+  [[nodiscard]] int depth() const noexcept;
+
+  /// Number of atomic contiguous regions one instance expands to (what a
+  /// full flattening would produce before coalescing).
+  [[nodiscard]] std::int64_t region_count() const noexcept;
+
+  /// Multi-line debug rendering of the tree.
+  [[nodiscard]] std::string to_string() const;
+};
+
+// ---- Builders -------------------------------------------------------------
+//
+// Builders validate their arguments (counts >= 0, lengths matching) and
+// apply regularity-capturing normalisations, mirroring the paper's point
+// that the five descriptors "capture the maximum amount of regularity
+// possible":
+//   * contig(1, X) with matching extent collapses to X
+//   * vector whose stride equals blocklen*child.extent collapses to contig
+//   * indexed with uniform blocklens becomes blockindexed
+//   * blockindexed with uniformly-strided offsets becomes vector
+// Invalid arguments throw std::invalid_argument (these are programming
+// errors in type construction, not runtime I/O failures).
+
+[[nodiscard]] DataloopPtr make_leaf(std::int64_t el_size);
+[[nodiscard]] DataloopPtr make_contig(std::int64_t count, DataloopPtr child);
+[[nodiscard]] DataloopPtr make_vector(std::int64_t count, std::int64_t blocklen,
+                                      std::int64_t stride_bytes,
+                                      DataloopPtr child);
+[[nodiscard]] DataloopPtr make_blockindexed(std::int64_t count,
+                                            std::int64_t blocklen,
+                                            std::span<const std::int64_t> offsets_bytes,
+                                            DataloopPtr child);
+[[nodiscard]] DataloopPtr make_indexed(std::span<const std::int64_t> blocklens,
+                                       std::span<const std::int64_t> offsets_bytes,
+                                       DataloopPtr child);
+[[nodiscard]] DataloopPtr make_struct(std::span<const std::int64_t> blocklens,
+                                      std::span<const std::int64_t> offsets_bytes,
+                                      std::span<const DataloopPtr> children);
+
+/// Override the extent (MPI_Type_create_resized). The dataloop
+/// representation carries extents natively, so this costs nothing at
+/// processing time (paper §3.2).
+[[nodiscard]] DataloopPtr make_resized(DataloopPtr loop, std::int64_t lb,
+                                       std::int64_t extent);
+
+}  // namespace dtio::dl

@@ -1,0 +1,36 @@
+#include "dataloop/pack.h"
+
+#include <cstring>
+#include <limits>
+
+namespace dtio::dl {
+
+std::size_t pack(const std::uint8_t* typed_base, Cursor& cursor,
+                 std::span<std::uint8_t> out) {
+  std::size_t written = 0;
+  cursor.process(
+      std::numeric_limits<std::int64_t>::max(),
+      static_cast<std::int64_t>(out.size()),
+      [&](std::int64_t off, std::int64_t len) {
+        std::memcpy(out.data() + written, typed_base + off,
+                    static_cast<std::size_t>(len));
+        written += static_cast<std::size_t>(len);
+      });
+  return written;
+}
+
+std::size_t unpack(std::uint8_t* typed_base, Cursor& cursor,
+                   std::span<const std::uint8_t> in) {
+  std::size_t consumed = 0;
+  cursor.process(
+      std::numeric_limits<std::int64_t>::max(),
+      static_cast<std::int64_t>(in.size()),
+      [&](std::int64_t off, std::int64_t len) {
+        std::memcpy(typed_base + off, in.data() + consumed,
+                    static_cast<std::size_t>(len));
+        consumed += static_cast<std::size_t>(len);
+      });
+  return consumed;
+}
+
+}  // namespace dtio::dl

@@ -1,0 +1,29 @@
+// Pack/unpack: move real bytes between a typed (noncontiguous) buffer and
+// a contiguous stream, driven by a dataloop Cursor.
+//
+// This is the "action" half of the engine's parse/action separation: the
+// same cursor that builds PVFS access lists also drives memcpy here. The
+// simulated clients use pack/unpack for the memory side of datatype I/O
+// and for staging data into sieve/collective buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "dataloop/cursor.h"
+
+namespace dtio::dl {
+
+/// Gather: copy the next out.size() stream bytes (or fewer, at stream end)
+/// from the typed layout rooted at `typed_base` into `out`. The cursor must
+/// have been constructed with base 0; it advances past what was packed.
+/// Returns bytes written.
+std::size_t pack(const std::uint8_t* typed_base, Cursor& cursor,
+                 std::span<std::uint8_t> out);
+
+/// Scatter: the inverse of pack. Returns bytes consumed from `in`.
+std::size_t unpack(std::uint8_t* typed_base, Cursor& cursor,
+                   std::span<const std::uint8_t> in);
+
+}  // namespace dtio::dl

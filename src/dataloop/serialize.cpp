@@ -1,0 +1,211 @@
+#include "dataloop/serialize.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dtio::dl {
+namespace {
+
+// Wire format, little-endian, pre-order:
+//   u8  kind
+//   i64 count
+//   per kind:
+//     leaf:         i64 el_size
+//     contig:       child
+//     vector:       i64 blocklen, i64 stride, child
+//     blockindexed: i64 blocklen, i64 offsets[count], child
+//     indexed:      i64 blocklens[count], i64 offsets[count], child
+//     struct:       i64 blocklens[count], i64 offsets[count], children[count]
+//   i64 lb, i64 extent   (re-applied via make_resized: covers resized types)
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >>
+                                            (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return in_[pos_++];
+  }
+  std::int64_t i64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(in_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return static_cast<std::int64_t>(v);
+  }
+  std::vector<std::int64_t> i64_array(std::int64_t n) {
+    if (n < 0 || n > static_cast<std::int64_t>((in_.size() - pos_) / 8)) {
+      throw std::invalid_argument("dataloop decode: bad array length");
+    }
+    std::vector<std::int64_t> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) out.push_back(i64());
+    return out;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == in_.size(); }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > in_.size()) {
+      throw std::invalid_argument("dataloop decode: truncated input");
+    }
+  }
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+DataloopPtr decode_node(Reader& reader, int depth) {
+  if (depth > 64) {
+    throw std::invalid_argument("dataloop decode: nesting too deep");
+  }
+  const auto kind = static_cast<Kind>(reader.u8());
+  const std::int64_t count = reader.i64();
+  DataloopPtr loop;
+  switch (kind) {
+    case Kind::kLeaf: {
+      const std::int64_t el_size = reader.i64();
+      loop = make_leaf(el_size);
+      break;
+    }
+    case Kind::kContig: {
+      loop = make_contig(count, decode_node(reader, depth + 1));
+      break;
+    }
+    case Kind::kVector: {
+      const std::int64_t blocklen = reader.i64();
+      const std::int64_t stride = reader.i64();
+      loop = make_vector(count, blocklen, stride, decode_node(reader, depth + 1));
+      break;
+    }
+    case Kind::kBlockIndexed: {
+      const std::int64_t blocklen = reader.i64();
+      const auto offsets = reader.i64_array(count);
+      loop = make_blockindexed(count, blocklen, offsets,
+                               decode_node(reader, depth + 1));
+      break;
+    }
+    case Kind::kIndexed: {
+      const auto blocklens = reader.i64_array(count);
+      const auto offsets = reader.i64_array(count);
+      loop = make_indexed(blocklens, offsets, decode_node(reader, depth + 1));
+      break;
+    }
+    case Kind::kStruct: {
+      const auto blocklens = reader.i64_array(count);
+      const auto offsets = reader.i64_array(count);
+      std::vector<DataloopPtr> children;
+      children.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t i = 0; i < count; ++i) {
+        children.push_back(decode_node(reader, depth + 1));
+      }
+      loop = make_struct(blocklens, offsets, children);
+      break;
+    }
+    default:
+      throw std::invalid_argument("dataloop decode: unknown kind");
+  }
+  const std::int64_t lb = reader.i64();
+  const std::int64_t extent = reader.i64();
+  return make_resized(std::move(loop), lb, extent);
+}
+
+}  // namespace
+
+void encode(const Dataloop& loop, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(loop.kind));
+  put_i64(out, loop.count);
+  switch (loop.kind) {
+    case Kind::kLeaf:
+      put_i64(out, loop.el_size);
+      break;
+    case Kind::kContig:
+      encode(*loop.child, out);
+      break;
+    case Kind::kVector:
+      put_i64(out, loop.blocklen);
+      put_i64(out, loop.stride);
+      encode(*loop.child, out);
+      break;
+    case Kind::kBlockIndexed:
+      put_i64(out, loop.blocklen);
+      for (const std::int64_t off : loop.offsets) put_i64(out, off);
+      encode(*loop.child, out);
+      break;
+    case Kind::kIndexed:
+      for (const std::int64_t bl : loop.blocklens) put_i64(out, bl);
+      for (const std::int64_t off : loop.offsets) put_i64(out, off);
+      encode(*loop.child, out);
+      break;
+    case Kind::kStruct:
+      for (const std::int64_t bl : loop.blocklens) put_i64(out, bl);
+      for (const std::int64_t off : loop.offsets) put_i64(out, off);
+      for (const auto& c : loop.children) encode(*c, out);
+      break;
+  }
+  put_i64(out, loop.lb);
+  put_i64(out, loop.extent);
+}
+
+std::size_t encoded_size(const Dataloop& loop) {
+  std::size_t n = 1 + 8 + 16;  // kind + count + lb/extent trailer
+  switch (loop.kind) {
+    case Kind::kLeaf:
+      n += 8;
+      break;
+    case Kind::kContig:
+      n += encoded_size(*loop.child);
+      break;
+    case Kind::kVector:
+      n += 16 + encoded_size(*loop.child);
+      break;
+    case Kind::kBlockIndexed:
+      n += 8 + loop.offsets.size() * 8 + encoded_size(*loop.child);
+      break;
+    case Kind::kIndexed:
+      n += (loop.blocklens.size() + loop.offsets.size()) * 8 +
+           encoded_size(*loop.child);
+      break;
+    case Kind::kStruct:
+      n += (loop.blocklens.size() + loop.offsets.size()) * 8;
+      for (const auto& c : loop.children) n += encoded_size(*c);
+      break;
+  }
+  return n;
+}
+
+DataloopPtr decode(std::span<const std::uint8_t> in) {
+  Reader reader(in);
+  DataloopPtr loop = decode_node(reader, 0);
+  if (!reader.exhausted()) {
+    throw std::invalid_argument("dataloop decode: trailing bytes");
+  }
+  return loop;
+}
+
+bool deep_equal(const Dataloop& a, const Dataloop& b) noexcept {
+  if (a.kind != b.kind || a.count != b.count || a.blocklen != b.blocklen ||
+      a.stride != b.stride || a.el_size != b.el_size || a.size != b.size ||
+      a.extent != b.extent || a.lb != b.lb || a.data_lb != b.data_lb ||
+      a.offsets != b.offsets || a.blocklens != b.blocklens) {
+    return false;
+  }
+  if ((a.child == nullptr) != (b.child == nullptr)) return false;
+  if (a.child && !deep_equal(*a.child, *b.child)) return false;
+  if (a.children.size() != b.children.size()) return false;
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (!deep_equal(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace dtio::dl

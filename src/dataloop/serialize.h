@@ -1,0 +1,30 @@
+// Wire (de)serialisation of dataloops: this is what datatype I/O ships to
+// the I/O servers instead of offset-length lists. The encoded size is what
+// the cost model charges as request payload — the paper's tile reader
+// sends ~9 KiB of list per client with list I/O versus a few dozen bytes
+// of dataloop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataloop/dataloop.h"
+
+namespace dtio::dl {
+
+/// Append the encoding of `loop` to `out`.
+void encode(const Dataloop& loop, std::vector<std::uint8_t>& out);
+
+/// Bytes encode() would append for `loop`.
+[[nodiscard]] std::size_t encoded_size(const Dataloop& loop);
+
+/// Rebuild a dataloop from its encoding (the builders re-derive all
+/// computed metadata, so a decoded loop is processing-ready).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] DataloopPtr decode(std::span<const std::uint8_t> in);
+
+/// Structural equality (kind, counts, offsets, children, lb/extent).
+[[nodiscard]] bool deep_equal(const Dataloop& a, const Dataloop& b) noexcept;
+
+}  // namespace dtio::dl

@@ -1,0 +1,148 @@
+#include "hyperslab/hyperslab.h"
+
+#include "dataloop/cursor.h"
+
+#include <stdexcept>
+
+namespace dtio::hyperslab {
+
+Hyperslab::Hyperslab(std::span<const std::int64_t> dims,
+                     std::span<const DimSelection> selection)
+    : dims_(dims.begin(), dims.end()),
+      selection_(selection.begin(), selection.end()) {
+  if (dims_.empty() || dims_.size() != selection_.size()) {
+    throw std::invalid_argument("hyperslab: dims/selection mismatch");
+  }
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const DimSelection& s = selection_[d];
+    if (dims_[d] <= 0 || s.start < 0 || s.count <= 0 || s.block <= 0 ||
+        s.stride <= 0) {
+      throw std::invalid_argument("hyperslab: non-positive geometry");
+    }
+    if (s.count > 1 && s.stride < s.block) {
+      throw std::invalid_argument("hyperslab: blocks overlap (stride < block)");
+    }
+    if (s.upper() > dims_[d]) {
+      throw std::invalid_argument("hyperslab: selection outside dataspace");
+    }
+  }
+}
+
+std::int64_t Hyperslab::num_selected() const noexcept {
+  std::int64_t n = 1;
+  for (const DimSelection& s : selection_) n *= s.count * s.block;
+  return n;
+}
+
+bool Hyperslab::contains(std::span<const std::int64_t> coords) const {
+  if (coords.size() != dims_.size()) return false;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const DimSelection& s = selection_[d];
+    const std::int64_t rel = coords[d] - s.start;
+    if (rel < 0) return false;
+    const std::int64_t blk = rel / s.stride;
+    if (blk >= s.count || rel % s.stride >= s.block) return false;
+  }
+  return true;
+}
+
+dl::DataloopPtr Hyperslab::to_dataloop(std::int64_t el_size) const {
+  // Build from the fastest dimension outward. At each level, `loop`
+  // describes the selection of the faster dimensions within one "row" and
+  // `row_bytes` is the span of that row in the dataspace.
+  dl::DataloopPtr loop = dl::make_leaf(el_size);
+  std::int64_t dim_bytes = el_size;  // bytes of one element of this level
+  std::int64_t start_offset = 0;
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    const DimSelection& s = selection_[d];
+    start_offset += s.start * dim_bytes;
+    // `block` consecutive entries spaced dim_bytes, `count` such blocks
+    // spaced stride*dim_bytes. The child must occupy exactly dim_bytes of
+    // extent so blocks pack; resize when the inner selection is sparser.
+    if (loop->extent != dim_bytes) {
+      loop = dl::make_resized(loop, 0, dim_bytes);
+    }
+    loop = dl::make_vector(s.count, s.block, s.stride * dim_bytes, loop);
+    dim_bytes *= dims_[d];
+  }
+  if (start_offset != 0) {
+    const std::int64_t offs[] = {start_offset};
+    loop = dl::make_blockindexed(1, 1, offs, loop);
+  }
+  // The whole dataspace is the extent: instances tile dataspaces.
+  return dl::make_resized(loop, 0, dim_bytes);
+}
+
+types::Datatype Hyperslab::to_datatype(const types::Datatype& element) const {
+  // The same construction through the MPI-like constructors, so the result
+  // carries envelope/contents like any other datatype.
+  types::Datatype type = element;
+  std::int64_t dim_bytes = element.extent();
+  std::int64_t start_offset = 0;
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    const DimSelection& s = selection_[d];
+    start_offset += s.start * dim_bytes;
+    if (type.extent() != dim_bytes) {
+      type = types::resized(type, 0, dim_bytes);
+    }
+    type = types::hvector(s.count, s.block, s.stride * dim_bytes, type);
+    dim_bytes *= dims_[d];
+  }
+  if (start_offset != 0) {
+    const std::int64_t lens[] = {1};
+    const std::int64_t offs[] = {start_offset};
+    type = types::hindexed(lens, offs, type);
+  }
+  return types::resized(type, 0, dim_bytes);
+}
+
+Selection::Selection(std::span<const std::int64_t> dims)
+    : dims_(dims.begin(), dims.end()) {
+  if (dims_.empty()) {
+    throw std::invalid_argument("selection: empty dataspace");
+  }
+}
+
+void Selection::select_or(std::span<const DimSelection> slab) {
+  slabs_.emplace_back(dims_, slab);  // validates
+}
+
+std::vector<Region> Selection::element_regions() const {
+  std::vector<Region> all;
+  for (const Hyperslab& slab : slabs_) {
+    // Element-granularity regions of this slab (el_size 1).
+    auto regions = dl::flatten(slab.to_dataloop(1), 0, 1);
+    all.insert(all.end(), regions.begin(), regions.end());
+  }
+  return region_union(std::move(all));
+}
+
+std::int64_t Selection::num_selected() const {
+  std::int64_t n = 0;
+  for (const Region& r : element_regions()) n += r.length;
+  return n;
+}
+
+bool Selection::contains(std::span<const std::int64_t> coords) const {
+  for (const Hyperslab& slab : slabs_) {
+    if (slab.contains(coords)) return true;
+  }
+  return false;
+}
+
+types::Datatype Selection::to_datatype(const types::Datatype& element) const {
+  const std::vector<Region> regions = element_regions();
+  std::vector<std::int64_t> lens, offs;
+  lens.reserve(regions.size());
+  offs.reserve(regions.size());
+  for (const Region& r : regions) {
+    lens.push_back(r.length);
+    offs.push_back(r.offset * element.extent());
+  }
+  auto type = types::hindexed(lens, offs, element);
+  std::int64_t total = 1;
+  for (const std::int64_t d : dims_) total *= d;
+  return types::resized(type, 0, total * element.extent());
+}
+
+}  // namespace dtio::hyperslab

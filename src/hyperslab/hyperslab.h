@@ -1,0 +1,109 @@
+// HDF5-style hyperslab selections as a second front-end to the dataloop
+// engine.
+//
+// The paper (§3) emphasises that datatype I/O is not tied to MPI: "nothing
+// precludes our using the same approach to directly describe datatypes
+// from other APIs, such as HDF5 hyperslabs." This module demonstrates
+// that: an n-dimensional dataspace plus a (start, stride, count, block)
+// selection per dimension — HDF5's H5Sselect_hyperslab vocabulary —
+// converts straight into a datatype/dataloop that every access method in
+// the repository can ship and process.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/region.h"
+#include "dataloop/dataloop.h"
+#include "types/datatype.h"
+
+namespace dtio::hyperslab {
+
+/// One dimension of a hyperslab selection (HDF5 semantics): `count`
+/// blocks of `block` consecutive elements, block origins `stride`
+/// elements apart, the first at `start`.
+struct DimSelection {
+  std::int64_t start = 0;
+  std::int64_t stride = 1;
+  std::int64_t count = 1;
+  std::int64_t block = 1;
+
+  /// Index of one past the last selected element in this dimension.
+  [[nodiscard]] std::int64_t upper() const noexcept {
+    return start + (count - 1) * stride + block;
+  }
+};
+
+/// An n-dimensional dataspace (element counts per dimension, C order:
+/// last dimension fastest) with a hyperslab selection.
+class Hyperslab {
+ public:
+  /// Throws std::invalid_argument when the selection is malformed or
+  /// reaches outside the dataspace (including overlapping blocks, which
+  /// HDF5 also rejects: stride >= block).
+  Hyperslab(std::span<const std::int64_t> dims,
+            std::span<const DimSelection> selection);
+
+  [[nodiscard]] std::size_t ndims() const noexcept { return dims_.size(); }
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const noexcept {
+    return dims_;
+  }
+  [[nodiscard]] const std::vector<DimSelection>& selection() const noexcept {
+    return selection_;
+  }
+
+  /// Number of selected elements.
+  [[nodiscard]] std::int64_t num_selected() const noexcept;
+
+  /// Whether the element at `coords` is selected.
+  [[nodiscard]] bool contains(std::span<const std::int64_t> coords) const;
+
+  /// The selection as a datatype over `element`, spanning the whole
+  /// dataspace as its extent (so consecutive instances tile dataspaces,
+  /// exactly like subarray types).
+  [[nodiscard]] types::Datatype to_datatype(
+      const types::Datatype& element) const;
+
+  /// The selection directly as a dataloop over `el_size`-byte elements —
+  /// what an HDF5-layer implementation of datatype I/O would ship without
+  /// going through MPI datatypes at all.
+  [[nodiscard]] dl::DataloopPtr to_dataloop(std::int64_t el_size) const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<DimSelection> selection_;
+};
+
+/// A union of hyperslab selections over one dataspace — HDF5's
+/// H5Sselect_hyperslab with H5S_SELECT_OR. Overlapping slabs are
+/// deduplicated; the composite converts to a datatype through the merged
+/// region list (an hindexed type), since unions generally have no concise
+/// regular structure left to exploit.
+class Selection {
+ public:
+  explicit Selection(std::span<const std::int64_t> dims);
+
+  /// Add a slab to the union; throws like the Hyperslab constructor.
+  void select_or(std::span<const DimSelection> slab);
+
+  [[nodiscard]] std::size_t num_slabs() const noexcept {
+    return slabs_.size();
+  }
+  [[nodiscard]] std::int64_t num_selected() const;
+  [[nodiscard]] bool contains(std::span<const std::int64_t> coords) const;
+
+  /// Merged element regions (element indices, sorted disjoint).
+  [[nodiscard]] std::vector<Region> element_regions() const;
+
+  /// The union as a datatype over `element` (dataspace-extent semantics,
+  /// like Hyperslab::to_datatype).
+  [[nodiscard]] types::Datatype to_datatype(
+      const types::Datatype& element) const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<Hyperslab> slabs_;
+};
+
+}  // namespace dtio::hyperslab

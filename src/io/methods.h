@@ -1,0 +1,104 @@
+// The ADIO-like access-method layer: every noncontiguous-I/O strategy the
+// paper evaluates, implemented against the PVFS-like client.
+//
+//   POSIX I/O        one contiguous file-system op per joint piece (§2.1)
+//   Data sieving     bounding-window reads + client-side extraction; writes
+//                    need file locking, which PVFS lacks (§2.2, §4.1)
+//   List I/O         joint (mem, file) pieces shipped in <=64-region
+//                    batches (§2.4)
+//   Datatype I/O     dataloops shipped to servers; memory side packed or
+//                    consumed in place (§3)
+//
+// Two-phase collective I/O lives in src/collective/ (it needs a
+// communicator). All methods share one signature; `buf` may be null when
+// the owning client is in timing-only mode.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "io/view.h"
+#include "net/cost_model.h"
+#include "pfs/client.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+#include "types/datatype.h"
+
+namespace dtio::io {
+
+/// Per-simulated-process handle bundle for the method layer.
+struct Context {
+  sim::Scheduler& sched;
+  pfs::Client& client;
+  const net::ClusterConfig& config;
+};
+
+// All offsets are in etypes within the view (MPI_File_read_at semantics);
+// the access covers count * memtype.size() bytes.
+
+sim::Task<Status> posix_write(Context& ctx, std::uint64_t handle,
+                              const FileView& view, std::int64_t offset,
+                              const void* buf, std::int64_t count,
+                              const types::Datatype& memtype);
+sim::Task<Status> posix_read(Context& ctx, std::uint64_t handle,
+                             const FileView& view, std::int64_t offset,
+                             void* buf, std::int64_t count,
+                             const types::Datatype& memtype);
+
+sim::Task<Status> sieve_read(Context& ctx, std::uint64_t handle,
+                             const FileView& view, std::int64_t offset,
+                             void* buf, std::int64_t count,
+                             const types::Datatype& memtype);
+/// Read-modify-write under a whole-file lock; returns kUnsupported when
+/// the configuration models PVFS (no locking), as in the paper.
+sim::Task<Status> sieve_write(Context& ctx, std::uint64_t handle,
+                              const FileView& view, std::int64_t offset,
+                              const void* buf, std::int64_t count,
+                              const types::Datatype& memtype);
+
+sim::Task<Status> list_write(Context& ctx, std::uint64_t handle,
+                             const FileView& view, std::int64_t offset,
+                             const void* buf, std::int64_t count,
+                             const types::Datatype& memtype);
+sim::Task<Status> list_read(Context& ctx, std::uint64_t handle,
+                            const FileView& view, std::int64_t offset,
+                            void* buf, std::int64_t count,
+                            const types::Datatype& memtype);
+
+sim::Task<Status> datatype_write(Context& ctx, std::uint64_t handle,
+                                 const FileView& view, std::int64_t offset,
+                                 const void* buf, std::int64_t count,
+                                 const types::Datatype& memtype);
+sim::Task<Status> datatype_read(Context& ctx, std::uint64_t handle,
+                                const FileView& view, std::int64_t offset,
+                                void* buf, std::int64_t count,
+                                const types::Datatype& memtype);
+
+// ---- Shared internals (exposed for the collective layer and tests) ----------
+
+namespace detail {
+
+/// Charge memory-side staging: per-region processing plus one memcpy pass.
+/// Returns the estimated region count charged.
+sim::Task<std::int64_t> charge_mem_staging(Context& ctx,
+                                           const types::Datatype& memtype,
+                                           std::int64_t count,
+                                           std::int64_t bytes,
+                                           SimTime per_region_cost);
+
+/// Pack `count` instances of memtype from `buf` into a stream buffer
+/// (no-op when buf is null). `out` must be presized to the stream length.
+void pack_memory(const types::Datatype& memtype, std::int64_t count,
+                 const void* buf, std::span<std::uint8_t> out);
+/// Inverse of pack_memory.
+void unpack_memory(const types::Datatype& memtype, std::int64_t count,
+                   void* buf, std::span<const std::uint8_t> in);
+
+/// Flatten the file side of an access into logical regions (sorted,
+/// coalesced — MPI file views are monotonic).
+std::vector<Region> flatten_file_side(const FileView& view,
+                                      const StreamWindow& window);
+
+}  // namespace detail
+
+}  // namespace dtio::io

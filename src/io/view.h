@@ -1,0 +1,59 @@
+// MPI-IO file views and the access arithmetic shared by all methods.
+//
+// A view is (displacement, etype, filetype): the file's visible data
+// stream is `filetype` tiled from byte `displacement`, and offsets are
+// counted in etypes within that stream. An access of `count` instances of
+// `memtype` at view offset `offset` touches the stream window
+//   [offset * etype.size(), + count * memtype.size()).
+#pragma once
+
+#include <cstdint>
+
+#include "dataloop/cursor.h"
+#include "types/datatype.h"
+
+namespace dtio::io {
+
+struct FileView {
+  std::int64_t displacement = 0;
+  types::Datatype etype = types::byte_t();
+  types::Datatype filetype = types::byte_t();
+};
+
+/// The stream window of an access through `view`.
+struct StreamWindow {
+  std::int64_t offset = 0;  ///< first stream byte
+  std::int64_t length = 0;  ///< bytes accessed
+  std::int64_t instances = 0;  ///< filetype instances needed to cover it
+
+  [[nodiscard]] std::int64_t end() const noexcept { return offset + length; }
+};
+
+[[nodiscard]] inline StreamWindow make_window(const FileView& view,
+                                              std::int64_t offset_etypes,
+                                              std::int64_t bytes) {
+  StreamWindow w;
+  w.offset = offset_etypes * view.etype.size();
+  w.length = bytes;
+  const std::int64_t per_instance = view.filetype.size();
+  w.instances = per_instance == 0 ? 0 : (w.end() + per_instance - 1) / per_instance;
+  return w;
+}
+
+/// Cursor over the file-side byte stream of an access, already positioned
+/// at the window start.
+[[nodiscard]] inline dl::Cursor make_file_cursor(const FileView& view,
+                                                 const StreamWindow& window) {
+  dl::Cursor cursor(view.filetype.dataloop(), view.displacement,
+                    window.instances);
+  cursor.seek(window.offset);
+  return cursor;
+}
+
+/// Cursor over the memory-side byte stream (buffer-relative offsets).
+[[nodiscard]] inline dl::Cursor make_mem_cursor(const types::Datatype& memtype,
+                                                std::int64_t count) {
+  return dl::Cursor(memtype.dataloop(), 0, count);
+}
+
+}  // namespace dtio::io

@@ -1,0 +1,137 @@
+#include "mpiio/file.h"
+
+namespace dtio::mpiio {
+
+std::string_view method_name(Method method) noexcept {
+  switch (method) {
+    case Method::kPosix:
+      return "POSIX I/O";
+    case Method::kDataSieving:
+      return "Data Sieving I/O";
+    case Method::kTwoPhase:
+      return "Two-Phase I/O";
+    case Method::kList:
+      return "List I/O";
+    case Method::kDatatype:
+      return "Datatype I/O";
+  }
+  return "?";
+}
+
+sim::Task<Status> File::open(std::string path, bool create) {
+  return open_impl(Box<std::string>(std::move(path)), create);
+}
+
+sim::Task<Status> File::open_impl(Box<std::string> path, bool create) {
+  std::string name = path.take();
+  // NOTE: co_await must not appear inside a conditional operator on this
+  // compiler (double destruction of the selected temporary); use if/else.
+  pfs::MetaResult result;
+  if (create) {
+    result = co_await ctx_.client.create(name);
+  } else {
+    result = co_await ctx_.client.open(name);
+  }
+  if (!result.status.is_ok() && create &&
+      result.status.code() == StatusCode::kNotFound) {
+    // create() reports kNotFound-style errors as ALREADY_EXISTS text; fall
+    // back to plain open for create-or-open semantics.
+    result = co_await ctx_.client.open(name);
+  }
+  if (!result.status.is_ok()) co_return result.status;
+  handle_ = result.handle;
+  open_ = true;
+  co_return Status::ok();
+}
+
+sim::Task<std::int64_t> File::size() {
+  // stat() needs the path; the facade tracks only the handle, so query all
+  // servers directly through a dedicated metadata round.
+  pfs::MetaResult result = co_await ctx_.client.stat_handle(handle_);
+  co_return result.size;
+}
+
+sim::Task<Status> File::write_at(std::int64_t offset, const void* buf,
+                                 std::int64_t count,
+                                 const types::Datatype& memtype,
+                                 Method method) {
+  switch (method) {
+    case Method::kPosix:
+      return io::posix_write(ctx_, handle_, view_, offset, buf, count,
+                             memtype);
+    case Method::kDataSieving:
+      return io::sieve_write(ctx_, handle_, view_, offset, buf, count,
+                             memtype);
+    case Method::kList:
+      return io::list_write(ctx_, handle_, view_, offset, buf, count, memtype);
+    case Method::kDatatype:
+      return io::datatype_write(ctx_, handle_, view_, offset, buf, count,
+                                memtype);
+    case Method::kTwoPhase:
+      break;
+  }
+  return [](io::Context&) -> sim::Task<Status> {
+    co_return invalid_argument(
+        "two-phase is collective: use write_at_all");
+  }(ctx_);
+}
+
+sim::Task<Status> File::read_at(std::int64_t offset, void* buf,
+                                std::int64_t count,
+                                const types::Datatype& memtype,
+                                Method method) {
+  switch (method) {
+    case Method::kPosix:
+      return io::posix_read(ctx_, handle_, view_, offset, buf, count, memtype);
+    case Method::kDataSieving:
+      return io::sieve_read(ctx_, handle_, view_, offset, buf, count, memtype);
+    case Method::kList:
+      return io::list_read(ctx_, handle_, view_, offset, buf, count, memtype);
+    case Method::kDatatype:
+      return io::datatype_read(ctx_, handle_, view_, offset, buf, count,
+                               memtype);
+    case Method::kTwoPhase:
+      break;
+  }
+  return [](io::Context&) -> sim::Task<Status> {
+    co_return invalid_argument("two-phase is collective: use read_at_all");
+  }(ctx_);
+}
+
+sim::Task<Status> File::write_at_all(coll::Communicator& comm, int rank,
+                                     std::int64_t offset, const void* buf,
+                                     std::int64_t count,
+                                     const types::Datatype& memtype,
+                                     Method method) {
+  if (method == Method::kTwoPhase) {
+    return coll::two_phase_write(ctx_, comm, rank, handle_, view_, offset,
+                                 buf, count, memtype);
+  }
+  return [](File& file, coll::Communicator& c, int r, std::int64_t off,
+            const void* b, std::int64_t n, const types::Datatype& t,
+            Method m) -> sim::Task<Status> {
+    Status status = co_await file.write_at(off, b, n, t, m);
+    co_await c.barrier(r);
+    co_return status;
+  }(*this, comm, rank, offset, buf, count, memtype, method);
+}
+
+sim::Task<Status> File::read_at_all(coll::Communicator& comm, int rank,
+                                    std::int64_t offset, void* buf,
+                                    std::int64_t count,
+                                    const types::Datatype& memtype,
+                                    Method method) {
+  if (method == Method::kTwoPhase) {
+    return coll::two_phase_read(ctx_, comm, rank, handle_, view_, offset, buf,
+                                count, memtype);
+  }
+  return [](File& file, coll::Communicator& c, int r, std::int64_t off,
+            void* b, std::int64_t n, const types::Datatype& t,
+            Method m) -> sim::Task<Status> {
+    Status status = co_await file.read_at(off, b, n, t, m);
+    co_await c.barrier(r);
+    co_return status;
+  }(*this, comm, rank, offset, buf, count, memtype, method);
+}
+
+}  // namespace dtio::mpiio

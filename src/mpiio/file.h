@@ -1,0 +1,80 @@
+// MPI-IO-style facade: the API the example applications and benches use.
+//
+// Mirrors the ROMIO surface the paper exercises: open, set_view
+// (displacement + etype + filetype), independent read_at/write_at, and
+// collective read_at_all/write_at_all. The access method is explicit
+// (in ROMIO it is chosen via hints/ADIO); every method from the paper's
+// evaluation is selectable so benches can sweep them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "collective/comm.h"
+#include "collective/two_phase.h"
+#include "common/box.h"
+#include "io/methods.h"
+
+namespace dtio::mpiio {
+
+enum class Method {
+  kPosix,        ///< one contiguous op per joint piece (§2.1)
+  kDataSieving,  ///< bounding-window + extraction (§2.2)
+  kTwoPhase,     ///< collective aggregation (§2.3); collective calls only
+  kList,         ///< bounded offset-length lists (§2.4)
+  kDatatype,     ///< dataloops shipped to servers (§3)
+};
+
+std::string_view method_name(Method method) noexcept;
+
+class File {
+ public:
+  explicit File(io::Context ctx) : ctx_(ctx) {}
+
+  /// Open (optionally creating) the file at `path`.
+  sim::Task<Status> open(std::string path, bool create);
+
+  [[nodiscard]] std::uint64_t handle() const noexcept { return handle_; }
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+
+  /// MPI_File_set_view. Offsets to read/write_at are then in etypes.
+  void set_view(std::int64_t displacement, types::Datatype etype,
+                types::Datatype filetype) {
+    view_ = io::FileView{displacement, std::move(etype), std::move(filetype)};
+  }
+  [[nodiscard]] const io::FileView& view() const noexcept { return view_; }
+
+  /// Logical file size (PVFS-style stat across servers).
+  sim::Task<std::int64_t> size();
+
+  // ---- Independent operations -------------------------------------------------
+  sim::Task<Status> write_at(std::int64_t offset, const void* buf,
+                             std::int64_t count,
+                             const types::Datatype& memtype, Method method);
+  sim::Task<Status> read_at(std::int64_t offset, void* buf, std::int64_t count,
+                            const types::Datatype& memtype, Method method);
+
+  // ---- Collective operations ----------------------------------------------------
+  // All ranks of `comm` must call together. kTwoPhase aggregates; any other
+  // method runs independently inside the collective (how ROMIO behaves when
+  // collective buffering is disabled), followed by a barrier.
+  sim::Task<Status> write_at_all(coll::Communicator& comm, int rank,
+                                 std::int64_t offset, const void* buf,
+                                 std::int64_t count,
+                                 const types::Datatype& memtype,
+                                 Method method);
+  sim::Task<Status> read_at_all(coll::Communicator& comm, int rank,
+                                std::int64_t offset, void* buf,
+                                std::int64_t count,
+                                const types::Datatype& memtype, Method method);
+
+ private:
+  sim::Task<Status> open_impl(Box<std::string> path, bool create);
+
+  io::Context ctx_;
+  io::FileView view_;
+  std::uint64_t handle_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace dtio::mpiio

@@ -1,0 +1,104 @@
+#include "mpiio/hints.h"
+
+#include <charconv>
+
+namespace dtio::mpiio {
+
+namespace {
+
+bool parse_bytes(std::string_view value, std::uint64_t& out) {
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), n);
+  if (ec != std::errc{} || n == 0) return false;
+  std::string_view rest(ptr, static_cast<std::size_t>(
+                                 value.data() + value.size() - ptr));
+  if (rest.empty()) {
+    out = n;
+  } else if (rest == "k" || rest == "K") {
+    out = n * kKiB;
+  } else if (rest == "m" || rest == "M") {
+    out = n * kMiB;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_toggle(std::string_view value, Toggle& out) {
+  if (value == "enable") {
+    out = Toggle::kEnable;
+  } else if (value == "disable") {
+    out = Toggle::kDisable;
+  } else if (value == "automatic") {
+    out = Toggle::kAutomatic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Hints> Hints::parse(
+    std::span<const std::pair<std::string_view, std::string_view>> pairs) {
+  Hints hints;
+  for (const auto& [key, value] : pairs) {
+    bool ok = true;
+    if (key == "cb_buffer_size") {
+      ok = parse_bytes(value, hints.cb_buffer_size);
+    } else if (key == "ind_rd_buffer_size") {
+      ok = parse_bytes(value, hints.ind_rd_buffer_size);
+    } else if (key == "ind_wr_buffer_size") {
+      ok = parse_bytes(value, hints.ind_wr_buffer_size);
+    } else if (key == "striping_unit") {
+      ok = parse_bytes(value, hints.striping_unit);
+    } else if (key == "pvfs_listio_max_regions") {
+      ok = parse_bytes(value, hints.listio_max_regions);
+    } else if (key == "romio_cb_read") {
+      ok = parse_toggle(value, hints.cb_read);
+    } else if (key == "romio_cb_write") {
+      ok = parse_toggle(value, hints.cb_write);
+    } else if (key == "romio_ds_read") {
+      ok = parse_toggle(value, hints.ds_read);
+    } else if (key == "romio_ds_write") {
+      ok = parse_toggle(value, hints.ds_write);
+    } else if (key == "pvfs_dtype_cache") {
+      Toggle t{};
+      ok = parse_toggle(value, t);
+      hints.dtype_cache = t == Toggle::kEnable;
+    }
+    // Unknown keys: ignored, per MPI_Info semantics.
+    if (!ok) {
+      return invalid_argument("bad hint value: " + std::string(key) + "=" +
+                              std::string(value));
+    }
+  }
+  return hints;
+}
+
+void Hints::apply(net::ClusterConfig& config) const {
+  config.cb_buffer_size = cb_buffer_size;
+  // The simulator uses a single sieve buffer; read-size governs (ROMIO
+  // sizes them independently, but PVFS never sieves writes anyway).
+  config.sieve_buffer_size = ind_rd_buffer_size;
+  config.strip_size = striping_unit;
+  config.list_io_max_regions = listio_max_regions;
+  config.server.dataloop_cache = dtype_cache;
+}
+
+Method Hints::choose_independent(bool is_write) const {
+  const Toggle ds = is_write ? ds_write : ds_read;
+  // Datatype I/O is the native noncontiguous path; sieving only when the
+  // user forces it (and never for writes on lock-free PVFS).
+  if (ds == Toggle::kEnable && !is_write) return Method::kDataSieving;
+  return Method::kDatatype;
+}
+
+Method Hints::choose_collective(bool is_write) const {
+  const Toggle cb = is_write ? cb_write : cb_read;
+  if (cb == Toggle::kDisable) return choose_independent(is_write);
+  return Method::kTwoPhase;
+}
+
+}  // namespace dtio::mpiio

@@ -1,0 +1,63 @@
+// ROMIO-style MPI_Info hints: string key/value pairs that tune buffering
+// and select access strategies, using ROMIO's own key vocabulary so MPI-IO
+// muscle memory applies:
+//
+//   cb_buffer_size        two-phase collective buffer (default 4 MiB)
+//   romio_cb_read/write   enable|disable|automatic — collective buffering
+//   ind_rd_buffer_size    data-sieving read buffer (default 4 MiB)
+//   ind_wr_buffer_size    data-sieving write buffer
+//   romio_ds_read/write   enable|disable|automatic — data sieving
+//   striping_unit         PVFS strip size
+//   pvfs_listio_max_regions   regions per list-I/O request (default 64)
+//   pvfs_dtype_cache      enable|disable — server-side dataloop cache
+//
+// Unknown keys are ignored (MPI semantics); malformed values are errors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "mpiio/file.h"
+#include "net/cost_model.h"
+
+namespace dtio::mpiio {
+
+enum class Toggle { kAutomatic, kEnable, kDisable };
+
+struct Hints {
+  std::uint64_t cb_buffer_size = 4 * kMiB;
+  std::uint64_t ind_rd_buffer_size = 4 * kMiB;
+  std::uint64_t ind_wr_buffer_size = 4 * kMiB;
+  std::uint64_t striping_unit = 64 * kKiB;
+  std::uint64_t listio_max_regions = 64;
+  Toggle cb_read = Toggle::kAutomatic;
+  Toggle cb_write = Toggle::kAutomatic;
+  Toggle ds_read = Toggle::kAutomatic;
+  Toggle ds_write = Toggle::kAutomatic;
+  bool dtype_cache = false;
+
+  /// Parse key/value pairs. Unknown keys are ignored; bad values for known
+  /// keys return kInvalidArgument.
+  static Result<Hints> parse(
+      std::span<const std::pair<std::string_view, std::string_view>> pairs);
+
+  /// Fold these hints into a cluster configuration (buffer sizes, strip
+  /// size, list cap, server datatype cache).
+  void apply(net::ClusterConfig& config) const;
+
+  /// The method an independent read/write should use, given the hint
+  /// toggles: data sieving when enabled (or automatic), datatype I/O when
+  /// sieving is disabled — mirroring ROMIO's ADIO dispatch on PVFS with
+  /// datatype I/O available.
+  [[nodiscard]] Method choose_independent(bool is_write) const;
+
+  /// The method a collective call should use: two-phase unless collective
+  /// buffering is disabled, then the independent choice.
+  [[nodiscard]] Method choose_collective(bool is_write) const;
+};
+
+}  // namespace dtio::mpiio

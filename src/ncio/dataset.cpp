@@ -1,0 +1,373 @@
+#include "ncio/dataset.h"
+
+#include <algorithm>
+
+namespace dtio::ncio {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'N', 'C', '1'};
+constexpr std::int64_t kDataAlignment = 4096;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(v) >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > in_.size()) return false;
+    v = in_[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > in_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool i64(std::int64_t& v) {
+    if (pos_ + 8 > in_.size()) return false;
+    std::uint64_t u = 0;
+    for (int i = 0; i < 8; ++i) {
+      u |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
+    }
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+  bool str(std::string& v) {
+    std::uint32_t len = 0;
+    if (!u32(len) || pos_ + len > in_.size() || len > 4096) return false;
+    v.assign(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+std::int64_t align_up(std::int64_t v, std::int64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+}  // namespace
+
+std::int64_t nc_type_size(NcType type) noexcept {
+  switch (type) {
+    case NcType::kByte:
+      return 1;
+    case NcType::kInt:
+    case NcType::kFloat:
+      return 4;
+    case NcType::kDouble:
+      return 8;
+  }
+  return 1;
+}
+
+types::Datatype nc_type_datatype(NcType type) {
+  switch (type) {
+    case NcType::kByte:
+      return types::byte_t();
+    case NcType::kInt:
+      return types::int32_t_();
+    case NcType::kFloat:
+      return types::float_t();
+    case NcType::kDouble:
+      return types::double_t();
+  }
+  return types::byte_t();
+}
+
+std::int64_t Var::num_elements(std::span<const Dim> dims) const noexcept {
+  std::int64_t n = 1;
+  for (const int d : dim_ids) {
+    n *= dims[static_cast<std::size_t>(d)].length;
+  }
+  return n;
+}
+
+sim::Task<Status> Dataset::create(std::string path) {
+  return create_impl(Box<std::string>(std::move(path)));
+}
+
+sim::Task<Status> Dataset::create_impl(Box<std::string> path) {
+  Status status = co_await file_.open(path.take(), /*create=*/true);
+  if (!status.is_ok()) co_return status;
+  dims_.clear();
+  vars_.clear();
+  frozen_ = false;
+  co_return Status::ok();
+}
+
+int Dataset::def_dim(std::string name, std::int64_t length) {
+  if (frozen_) {
+    error_ = invalid_argument("def_dim after enddef");
+    return -1;
+  }
+  if (length <= 0) {
+    error_ = invalid_argument("dimension length must be positive");
+    return -1;
+  }
+  if (find_dim(name) >= 0) {
+    error_ = already_exists("dimension " + name);
+    return -1;
+  }
+  dims_.push_back(Dim{std::move(name), length});
+  return static_cast<int>(dims_.size()) - 1;
+}
+
+int Dataset::def_var(std::string name, NcType type,
+                     std::span<const int> dim_ids) {
+  if (frozen_) {
+    error_ = invalid_argument("def_var after enddef");
+    return -1;
+  }
+  if (find_var(name) >= 0) {
+    error_ = already_exists("variable " + name);
+    return -1;
+  }
+  for (const int d : dim_ids) {
+    if (d < 0 || d >= static_cast<int>(dims_.size())) {
+      error_ = invalid_argument("def_var: unknown dimension id");
+      return -1;
+    }
+  }
+  Var var;
+  var.name = std::move(name);
+  var.type = type;
+  var.dim_ids.assign(dim_ids.begin(), dim_ids.end());
+  vars_.push_back(std::move(var));
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+std::vector<std::uint8_t> Dataset::encode_header() const {
+  std::vector<std::uint8_t> out(kMagic, kMagic + 4);
+  put_u32(out, static_cast<std::uint32_t>(dims_.size()));
+  for (const Dim& d : dims_) {
+    put_u32(out, static_cast<std::uint32_t>(d.name.size()));
+    out.insert(out.end(), d.name.begin(), d.name.end());
+    put_i64(out, d.length);
+  }
+  put_u32(out, static_cast<std::uint32_t>(vars_.size()));
+  for (const Var& v : vars_) {
+    put_u32(out, static_cast<std::uint32_t>(v.name.size()));
+    out.insert(out.end(), v.name.begin(), v.name.end());
+    out.push_back(static_cast<std::uint8_t>(v.type));
+    put_u32(out, static_cast<std::uint32_t>(v.dim_ids.size()));
+    for (const int d : v.dim_ids) {
+      put_u32(out, static_cast<std::uint32_t>(d));
+    }
+    put_i64(out, v.data_offset);
+  }
+  return out;
+}
+
+Status Dataset::decode_header(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  std::uint8_t magic[4];
+  for (auto& m : magic) {
+    if (!r.u8(m)) return internal_error("ncio: truncated header");
+  }
+  if (!std::equal(magic, magic + 4, kMagic)) {
+    return invalid_argument("ncio: bad magic (not a DNC1 dataset)");
+  }
+  std::uint32_t ndims = 0;
+  if (!r.u32(ndims) || ndims > 4096) return internal_error("ncio: bad dims");
+  dims_.clear();
+  for (std::uint32_t i = 0; i < ndims; ++i) {
+    Dim d;
+    if (!r.str(d.name) || !r.i64(d.length) || d.length <= 0) {
+      return internal_error("ncio: bad dimension record");
+    }
+    dims_.push_back(std::move(d));
+  }
+  std::uint32_t nvars = 0;
+  if (!r.u32(nvars) || nvars > 4096) return internal_error("ncio: bad vars");
+  vars_.clear();
+  for (std::uint32_t i = 0; i < nvars; ++i) {
+    Var v;
+    std::uint8_t type = 0;
+    std::uint32_t var_ndims = 0;
+    if (!r.str(v.name) || !r.u8(type) || type > 3 || !r.u32(var_ndims) ||
+        var_ndims > ndims) {
+      return internal_error("ncio: bad variable record");
+    }
+    v.type = static_cast<NcType>(type);
+    for (std::uint32_t d = 0; d < var_ndims; ++d) {
+      std::uint32_t id = 0;
+      if (!r.u32(id) || id >= ndims) {
+        return internal_error("ncio: bad variable dimension id");
+      }
+      v.dim_ids.push_back(static_cast<int>(id));
+    }
+    if (!r.i64(v.data_offset)) return internal_error("ncio: bad offset");
+    vars_.push_back(std::move(v));
+  }
+  return Status::ok();
+}
+
+sim::Task<Status> Dataset::enddef() {
+  if (frozen_) co_return invalid_argument("enddef called twice");
+  // Layout: variables sequentially after the aligned header.
+  header_bytes_ = static_cast<std::int64_t>(encode_header().size());
+  std::int64_t at = align_up(header_bytes_, kDataAlignment);
+  for (Var& v : vars_) {
+    v.data_offset = at;
+    at += v.num_elements(dims_) * nc_type_size(v.type);
+  }
+  frozen_ = true;
+
+  const std::vector<std::uint8_t> header = encode_header();
+  file_.set_view(0, types::byte_t(), types::byte_t());
+  auto memtype = types::contiguous(
+      static_cast<std::int64_t>(header.size()), types::byte_t());
+  co_return co_await file_.write_at(0, header.data(), 1, memtype,
+                                    mpiio::Method::kDatatype);
+}
+
+sim::Task<Status> Dataset::open(std::string path) {
+  return open_impl(Box<std::string>(std::move(path)));
+}
+
+sim::Task<Status> Dataset::open_impl(Box<std::string> path) {
+  Status status = co_await file_.open(path.take(), /*create=*/false);
+  if (!status.is_ok()) co_return status;
+  // Read a generous fixed-size header window, then parse. A second read
+  // would be needed for huge schemas; 64 KiB covers thousands of entries.
+  std::vector<std::uint8_t> header(64 * 1024, 0);
+  file_.set_view(0, types::byte_t(), types::byte_t());
+  auto memtype = types::contiguous(
+      static_cast<std::int64_t>(header.size()), types::byte_t());
+  status = co_await file_.read_at(0, header.data(), 1, memtype,
+                                  mpiio::Method::kDataSieving);
+  if (!status.is_ok()) co_return status;
+  status = decode_header(header);
+  if (!status.is_ok()) co_return status;
+  frozen_ = true;
+  co_return Status::ok();
+}
+
+int Dataset::find_var(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Dataset::find_dim(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::int64_t Dataset::file_bytes() const noexcept {
+  if (vars_.empty()) return header_bytes_;
+  const Var& last = vars_.back();
+  return last.data_offset + last.num_elements(dims_) * nc_type_size(last.type);
+}
+
+Dataset::Access Dataset::plan_access(
+    int varid, std::span<const std::int64_t> starts,
+    std::span<const std::int64_t> counts) const {
+  Access access;
+  if (!frozen_) {
+    access.status = invalid_argument("data access before enddef/open");
+    return access;
+  }
+  if (varid < 0 || varid >= static_cast<int>(vars_.size())) {
+    access.status = not_found("no such variable id");
+    return access;
+  }
+  const Var& var = vars_[static_cast<std::size_t>(varid)];
+  const std::size_t ndims = var.dim_ids.size();
+  if (starts.size() != ndims || counts.size() != ndims) {
+    access.status = invalid_argument("starts/counts arity mismatch");
+    return access;
+  }
+  std::vector<std::int64_t> sizes;
+  std::int64_t elements = 1;
+  for (std::size_t d = 0; d < ndims; ++d) {
+    const std::int64_t dim_len =
+        dims_[static_cast<std::size_t>(var.dim_ids[d])].length;
+    if (starts[d] < 0 || counts[d] <= 0 || starts[d] + counts[d] > dim_len) {
+      access.status = out_of_range("vara slab outside the variable");
+      return access;
+    }
+    sizes.push_back(dim_len);
+    elements *= counts[d];
+  }
+  auto element = nc_type_datatype(var.type);
+  if (ndims == 0) {
+    access.filetype = element;  // scalar variable
+  } else {
+    access.filetype = types::subarray(sizes, counts, starts,
+                                      types::Order::kC, element);
+  }
+  access.memtype =
+      types::contiguous(elements * nc_type_size(var.type), types::byte_t());
+  access.displacement = var.data_offset;
+  access.status = Status::ok();
+  return access;
+}
+
+sim::Task<Status> Dataset::put_vara(int varid,
+                                    std::span<const std::int64_t> starts,
+                                    std::span<const std::int64_t> counts,
+                                    const void* buf, mpiio::Method method) {
+  const Access access = plan_access(varid, starts, counts);
+  if (!access.status.is_ok()) co_return access.status;
+  file_.set_view(access.displacement, types::byte_t(), access.filetype);
+  co_return co_await file_.write_at(0, buf, 1, access.memtype, method);
+}
+
+sim::Task<Status> Dataset::get_vara(int varid,
+                                    std::span<const std::int64_t> starts,
+                                    std::span<const std::int64_t> counts,
+                                    void* buf, mpiio::Method method) {
+  const Access access = plan_access(varid, starts, counts);
+  if (!access.status.is_ok()) co_return access.status;
+  file_.set_view(access.displacement, types::byte_t(), access.filetype);
+  co_return co_await file_.read_at(0, buf, 1, access.memtype, method);
+}
+
+sim::Task<Status> Dataset::put_vara_all(coll::Communicator& comm, int rank,
+                                        int varid,
+                                        std::span<const std::int64_t> starts,
+                                        std::span<const std::int64_t> counts,
+                                        const void* buf,
+                                        mpiio::Method method) {
+  const Access access = plan_access(varid, starts, counts);
+  if (!access.status.is_ok()) co_return access.status;
+  file_.set_view(access.displacement, types::byte_t(), access.filetype);
+  co_return co_await file_.write_at_all(comm, rank, 0, buf, 1,
+                                        access.memtype, method);
+}
+
+sim::Task<Status> Dataset::get_vara_all(coll::Communicator& comm, int rank,
+                                        int varid,
+                                        std::span<const std::int64_t> starts,
+                                        std::span<const std::int64_t> counts,
+                                        void* buf, mpiio::Method method) {
+  const Access access = plan_access(varid, starts, counts);
+  if (!access.status.is_ok()) co_return access.status;
+  file_.set_view(access.displacement, types::byte_t(), access.filetype);
+  co_return co_await file_.read_at_all(comm, rank, 0, buf, 1, access.memtype,
+                                       method);
+}
+
+}  // namespace dtio::ncio

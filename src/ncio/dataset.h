@@ -1,0 +1,131 @@
+// ncio: a Parallel-netCDF-flavoured high-level I/O library built on the
+// MPI-IO facade — the top layer of the stack the paper's introduction
+// describes (application → high-level API → MPI-IO → parallel file
+// system). Scientists describe named dimensions and typed variables;
+// ncio turns (start, count) subarray accesses into datatypes, and the
+// layers below turn those into dataloops on the wire.
+//
+// File format (all little-endian):
+//   magic "DNC1"
+//   u32 ndims; per dim: u32 name_len, name bytes, i64 length
+//   u32 nvars; per var: u32 name_len, name bytes, u8 type, u32 ndims,
+//              u32 dim_ids..., i64 data_offset
+//   variable data blocks follow, each var contiguous in row-major order,
+//   starting at a 4 KiB-aligned offset past the header.
+//
+// Lifecycle mirrors netCDF: create() enters define mode (def_dim/def_var),
+// enddef() freezes the schema, computes the layout and writes the header;
+// open() parses an existing header. Data access is put_vara/get_vara
+// (independent) and put_vara_all/get_vara_all (collective).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collective/comm.h"
+#include "common/status.h"
+#include "mpiio/file.h"
+
+namespace dtio::ncio {
+
+enum class NcType : std::uint8_t { kByte = 0, kInt = 1, kFloat = 2, kDouble = 3 };
+
+[[nodiscard]] std::int64_t nc_type_size(NcType type) noexcept;
+[[nodiscard]] types::Datatype nc_type_datatype(NcType type);
+
+struct Dim {
+  std::string name;
+  std::int64_t length = 0;
+};
+
+struct Var {
+  std::string name;
+  NcType type = NcType::kByte;
+  std::vector<int> dim_ids;
+  std::int64_t data_offset = 0;  ///< byte offset of this var's block
+
+  [[nodiscard]] std::int64_t num_elements(
+      std::span<const Dim> dims) const noexcept;
+};
+
+class Dataset {
+ public:
+  explicit Dataset(io::Context ctx) : file_(ctx) {}
+
+  // ---- Define mode ---------------------------------------------------------
+  /// Create a new dataset and enter define mode.
+  sim::Task<Status> create(std::string path);
+  /// Define a dimension; returns its id (or -1 with no effect after
+  /// enddef / on duplicates — check last_error()).
+  int def_dim(std::string name, std::int64_t length);
+  /// Define a variable over previously defined dimensions (row-major,
+  /// first dimension slowest); returns its id or -1.
+  int def_var(std::string name, NcType type, std::span<const int> dim_ids);
+  /// Freeze the schema, compute the layout, write the header.
+  sim::Task<Status> enddef();
+
+  // ---- Open mode -------------------------------------------------------------
+  /// Open an existing dataset and parse its header.
+  sim::Task<Status> open(std::string path);
+
+  // ---- Inquiry ---------------------------------------------------------------
+  [[nodiscard]] const std::vector<Dim>& dims() const noexcept { return dims_; }
+  [[nodiscard]] const std::vector<Var>& vars() const noexcept { return vars_; }
+  [[nodiscard]] int find_var(std::string_view name) const noexcept;
+  [[nodiscard]] int find_dim(std::string_view name) const noexcept;
+  [[nodiscard]] bool defined() const noexcept { return frozen_; }
+  [[nodiscard]] const Status& last_error() const noexcept { return error_; }
+
+  // ---- Data access (netCDF vara semantics) --------------------------------------
+  // starts/counts are per-dimension element indices of the accessed slab.
+  sim::Task<Status> put_vara(int varid, std::span<const std::int64_t> starts,
+                             std::span<const std::int64_t> counts,
+                             const void* buf,
+                             mpiio::Method method = mpiio::Method::kDatatype);
+  sim::Task<Status> get_vara(int varid, std::span<const std::int64_t> starts,
+                             std::span<const std::int64_t> counts, void* buf,
+                             mpiio::Method method = mpiio::Method::kDatatype);
+  /// Collective variants: all ranks of `comm` call together.
+  sim::Task<Status> put_vara_all(coll::Communicator& comm, int rank,
+                                 int varid,
+                                 std::span<const std::int64_t> starts,
+                                 std::span<const std::int64_t> counts,
+                                 const void* buf,
+                                 mpiio::Method method = mpiio::Method::kTwoPhase);
+  sim::Task<Status> get_vara_all(coll::Communicator& comm, int rank,
+                                 int varid,
+                                 std::span<const std::int64_t> starts,
+                                 std::span<const std::int64_t> counts,
+                                 void* buf,
+                                 mpiio::Method method = mpiio::Method::kTwoPhase);
+
+  /// Total bytes of the header + all variable blocks.
+  [[nodiscard]] std::int64_t file_bytes() const noexcept;
+
+ private:
+  struct Access {
+    Status status;
+    types::Datatype filetype;  ///< subarray of the var (whole var extent)
+    types::Datatype memtype;
+    std::int64_t displacement = 0;
+  };
+  [[nodiscard]] Access plan_access(int varid,
+                                   std::span<const std::int64_t> starts,
+                                   std::span<const std::int64_t> counts) const;
+
+  std::vector<std::uint8_t> encode_header() const;
+  Status decode_header(std::span<const std::uint8_t> bytes);
+  sim::Task<Status> open_impl(Box<std::string> path);
+  sim::Task<Status> create_impl(Box<std::string> path);
+
+  mpiio::File file_;
+  std::vector<Dim> dims_;
+  std::vector<Var> vars_;
+  bool frozen_ = false;
+  Status error_;
+  std::int64_t header_bytes_ = 0;
+};
+
+}  // namespace dtio::ncio

@@ -1,0 +1,177 @@
+// The cost model describing the simulated cluster.
+//
+// Defaults are calibrated to the paper's testbed (Argonne Chiba City,
+// §4.1): 100 Mbit/s full-duplex fast ethernet per node, one SCSI disk per
+// I/O server, dual-PIII nodes. The paper's results are driven by ratios —
+// request count x latency, bytes of I/O description on the wire, per-region
+// processing cost, doubled data movement in two-phase — all of which appear
+// here as explicit parameters, so sensitivity studies are one knob away.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace dtio::net {
+
+struct NetConfig {
+  /// Payload bandwidth per link direction. 100 Mbit/s ethernet delivers
+  /// ~11.5 MiB/s of TCP payload after framing/protocol overhead.
+  double bandwidth_bytes_per_s = 11.5 * 1024 * 1024;
+
+  /// One-way wire+stack latency per packet.
+  dtio::SimTime latency = 80 * dtio::kMicrosecond;
+
+  /// Store-and-forward segment size. Large transfers are pipelined in
+  /// MTU-sized packets so single-flow throughput approaches link bandwidth.
+  std::uint64_t mtu = 64 * dtio::kKiB;
+
+  /// Fixed header bytes charged per message (request framing).
+  std::uint64_t per_message_overhead_bytes = 64;
+
+  /// Cost of an intra-node "send" (aggregator to itself in two-phase).
+  dtio::SimTime loopback_latency = 5 * dtio::kMicrosecond;
+
+  /// Aggregate switch-fabric (bisection) bandwidth shared by ALL
+  /// inter-node traffic; 0 disables the stage. Chiba City's fast-ethernet
+  /// edge fed shared uplinks, so cluster-wide throughput plateaued well
+  /// below num_nodes x link speed — this is what makes two-phase's double
+  /// data movement expensive at scale (paper §4.4) and what the aggregate
+  /// bandwidth curves flatten against.
+  double fabric_bandwidth_bytes_per_s = 60.0 * 1024 * 1024;
+};
+
+struct ServerConfig {
+  /// Effective storage bandwidth (buffered SCSI disk behind the VFS).
+  double disk_bandwidth_bytes_per_s = 30.0 * 1024 * 1024;
+
+  /// Per-storage-access setup (request dispatch into the storage layer).
+  dtio::SimTime disk_access_overhead = 400 * dtio::kMicrosecond;
+
+  /// Per-request CPU: decode, job construction, response setup. PVFS1
+  /// handled each request on a fresh TCP interaction through a
+  /// single-threaded iod; small-request handling cost ~1 ms.
+  dtio::SimTime request_overhead = 700 * dtio::kMicrosecond;
+
+  /// CPU cost per offset-length access region handled by the server
+  /// (building the PVFS job/access structures and walking them). This is
+  /// the term behind the paper's §4.3 observation that server-side list
+  /// processing depresses read performance at scale.
+  dtio::SimTime per_region_cost = 4 * dtio::kMicrosecond;
+
+  /// Per-region cost on the WRITE path. Writes scatter an already-ordered
+  /// incoming stream and ack once data is queued behind the buffer cache,
+  /// so the per-region work the client waits on is much smaller — the
+  /// asymmetry behind §4.3's "reads dip, writes don't (TCP buffering)".
+  dtio::SimTime per_region_cost_write = 300;  // ns
+
+  /// CPU cost per offset-length region when the region is produced by the
+  /// dataloop engine on the server (datatype I/O). The paper's PROTOTYPE
+  /// still builds the traditional PVFS job/access lists on the server
+  /// (§3.1/§3.2), so this matches per_region_cost by default — which is
+  /// exactly what produces the read-side performance dip at high client
+  /// counts in §4.3. A full-featured implementation operating directly on
+  /// the dataloop would push this toward zero (see the ablation bench).
+  dtio::SimTime per_dataloop_region_cost = 2 * dtio::kMicrosecond;  // reads
+  dtio::SimTime per_dataloop_region_cost_write = 300;  // ns
+
+  /// Cost to decode a shipped dataloop (per dataloop node).
+  dtio::SimTime dataloop_decode_cost_per_node = 2 * dtio::kMicrosecond;
+
+  /// Server-side datatype cache (the paper's S5 future-work item, after
+  /// the RMA datatype caching of Traff et al.): remember decoded dataloops
+  /// by wire hash and skip the decode on repeated requests -- e.g. the
+  /// tile reader ships the same filetype 100 frames in a row.
+  bool dataloop_cache = false;
+  std::size_t dataloop_cache_entries = 64;
+};
+
+struct ClientConfig {
+  /// CPU cost per offset-length pair produced while flattening an MPI
+  /// datatype into a list (list I/O, POSIX I/O, data sieving).
+  dtio::SimTime flatten_cost_per_region = 1000;  // ns
+
+  /// CPU cost per region emitted by local dataloop processing (memory-side
+  /// packing/unpacking in datatype I/O). The prototype converts the MPI
+  /// type and builds job/access structures on every call (§3.1-3.2), so
+  /// this exceeds ROMIO's tight flatten loop — the reason list AND
+  /// datatype I/O "underperform at small numbers of clients" on FLASH's
+  /// million-region memory type (§4.4).
+  dtio::SimTime dataloop_cost_per_region = 2500;  // ns
+
+  /// Cost to build a dataloop from an MPI datatype (per datatype node,
+  /// charged on every MPI-IO call; the paper notes this makes datatype I/O
+  /// locally slightly more expensive than list I/O, §3.2).
+  dtio::SimTime dataloop_build_cost_per_node = 3 * dtio::kMicrosecond;
+
+  /// memcpy bandwidth for buffer packing/extraction (data sieving extract,
+  /// two-phase staging, datatype pack/unpack).
+  double memcpy_bandwidth_bytes_per_s = 400.0 * 1024 * 1024;
+
+  /// Fixed CPU cost to issue one file-system operation.
+  dtio::SimTime issue_overhead = 100 * dtio::kMicrosecond;
+};
+
+/// How two-phase aggregators write back rounds whose merged contributions
+/// have holes (paper §2.3: "other noncontiguous access methods ... can be
+/// leveraged for further optimization" — and §5's "leveraging datatype I/O
+/// underneath two-phase I/O").
+enum class CbWriteMode {
+  kRmw,       ///< read-modify-write of the hull (ROMIO default)
+  kList,      ///< write only the contributed regions via list I/O
+  kDatatype,  ///< write only the contributed regions via datatype I/O
+};
+
+/// Everything the benches need to instantiate a cluster.
+struct ClusterConfig {
+  int num_servers = 16;       ///< I/O servers (one doubles as metadata server)
+  int num_clients = 8;
+  std::uint64_t strip_size = 64 * dtio::kKiB;  ///< PVFS striping unit
+
+  NetConfig net;
+  ServerConfig server;
+  ClientConfig client;
+
+  /// ROMIO buffer sizes (paper §4.1: 4 MiB for sieving and collective).
+  std::uint64_t sieve_buffer_size = 4 * dtio::kMiB;
+  std::uint64_t cb_buffer_size = 4 * dtio::kMiB;
+
+  /// Max offset-length pairs per list-I/O request (paper §2.4: bounded
+  /// request size reduces ops "by a factor of 64").
+  std::uint64_t list_io_max_regions = 64;
+
+  /// Bytes of request payload per offset-length pair shipped by list I/O.
+  std::uint64_t list_io_bytes_per_region = 16;
+
+  /// Aggregator write-back strategy for holey rounds.
+  CbWriteMode cb_write_noncontig = CbWriteMode::kRmw;
+
+  /// Whether the file system offers file locking. PVFS does not (paper
+  /// §4.1), which rules out data-sieving writes; flip this to model a
+  /// locking file system and enable the read-modify-write path.
+  bool file_locking = false;
+
+  /// The paper's §5 "full-featured" configuration (the PVFS2 direction):
+  /// no offset-length lists are materialised on either side — servers and
+  /// clients operate directly on the dataloop representation — and servers
+  /// cache decoded datatypes. Widens datatype I/O's lead further.
+  [[nodiscard]] ClusterConfig pvfs2_mode() const {
+    ClusterConfig cfg = *this;
+    cfg.server.per_dataloop_region_cost = 0;
+    cfg.server.per_dataloop_region_cost_write = 0;
+    cfg.server.dataloop_cache = true;
+    cfg.client.dataloop_cost_per_region = 100;  // ns: pure traversal
+    return cfg;
+  }
+
+  /// Node id of client `rank` (servers occupy [0, num_servers)).
+  [[nodiscard]] int client_node(int rank) const noexcept {
+    return num_servers + rank;
+  }
+  [[nodiscard]] int total_nodes() const noexcept {
+    return num_servers + num_clients;
+  }
+};
+
+}  // namespace dtio::net

@@ -1,0 +1,95 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/box.h"
+
+namespace dtio::net {
+
+Network::Network(sim::Scheduler& sched, int num_nodes, NetConfig config)
+    : sched_(&sched), config_(config) {
+  assert(num_nodes >= 1);
+  endpoints_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    endpoints_.push_back(std::make_unique<Endpoint>(sched));
+  }
+  if (config_.fabric_bandwidth_bytes_per_s > 0) {
+    fabric_ = std::make_unique<sim::Resource>(sched, 1);
+  }
+}
+
+// Non-coroutine entry point: boxes the message before the coroutine frame
+// is created (by-value coroutine params must be trivially destructible on
+// this compiler — see common/box.h).
+sim::Task<void> Network::send(int src, int dst, sim::Message msg) {
+  msg.src = src;
+  return send_impl(src, dst, Box<sim::Message>(std::move(msg)));
+}
+
+sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed) {
+  sim::Message msg = boxed.take();
+  const std::uint64_t bytes =
+      msg.wire_bytes + config_.per_message_overhead_bytes;
+  ++total_messages_;
+  total_wire_bytes_ += bytes;
+  if (tracer_ != nullptr) {
+    tracer_->record({sched_->now(), "send", src, dst, msg.tag, bytes, ""});
+  }
+
+  if (src == dst) {
+    // Loopback: no link occupancy, only a small local latency.
+    sim::Mailbox* box = &endpoint(dst).mailbox;
+    sched_->schedule_call(
+        sched_->now() + config_.loopback_latency,
+        [box, m = std::move(msg)]() mutable { box->deliver(std::move(m)); });
+    co_return;
+  }
+
+  Endpoint& sender = endpoint(src);
+  Endpoint& receiver = endpoint(dst);
+  sender.tx_bytes += bytes;
+  receiver.rx_bytes += bytes;
+
+  std::uint64_t remaining = bytes;
+  while (true) {
+    const std::uint64_t pkt = std::min<std::uint64_t>(remaining, config_.mtu);
+    remaining -= pkt;
+    const bool last = remaining == 0;
+    const SimTime wire_time = transfer_time(pkt, config_.bandwidth_bytes_per_s);
+
+    co_await sender.tx.use(wire_time);
+    sched_->start(receive_packet(
+        dst, wire_time,
+        last ? Box<sim::Message>(std::move(msg)) : Box<sim::Message>{}));
+    if (last) break;
+  }
+}
+
+sim::Fire Network::receive_packet(int dst, SimTime rx_hold,
+                                  Box<sim::Message> boxed) {
+  // Pipeline stages per packet: (tx already held by the sender) ->
+  // shared fabric -> wire latency -> receiver rx. Stages overlap across
+  // packets, so sustained flows see min(stage bandwidths).
+  if (fabric_) {
+    const std::uint64_t pkt_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(rx_hold) / kSecond *
+        config_.bandwidth_bytes_per_s);
+    co_await fabric_->use(
+        transfer_time(pkt_bytes, config_.fabric_bandwidth_bytes_per_s));
+  }
+  co_await sched_->delay(config_.latency);
+  Endpoint& receiver = endpoint(dst);
+  co_await receiver.rx.use(rx_hold);
+  if (boxed.has_value()) {
+    sim::Message msg = boxed.take();
+    if (tracer_ != nullptr) {
+      tracer_->record({sched_->now(), "deliver", dst, msg.src, msg.tag,
+                       msg.wire_bytes, ""});
+    }
+    receiver.mailbox.deliver(std::move(msg));
+  }
+}
+
+}  // namespace dtio::net

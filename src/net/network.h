@@ -1,0 +1,90 @@
+// Simulated cluster interconnect: per-node full-duplex links with
+// latency + bandwidth and MTU packetisation, feeding per-node mailboxes.
+//
+// Contention is physical: a node's outbound packets serialize on its tx
+// link, inbound packets on its rx link, so N clients writing to one server
+// exhibit incast at the server's rx resource exactly as N TCP flows share
+// a fast-ethernet port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/box.h"
+#include "net/cost_model.h"
+#include "sim/mailbox.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+#include "sim/tracer.h"
+
+namespace dtio::net {
+
+class Network {
+ public:
+  Network(sim::Scheduler& sched, int num_nodes, NetConfig config);
+
+  /// Transmit `msg` from `src` to `dst`. Resumes the caller once the last
+  /// byte has left src's NIC (kernel-buffered semantics); delivery to dst's
+  /// mailbox happens later, after latency and rx-link serialisation.
+  sim::Task<void> send(int src, int dst, sim::Message msg);
+
+  [[nodiscard]] sim::Mailbox& mailbox(int node) { return endpoint(node).mailbox; }
+  /// Shared fabric stage, or nullptr when disabled (diagnostics).
+  [[nodiscard]] sim::Resource* fabric() noexcept { return fabric_.get(); }
+
+  /// Attach an event tracer (nullptr detaches). Not owned.
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] sim::Resource& tx_link(int node) { return endpoint(node).tx; }
+  [[nodiscard]] sim::Resource& rx_link(int node) { return endpoint(node).rx; }
+
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(endpoints_.size());
+  }
+  [[nodiscard]] const NetConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return total_messages_;
+  }
+  [[nodiscard]] std::uint64_t total_wire_bytes() const noexcept {
+    return total_wire_bytes_;
+  }
+  [[nodiscard]] std::uint64_t node_tx_bytes(int node) const {
+    return endpoints_.at(static_cast<std::size_t>(node))->tx_bytes;
+  }
+  [[nodiscard]] std::uint64_t node_rx_bytes(int node) const {
+    return endpoints_.at(static_cast<std::size_t>(node))->rx_bytes;
+  }
+
+ private:
+  struct Endpoint {
+    explicit Endpoint(sim::Scheduler& sched)
+        : tx(sched, 1), rx(sched, 1), mailbox(sched) {}
+    sim::Resource tx;
+    sim::Resource rx;
+    sim::Mailbox mailbox;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_bytes = 0;
+  };
+
+  Endpoint& endpoint(int node) {
+    return *endpoints_.at(static_cast<std::size_t>(node));
+  }
+
+  sim::Task<void> send_impl(int src, int dst, Box<sim::Message> boxed);
+
+  /// Per-packet receive side: latency, rx-link occupancy, then (for the
+  /// final packet of a message, which carries the boxed payload) delivery.
+  sim::Fire receive_packet(int dst, SimTime rx_hold, Box<sim::Message> boxed);
+
+  sim::Scheduler* sched_;
+  NetConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::unique_ptr<sim::Resource> fabric_;  ///< shared bisection stage (optional)
+  sim::Tracer* tracer_ = nullptr;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_wire_bytes_ = 0;
+};
+
+}  // namespace dtio::net

@@ -1,0 +1,48 @@
+#include "pfs/bstream.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dtio::pfs {
+
+void Bstream::write(std::int64_t offset, std::span<const std::uint8_t> data) {
+  note_write(offset, static_cast<std::int64_t>(data.size()));
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::int64_t at = offset + static_cast<std::int64_t>(done);
+    const std::int64_t page = at / kPageSize;
+    const auto in_page = static_cast<std::size_t>(at % kPageSize);
+    const std::size_t run = std::min(data.size() - done,
+                                     static_cast<std::size_t>(kPageSize) -
+                                         in_page);
+    auto& storage = pages_[page];
+    if (storage.empty()) storage.resize(kPageSize, 0);
+    std::memcpy(storage.data() + in_page, data.data() + done, run);
+    done += run;
+  }
+}
+
+void Bstream::read(std::int64_t offset, std::span<std::uint8_t> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::int64_t at = offset + static_cast<std::int64_t>(done);
+    const std::int64_t page = at / kPageSize;
+    const auto in_page = static_cast<std::size_t>(at % kPageSize);
+    const std::size_t run = std::min(out.size() - done,
+                                     static_cast<std::size_t>(kPageSize) -
+                                         in_page);
+    const auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      std::memset(out.data() + done, 0, run);
+    } else {
+      std::memcpy(out.data() + done, it->second.data() + in_page, run);
+    }
+    done += run;
+  }
+}
+
+void Bstream::note_write(std::int64_t offset, std::int64_t length) noexcept {
+  size_ = std::max(size_, offset + length);
+}
+
+}  // namespace dtio::pfs

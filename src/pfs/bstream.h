@@ -1,0 +1,41 @@
+// Bstream: the byte store behind one file handle on one I/O server
+// (PVFS vocabulary). Sparse page map so 600^3-sized files only occupy
+// memory where data was actually written; unwritten bytes read as zero.
+//
+// Data transfer is optional: when the simulated run opts out of carrying
+// real bytes (large timing-only sweeps), writes still advance the size
+// high-water mark so stat() stays correct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace dtio::pfs {
+
+class Bstream {
+ public:
+  static constexpr std::int64_t kPageSize = 64 * 1024;
+
+  void write(std::int64_t offset, std::span<const std::uint8_t> data);
+  void read(std::int64_t offset, std::span<std::uint8_t> out) const;
+
+  /// Record a write of `length` bytes at `offset` without storing data
+  /// (timing-only mode).
+  void note_write(std::int64_t offset, std::int64_t length) noexcept;
+
+  /// One past the highest byte ever written.
+  [[nodiscard]] std::int64_t size() const noexcept { return size_; }
+
+  /// Pages currently resident (memory accounting / tests).
+  [[nodiscard]] std::size_t resident_pages() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  std::unordered_map<std::int64_t, std::vector<std::uint8_t>> pages_;
+  std::int64_t size_ = 0;
+};
+
+}  // namespace dtio::pfs

@@ -1,0 +1,413 @@
+#include "pfs/client.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "dataloop/cursor.h"
+#include "dataloop/serialize.h"
+
+namespace dtio::pfs {
+
+Client::Client(sim::Scheduler& sched, net::Network& network,
+               const net::ClusterConfig& config, int rank)
+    : sched_(&sched),
+      network_(&network),
+      config_(&config),
+      rank_(rank),
+      node_(config.client_node(rank)),
+      layout_(config.num_servers,
+              static_cast<std::int64_t>(config.strip_size)) {}
+
+// ---- Metadata ---------------------------------------------------------------
+
+sim::Task<MetaResult> Client::create(std::string path) {
+  return meta_op(OpKind::kMetaCreate, Box<std::string>(std::move(path)));
+}
+sim::Task<MetaResult> Client::open(std::string path) {
+  return meta_op(OpKind::kMetaOpen, Box<std::string>(std::move(path)));
+}
+sim::Task<MetaResult> Client::remove(std::string path) {
+  return meta_op(OpKind::kMetaRemove, Box<std::string>(std::move(path)));
+}
+sim::Task<MetaResult> Client::stat(std::string path) {
+  return stat_impl(Box<std::string>(std::move(path)));
+}
+
+sim::Task<Status> Client::lock(std::uint64_t handle) {
+  Request request;
+  request.op = OpKind::kMetaLock;
+  request.client_node = node_;
+  request.reply_tag = next_reply_tag();
+  request.payload = MetaPayload{"", handle};
+  const std::uint64_t tag = request.reply_tag;
+  co_await network_->send(node_, 0,
+                          sim::Message(node_, kTagRequest, 48,
+                                       std::move(request)));
+  (void)co_await network_->mailbox(node_).recv(0, tag);  // grant
+  co_return Status::ok();
+}
+
+sim::Task<Status> Client::unlock(std::uint64_t handle) {
+  Request request;
+  request.op = OpKind::kMetaUnlock;
+  request.client_node = node_;
+  request.reply_tag = next_reply_tag();
+  request.payload = MetaPayload{"", handle};
+  const std::uint64_t tag = request.reply_tag;
+  co_await network_->send(node_, 0,
+                          sim::Message(node_, kTagRequest, 48,
+                                       std::move(request)));
+  (void)co_await network_->mailbox(node_).recv(0, tag);
+  co_return Status::ok();
+}
+
+sim::Task<MetaResult> Client::meta_op(OpKind op, Box<std::string> path) {
+  Request request;
+  request.op = op;
+  request.client_node = node_;
+  request.reply_tag = next_reply_tag();
+  request.payload = MetaPayload{path.take(), 0};
+
+  const std::uint64_t descriptor = request_descriptor_bytes(
+      request, config_->list_io_bytes_per_region);
+  const std::uint64_t tag = request.reply_tag;
+  co_await sched_->delay(config_->client.issue_overhead);
+  co_await network_->send(node_, /*metadata server*/ 0,
+                          sim::Message(node_, kTagRequest, descriptor,
+                                       std::move(request)));
+  sim::Message msg = co_await network_->mailbox(node_).recv(0, tag);
+  Reply reply = msg.take<Reply>();
+
+  MetaResult result;
+  result.handle = reply.handle;
+  if (!reply.ok) result.status = not_found(reply.error);
+  co_return result;
+}
+
+sim::Fire Client::send_fire(int dst, Box<sim::Message> message) {
+  co_await network_->send(node_, dst, message.take());
+}
+
+sim::Task<MetaResult> Client::stat_impl(Box<std::string> path) {
+  MetaResult opened = co_await meta_op(OpKind::kMetaOpen,
+                                       Box<std::string>(path.take()));
+  if (!opened.status.is_ok()) co_return opened;
+  co_return co_await stat_handle(opened.handle);
+}
+
+sim::Task<MetaResult> Client::stat_handle(std::uint64_t handle) {
+  // Query every I/O server's bstream size for this handle; the logical
+  // size is the highest logical byte implied by any server-local size.
+  std::vector<std::uint64_t> tags(static_cast<std::size_t>(
+      config_->num_servers));
+  for (int s = 0; s < config_->num_servers; ++s) {
+    Request request;
+    request.op = OpKind::kMetaStat;
+    request.client_node = node_;
+    request.reply_tag = tags[static_cast<std::size_t>(s)] = next_reply_tag();
+    request.payload = MetaPayload{"", handle};
+    co_await network_->send(
+        node_, s,
+        sim::Message(node_, kTagRequest,
+                     request_descriptor_bytes(
+                         request, config_->list_io_bytes_per_region),
+                     std::move(request)));
+  }
+  MetaResult result;
+  result.handle = handle;
+  std::int64_t size = 0;
+  for (int s = 0; s < config_->num_servers; ++s) {
+    sim::Message msg = co_await network_->mailbox(node_).recv(
+        s, tags[static_cast<std::size_t>(s)]);
+    Reply reply = msg.take<Reply>();
+    if (reply.local_size > 0) {
+      size = std::max(size, layout_.logical(s, reply.local_size - 1) + 1);
+    }
+  }
+  result.size = size;
+  co_return result;
+}
+
+// ---- Access-list building ----------------------------------------------------
+
+std::int64_t Client::build_access(std::span<const Region> logical,
+                                  std::vector<ServerAccess>& out) const {
+  out.assign(static_cast<std::size_t>(config_->num_servers), ServerAccess{});
+  std::int64_t pieces = 0;
+  layout_.map_regions(logical,
+                      [&](int server, Region phys, std::int64_t stream_pos) {
+                        auto& acc = out[static_cast<std::size_t>(server)];
+                        acc.pieces.push_back(phys);
+                        acc.stream_at.push_back(stream_pos);
+                        acc.total_bytes += phys.length;
+                        ++pieces;
+                      });
+  return pieces;
+}
+
+std::int64_t Client::build_access_datatype(
+    const dl::DataloopPtr& filetype, std::int64_t displacement,
+    std::int64_t count, std::int64_t stream_offset, std::int64_t stream_length,
+    std::vector<ServerAccess>& out) const {
+  out.assign(static_cast<std::size_t>(config_->num_servers), ServerAccess{});
+  std::int64_t pieces = 0;
+  std::int64_t pos = 0;  // position within the stream window
+  dl::Cursor cursor(filetype, displacement, count);
+  cursor.seek(stream_offset);
+  cursor.process(
+      std::numeric_limits<std::int64_t>::max(), stream_length,
+      [&](std::int64_t off, std::int64_t len) {
+        layout_.map_region(
+            Region{off, len},
+            [&](int server, Region phys, std::int64_t rel) {
+              auto& acc = out[static_cast<std::size_t>(server)];
+              acc.pieces.push_back(phys);
+              acc.stream_at.push_back(pos + rel);
+              acc.total_bytes += phys.length;
+              ++pieces;
+            });
+        pos += len;
+      });
+  return pieces;
+}
+
+// ---- Data operations -----------------------------------------------------------
+
+sim::Task<Status> Client::write_contig(std::uint64_t handle,
+                                       std::int64_t offset,
+                                       const std::uint8_t* data,
+                                       std::int64_t length) {
+  ++stats_.io_ops;
+  auto access = std::make_unique<std::vector<ServerAccess>>();
+  const Region region{offset, length};
+  const std::int64_t pieces =
+      build_access(std::span<const Region>(&region, 1), *access);
+  stats_.regions_client += static_cast<std::uint64_t>(pieces);
+
+  Request prototype;
+  prototype.op = OpKind::kContigWrite;
+  prototype.handle = handle;
+  prototype.carry_data = transfer_data_;
+  prototype.payload = ContigPayload{offset, length, nullptr};
+  return run_requests(config_->client.flatten_cost_per_region * pieces,
+                      Box<std::vector<ServerAccess>>(std::move(*access)), data,
+                      nullptr, Box<Request>(std::move(prototype)));
+}
+
+sim::Task<Status> Client::read_contig(std::uint64_t handle,
+                                      std::int64_t offset, std::uint8_t* out,
+                                      std::int64_t length) {
+  ++stats_.io_ops;
+  auto access = std::make_unique<std::vector<ServerAccess>>();
+  const Region region{offset, length};
+  const std::int64_t pieces =
+      build_access(std::span<const Region>(&region, 1), *access);
+  stats_.regions_client += static_cast<std::uint64_t>(pieces);
+
+  Request prototype;
+  prototype.op = OpKind::kContigRead;
+  prototype.handle = handle;
+  prototype.carry_data = transfer_data_;
+  prototype.payload = ContigPayload{offset, length, nullptr};
+  return run_requests(config_->client.flatten_cost_per_region * pieces,
+                      Box<std::vector<ServerAccess>>(std::move(*access)),
+                      nullptr, out, Box<Request>(std::move(prototype)));
+}
+
+sim::Task<Status> Client::write_list(std::uint64_t handle,
+                                     std::vector<Region> regions,
+                                     const std::uint8_t* stream) {
+  ++stats_.io_ops;
+  auto access = std::make_unique<std::vector<ServerAccess>>();
+  const std::int64_t pieces = build_access(regions, *access);
+  stats_.regions_client += static_cast<std::uint64_t>(pieces);
+
+  Request prototype;
+  prototype.op = OpKind::kListWrite;
+  prototype.handle = handle;
+  prototype.carry_data = transfer_data_;
+  prototype.payload = ListPayload{std::move(regions), nullptr};
+  return run_requests(config_->client.flatten_cost_per_region * pieces,
+                      Box<std::vector<ServerAccess>>(std::move(*access)),
+                      stream, nullptr, Box<Request>(std::move(prototype)));
+}
+
+sim::Task<Status> Client::read_list(std::uint64_t handle,
+                                    std::vector<Region> regions,
+                                    std::uint8_t* stream) {
+  ++stats_.io_ops;
+  auto access = std::make_unique<std::vector<ServerAccess>>();
+  const std::int64_t pieces = build_access(regions, *access);
+  stats_.regions_client += static_cast<std::uint64_t>(pieces);
+
+  Request prototype;
+  prototype.op = OpKind::kListRead;
+  prototype.handle = handle;
+  prototype.carry_data = transfer_data_;
+  prototype.payload = ListPayload{std::move(regions), nullptr};
+  return run_requests(config_->client.flatten_cost_per_region * pieces,
+                      Box<std::vector<ServerAccess>>(std::move(*access)),
+                      nullptr, stream, Box<Request>(std::move(prototype)));
+}
+
+namespace {
+
+DatatypePayload make_datatype_payload(const dl::DataloopPtr& filetype,
+                                      std::int64_t displacement,
+                                      std::int64_t count,
+                                      std::int64_t stream_offset,
+                                      std::int64_t stream_length) {
+  auto encoded = std::make_shared<std::vector<std::uint8_t>>();
+  dl::encode(*filetype, *encoded);
+  return DatatypePayload{std::move(encoded), filetype->node_count(),
+                         displacement,       count,
+                         stream_offset,      stream_length,
+                         nullptr};
+}
+
+}  // namespace
+
+sim::Task<Status> Client::write_datatype(
+    std::uint64_t handle, dl::DataloopPtr filetype, std::int64_t displacement,
+    std::int64_t count, std::int64_t stream_offset, std::int64_t stream_length,
+    const std::uint8_t* stream) {
+  ++stats_.io_ops;
+  auto access = std::make_unique<std::vector<ServerAccess>>();
+  const std::int64_t pieces =
+      build_access_datatype(filetype, displacement, count, stream_offset,
+                            stream_length, *access);
+  stats_.regions_client += static_cast<std::uint64_t>(pieces);
+
+  Request prototype;
+  prototype.op = OpKind::kDatatypeWrite;
+  prototype.handle = handle;
+  prototype.carry_data = transfer_data_;
+  prototype.payload = make_datatype_payload(filetype, displacement, count,
+                                            stream_offset, stream_length);
+  return run_requests(config_->client.dataloop_cost_per_region * pieces,
+                      Box<std::vector<ServerAccess>>(std::move(*access)),
+                      stream, nullptr, Box<Request>(std::move(prototype)));
+}
+
+sim::Task<Status> Client::read_datatype(
+    std::uint64_t handle, dl::DataloopPtr filetype, std::int64_t displacement,
+    std::int64_t count, std::int64_t stream_offset, std::int64_t stream_length,
+    std::uint8_t* stream) {
+  ++stats_.io_ops;
+  auto access = std::make_unique<std::vector<ServerAccess>>();
+  const std::int64_t pieces =
+      build_access_datatype(filetype, displacement, count, stream_offset,
+                            stream_length, *access);
+  stats_.regions_client += static_cast<std::uint64_t>(pieces);
+
+  Request prototype;
+  prototype.op = OpKind::kDatatypeRead;
+  prototype.handle = handle;
+  prototype.carry_data = transfer_data_;
+  prototype.payload = make_datatype_payload(filetype, displacement, count,
+                                            stream_offset, stream_length);
+  return run_requests(config_->client.dataloop_cost_per_region * pieces,
+                      Box<std::vector<ServerAccess>>(std::move(*access)),
+                      nullptr, stream, Box<Request>(std::move(prototype)));
+}
+
+// ---- Request fan-out -------------------------------------------------------------
+
+sim::Task<Status> Client::run_requests(
+    SimTime client_cpu_cost, Box<std::vector<ServerAccess>> access_box,
+    const std::uint8_t* write_stream, std::uint8_t* read_stream,
+    Box<Request> prototype_box) {
+  const std::vector<ServerAccess> access = access_box.take();
+  const Request prototype = prototype_box.take();
+  const bool is_write = prototype.op == OpKind::kContigWrite ||
+                        prototype.op == OpKind::kListWrite ||
+                        prototype.op == OpKind::kDatatypeWrite;
+
+  std::int64_t total_bytes = 0;
+  for (const ServerAccess& acc : access) total_bytes += acc.total_bytes;
+
+  // Client-side processing: building the per-server job/access lists plus
+  // one buffer copy to segment (write) or reassemble (read) the stream.
+  co_await sched_->delay(
+      config_->client.issue_overhead + client_cpu_cost +
+      transfer_time(static_cast<std::uint64_t>(total_bytes),
+                    config_->client.memcpy_bandwidth_bytes_per_s));
+
+  struct Outstanding {
+    int server;
+    std::uint64_t tag;
+  };
+  std::vector<Outstanding> outstanding;
+
+  // Start at this rank's "home" server and walk the ring: staggering the
+  // per-client server order spreads first-request load and prevents every
+  // server serving clients in the same order (which would convoy client
+  // flows through the shared links).
+  const int nservers = config_->num_servers;
+  for (int i = 0; i < nservers; ++i) {
+    const int s = (rank_ + i) % nservers;
+    const ServerAccess& acc = access[static_cast<std::size_t>(s)];
+    if (acc.total_bytes == 0) continue;
+
+    Request request = prototype;
+    request.client_node = node_;
+    request.reply_tag = next_reply_tag();
+
+    // Segment outgoing data for this server, in its stream order.
+    if (is_write && transfer_data_ && write_stream != nullptr) {
+      auto buffer = std::make_shared<std::vector<std::uint8_t>>(
+          static_cast<std::size_t>(acc.total_bytes));
+      std::size_t at = 0;
+      for (std::size_t i = 0; i < acc.pieces.size(); ++i) {
+        const auto len = static_cast<std::size_t>(acc.pieces[i].length);
+        std::memcpy(buffer->data() + at, write_stream + acc.stream_at[i], len);
+        at += len;
+      }
+      std::visit([&](auto& payload) {
+        if constexpr (requires { payload.data; }) payload.data = buffer;
+      }, request.payload);
+    }
+
+    const std::uint64_t descriptor = request_descriptor_bytes(
+        request, config_->list_io_bytes_per_region);
+    const std::uint64_t wire =
+        descriptor + (is_write ? static_cast<std::uint64_t>(acc.total_bytes)
+                               : 0);
+    ++stats_.requests_sent;
+    stats_.request_bytes += descriptor;
+    stats_.accessed_bytes += static_cast<std::uint64_t>(acc.total_bytes);
+
+    outstanding.push_back({s, request.reply_tag});
+    // Requests to all involved servers stream CONCURRENTLY: the tx link
+    // serializes at packet granularity, so flows interleave like PVFS's
+    // parallel per-server sockets instead of convoying server by server.
+    sched_->start(send_fire(
+        s, Box<sim::Message>(sim::Message(node_, kTagRequest, wire,
+                                          std::move(request)))));
+  }
+
+  for (const Outstanding& o : outstanding) {
+    sim::Message msg = co_await network_->mailbox(node_).recv(o.server, o.tag);
+    Reply reply = msg.take<Reply>();
+    if (!reply.ok) co_return internal_error(reply.error);
+
+    const ServerAccess& acc = access[static_cast<std::size_t>(o.server)];
+    if (reply.bytes != acc.total_bytes) {
+      co_return internal_error("server byte count mismatch");
+    }
+    if (!is_write && read_stream != nullptr && transfer_data_ && reply.data) {
+      // Scatter this server's gathered bytes back into the stream buffer.
+      std::size_t at = 0;
+      for (std::size_t i = 0; i < acc.pieces.size(); ++i) {
+        const auto len = static_cast<std::size_t>(acc.pieces[i].length);
+        std::memcpy(read_stream + acc.stream_at[i], reply.data->data() + at,
+                    len);
+        at += len;
+      }
+    }
+  }
+  co_return Status::ok();
+}
+
+}  // namespace dtio::pfs

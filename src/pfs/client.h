@@ -1,0 +1,156 @@
+// The PVFS-like client library: what the ADIO-style I/O methods call.
+//
+// Exposes the three data interfaces (contiguous, list, datatype) plus
+// metadata operations, all as simulated-time coroutines. The client does
+// the client half of PVFS's job/access building: it maps the file-side
+// access through the striping layout, segments outgoing data per server
+// (or scatters incoming data), and charges the cost model for its own
+// processing — which is exactly where list I/O pays flattening costs and
+// datatype I/O pays (cheaper) dataloop-processing costs.
+//
+// API convention: public entry points are plain functions that box any
+// non-trivially-destructible argument before entering a coroutine (see
+// common/box.h for the compiler bug this sidesteps). Data buffers are raw
+// pointers; the caller keeps them alive across the co_await.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/box.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "dataloop/dataloop.h"
+#include "net/cost_model.h"
+#include "net/network.h"
+#include "pfs/layout.h"
+#include "pfs/protocol.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace dtio::pfs {
+
+/// Result of a metadata operation.
+struct MetaResult {
+  Status status;
+  std::uint64_t handle = 0;
+  std::int64_t size = 0;  ///< stat only: logical file size
+};
+
+class Client {
+ public:
+  Client(sim::Scheduler& sched, net::Network& network,
+         const net::ClusterConfig& config, int rank);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int node_id() const noexcept { return node_; }
+  [[nodiscard]] IoStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const FileLayout& layout() const noexcept { return layout_; }
+
+  /// Timing-only mode: wire sizes and costs are exact, but no data bytes
+  /// are carried or stored (large sweeps). Default: real data moves.
+  void set_transfer_data(bool transfer) noexcept { transfer_data_ = transfer; }
+  [[nodiscard]] bool transfer_data() const noexcept { return transfer_data_; }
+
+  // ---- Metadata ------------------------------------------------------------
+  sim::Task<MetaResult> create(std::string path);
+  sim::Task<MetaResult> open(std::string path);
+  sim::Task<MetaResult> remove(std::string path);
+  /// Logical file size = the extent implied by the largest per-server
+  /// bstream (queried from every I/O server, PVFS-style).
+  sim::Task<MetaResult> stat(std::string path);
+  /// Same, for an already-open handle (skips the namespace lookup).
+  sim::Task<MetaResult> stat_handle(std::uint64_t handle);
+
+  /// Whole-file FIFO lock/unlock (metadata server). Only meaningful when
+  /// the configuration models a locking file system; PVFS itself has none.
+  sim::Task<Status> lock(std::uint64_t handle);
+  sim::Task<Status> unlock(std::uint64_t handle);
+
+  // ---- Contiguous (POSIX-style) interface -----------------------------------
+  sim::Task<Status> write_contig(std::uint64_t handle, std::int64_t offset,
+                                 const std::uint8_t* data, std::int64_t length);
+  sim::Task<Status> read_contig(std::uint64_t handle, std::int64_t offset,
+                                std::uint8_t* out, std::int64_t length);
+
+  // ---- List interface --------------------------------------------------------
+  // `regions` are logical file regions in access order; `stream` holds the
+  // concatenated data (write) or receives it (read).
+  sim::Task<Status> write_list(std::uint64_t handle,
+                               std::vector<Region> regions,
+                               const std::uint8_t* stream);
+  sim::Task<Status> read_list(std::uint64_t handle,
+                              std::vector<Region> regions,
+                              std::uint8_t* stream);
+
+  // ---- Datatype interface -----------------------------------------------------
+  // `count` instances of `filetype` anchored at `displacement`; operate on
+  // stream window [stream_offset, stream_offset + stream_length).
+  sim::Task<Status> write_datatype(std::uint64_t handle,
+                                   dl::DataloopPtr filetype,
+                                   std::int64_t displacement,
+                                   std::int64_t count,
+                                   std::int64_t stream_offset,
+                                   std::int64_t stream_length,
+                                   const std::uint8_t* stream);
+  sim::Task<Status> read_datatype(std::uint64_t handle,
+                                  dl::DataloopPtr filetype,
+                                  std::int64_t displacement,
+                                  std::int64_t count,
+                                  std::int64_t stream_offset,
+                                  std::int64_t stream_length,
+                                  std::uint8_t* stream);
+
+ private:
+  /// Per-server client-side access list: physical pieces in stream order
+  /// plus where each piece's data sits in the client's stream buffer.
+  struct ServerAccess {
+    std::vector<Region> pieces;          ///< physical regions on the server
+    std::vector<std::int64_t> stream_at; ///< stream offset of each piece
+    std::int64_t total_bytes = 0;
+  };
+
+  /// The client half of job building: map logical regions (or a dataloop
+  /// stream window) into per-server access lists. Returns pieces walked.
+  std::int64_t build_access(std::span<const Region> logical,
+                            std::vector<ServerAccess>& out) const;
+  std::int64_t build_access_datatype(const dl::DataloopPtr& filetype,
+                                     std::int64_t displacement,
+                                     std::int64_t count,
+                                     std::int64_t stream_offset,
+                                     std::int64_t stream_length,
+                                     std::vector<ServerAccess>& out) const;
+
+  sim::Task<MetaResult> meta_op(OpKind op, Box<std::string> path);
+  sim::Task<MetaResult> stat_impl(Box<std::string> path);
+  sim::Fire send_fire(int dst, Box<sim::Message> message);
+
+  /// Issue one data request per involved server (per the access lists) and
+  /// await all replies. For writes, segments `write_stream` per server;
+  /// for reads, scatters reply data back into `read_stream`.
+  /// `client_cpu_cost` is the op-specific processing charge.
+  sim::Task<Status> run_requests(SimTime client_cpu_cost,
+                                 Box<std::vector<ServerAccess>> access_box,
+                                 const std::uint8_t* write_stream,
+                                 std::uint8_t* read_stream,
+                                 Box<Request> prototype_box);
+
+  [[nodiscard]] std::uint64_t next_reply_tag() noexcept {
+    return kTagReplyBase + (static_cast<std::uint64_t>(rank_) << 24) +
+           reply_seq_++;
+  }
+
+  sim::Scheduler* sched_;
+  net::Network* network_;
+  const net::ClusterConfig* config_;
+  int rank_;
+  int node_;
+  FileLayout layout_;
+  IoStats stats_;
+  bool transfer_data_ = true;
+  std::uint64_t reply_seq_ = 0;
+};
+
+}  // namespace dtio::pfs

@@ -1,0 +1,80 @@
+#include "pfs/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dtio::pfs {
+
+namespace {
+
+double fraction(double busy, SimTime elapsed) {
+  return elapsed <= 0 ? 0.0 : busy / static_cast<double>(elapsed);
+}
+
+}  // namespace
+
+std::string Cluster::utilization_report(SimTime t0) {
+  const SimTime elapsed = scheduler_.now() - t0;
+  // busy_integral() covers [0, now]; utilization over a window starting at
+  // t0 is approximated by attributing all busy time to the window, which
+  // is exact when the cluster idled before t0 (the usual bench pattern:
+  // setup is cheap, then measure).
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "utilization over %.3f sim s:\n",
+                to_seconds(elapsed));
+  out += line;
+
+  double disk_max = 0, cpu_max = 0, stx_max = 0, srx_max = 0;
+  double disk_sum = 0, cpu_sum = 0, stx_sum = 0, srx_sum = 0;
+  for (int s = 0; s < config_.num_servers; ++s) {
+    const double disk = fraction(server(s).disk().busy_integral(), elapsed);
+    const double cpu = fraction(server(s).cpu().busy_integral(), elapsed);
+    const double tx = fraction(network_.tx_link(s).busy_integral(), elapsed);
+    const double rx = fraction(network_.rx_link(s).busy_integral(), elapsed);
+    disk_max = std::max(disk_max, disk);
+    cpu_max = std::max(cpu_max, cpu);
+    stx_max = std::max(stx_max, tx);
+    srx_max = std::max(srx_max, rx);
+    disk_sum += disk;
+    cpu_sum += cpu;
+    stx_sum += tx;
+    srx_sum += rx;
+  }
+  const double n = config_.num_servers;
+  std::snprintf(line, sizeof line,
+                "  servers: disk %.0f%% (max %.0f%%)  cpu %.0f%% (max "
+                "%.0f%%)  tx %.0f%% (max %.0f%%)  rx %.0f%% (max %.0f%%)\n",
+                100 * disk_sum / n, 100 * disk_max, 100 * cpu_sum / n,
+                100 * cpu_max, 100 * stx_sum / n, 100 * stx_max,
+                100 * srx_sum / n, 100 * srx_max);
+  out += line;
+
+  double ctx_sum = 0, crx_sum = 0, ctx_max = 0, crx_max = 0;
+  for (int c = 0; c < config_.num_clients; ++c) {
+    const int node = config_.client_node(c);
+    const double tx = fraction(network_.tx_link(node).busy_integral(),
+                               elapsed);
+    const double rx = fraction(network_.rx_link(node).busy_integral(),
+                               elapsed);
+    ctx_sum += tx;
+    crx_sum += rx;
+    ctx_max = std::max(ctx_max, tx);
+    crx_max = std::max(crx_max, rx);
+  }
+  const double m = config_.num_clients;
+  std::snprintf(line, sizeof line,
+                "  clients: tx %.0f%% (max %.0f%%)  rx %.0f%% (max %.0f%%)\n",
+                100 * ctx_sum / m, 100 * ctx_max, 100 * crx_sum / m,
+                100 * crx_max);
+  out += line;
+
+  if (network_.fabric() != nullptr) {
+    std::snprintf(line, sizeof line, "  fabric:  %.0f%%\n",
+                  100 * fraction(network_.fabric()->busy_integral(), elapsed));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dtio::pfs

@@ -1,0 +1,16 @@
+#include "pfs/layout.h"
+
+#include <algorithm>
+
+namespace dtio::pfs {
+
+int FileLayout::servers_touched(Region region) const noexcept {
+  if (region.length <= 0) return 0;
+  // Count whole strips covered, capped at the server count.
+  const std::int64_t first_strip = region.offset / strip_size_;
+  const std::int64_t last_strip = (region.end() - 1) / strip_size_;
+  return static_cast<int>(
+      std::min<std::int64_t>(last_strip - first_strip + 1, num_servers_));
+}
+
+}  // namespace dtio::pfs

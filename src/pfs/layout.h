@@ -1,0 +1,88 @@
+// File striping: PVFS's user-visible data distribution.
+//
+// A file is striped round-robin over N I/O servers in strips of
+// `strip_size` bytes (the paper's configuration: 16 servers, 64 KiB strips
+// = 1 MiB stripes). All logical<->physical mapping in the repository goes
+// through this one class, on both client (data segmentation) and server
+// (access clipping) sides, so the two ends always agree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/region.h"
+
+namespace dtio::pfs {
+
+class FileLayout {
+ public:
+  FileLayout(int num_servers, std::int64_t strip_size)
+      : num_servers_(num_servers), strip_size_(strip_size) {}
+
+  [[nodiscard]] int num_servers() const noexcept { return num_servers_; }
+  [[nodiscard]] std::int64_t strip_size() const noexcept { return strip_size_; }
+  [[nodiscard]] std::int64_t stripe_size() const noexcept {
+    return strip_size_ * num_servers_;
+  }
+
+  /// Which server holds logical byte `offset`, and where on that server.
+  struct Placement {
+    int server = 0;          ///< server index in [0, num_servers)
+    std::int64_t physical = 0;  ///< byte offset within that server's bstream
+  };
+  [[nodiscard]] Placement place(std::int64_t offset) const noexcept {
+    const std::int64_t stripe = offset / stripe_size();
+    const std::int64_t within = offset % stripe_size();
+    return Placement{static_cast<int>(within / strip_size_),
+                     stripe * strip_size_ + within % strip_size_};
+  }
+
+  /// Logical offset of a server-local physical byte (inverse of place()).
+  [[nodiscard]] std::int64_t logical(int server,
+                                     std::int64_t physical) const noexcept {
+    const std::int64_t strip = physical / strip_size_;
+    return strip * stripe_size() + server * strip_size_ +
+           physical % strip_size_;
+  }
+
+  /// Walk logical regions in order, invoking
+  ///   cb(server, physical_region, stream_pos)
+  /// for each maximal single-server piece. `stream_pos` is the running
+  /// byte position within the concatenated region data — the order in
+  /// which a data stream maps onto the pieces, which is how clients
+  /// segment outgoing data per server and servers locate their slice.
+  template <typename Callback>
+  void map_regions(std::span<const Region> regions, Callback&& cb) const {
+    std::int64_t stream_pos = 0;
+    for (const Region& r : regions) {
+      std::int64_t offset = r.offset;
+      std::int64_t remaining = r.length;
+      while (remaining > 0) {
+        const Placement p = place(offset);
+        const std::int64_t run =
+            std::min(remaining, strip_size_ - offset % strip_size_);
+        cb(p.server, Region{p.physical, run}, stream_pos);
+        offset += run;
+        remaining -= run;
+        stream_pos += run;
+      }
+    }
+  }
+
+  /// Single-region convenience overload.
+  template <typename Callback>
+  void map_region(Region region, Callback&& cb) const {
+    map_regions(std::span<const Region>(&region, 1),
+                std::forward<Callback>(cb));
+  }
+
+  /// Number of distinct servers a logical range touches.
+  [[nodiscard]] int servers_touched(Region region) const noexcept;
+
+ private:
+  int num_servers_;
+  std::int64_t strip_size_;
+};
+
+}  // namespace dtio::pfs

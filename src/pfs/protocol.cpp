@@ -1,0 +1,24 @@
+#include "pfs/protocol.h"
+
+namespace dtio::pfs {
+
+std::uint64_t request_descriptor_bytes(const Request& request,
+                                       std::uint64_t list_bytes_per_region) {
+  constexpr std::uint64_t kHeader = 32;  // op, handle, tags, client id
+  struct Visitor {
+    std::uint64_t bytes_per_region;
+    std::uint64_t operator()(const ContigPayload&) const { return 16; }
+    std::uint64_t operator()(const ListPayload& p) const {
+      return p.regions.size() * bytes_per_region;
+    }
+    std::uint64_t operator()(const DatatypePayload& p) const {
+      return 40 + (p.encoded_loop ? p.encoded_loop->size() : 0);
+    }
+    std::uint64_t operator()(const MetaPayload& p) const {
+      return p.path.size();
+    }
+  };
+  return kHeader + std::visit(Visitor{list_bytes_per_region}, request.payload);
+}
+
+}  // namespace dtio::pfs

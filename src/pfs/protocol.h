@@ -1,0 +1,111 @@
+// The PVFS-like request/reply protocol between clients and I/O servers.
+//
+// Three data interfaces, mirroring the paper's progression:
+//   * contiguous (POSIX-style)  — offset + length
+//   * list I/O                  — explicit offset-length region list
+//   * datatype I/O              — encoded dataloop + displacement + count
+// plus metadata operations (create/open/remove/stat) served by the
+// metadata server (node 0, which doubles as an I/O server, §4.1).
+//
+// All structs are carried inside sim::Message bodies (std::any), never as
+// raw coroutine parameters, so implicit move constructors are fine here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/region.h"
+
+namespace dtio::pfs {
+
+/// Mailbox tag for all requests arriving at a server.
+inline constexpr std::uint64_t kTagRequest = 0x5046'5301;
+/// Reply tags are allocated per client request: kTagReplyBase + sequence.
+inline constexpr std::uint64_t kTagReplyBase = 0x5046'5400'0000'0000ULL;
+
+enum class OpKind : std::uint8_t {
+  kContigRead,
+  kContigWrite,
+  kListRead,
+  kListWrite,
+  kDatatypeRead,
+  kDatatypeWrite,
+  kMetaCreate,
+  kMetaOpen,
+  kMetaRemove,
+  kMetaStat,
+  kMetaLock,    ///< whole-file advisory lock (FIFO); PVFS itself has no
+  kMetaUnlock,  ///< locks — the config gates whether methods may use these
+};
+
+using DataBuffer = std::shared_ptr<std::vector<std::uint8_t>>;
+
+/// Contiguous access: logical [offset, offset+length); the server clips to
+/// its own strips. For writes, `data` holds exactly this server's bytes in
+/// stream order (nullptr in timing-only mode).
+struct ContigPayload {
+  std::int64_t offset = 0;
+  std::int64_t length = 0;
+  DataBuffer data;
+};
+
+/// List access: logical regions in access order (bounded by the list-I/O
+/// region cap at the I/O method layer). Every involved server receives the
+/// full list — shipping these lists is list I/O's documented overhead.
+struct ListPayload {
+  std::vector<Region> regions;
+  DataBuffer data;
+};
+
+/// Datatype access: `count` instances of the encoded dataloop anchored at
+/// byte `displacement`, restricted to the stream window
+/// [stream_offset, stream_offset + stream_length). The server expands the
+/// dataloop itself — no region list crosses the wire.
+struct DatatypePayload {
+  std::shared_ptr<std::vector<std::uint8_t>> encoded_loop;
+  std::int64_t loop_node_count = 0;  ///< decode cost driver
+  std::int64_t displacement = 0;
+  std::int64_t count = 0;
+  std::int64_t stream_offset = 0;
+  std::int64_t stream_length = 0;
+  DataBuffer data;
+};
+
+struct MetaPayload {
+  std::string path;
+  /// For kMetaStat to non-metadata servers: look up by handle (the
+  /// namespace lives only on server 0); 0 = resolve `path` instead.
+  std::uint64_t handle = 0;
+};
+
+struct Request {
+  OpKind op = OpKind::kContigRead;
+  std::uint64_t handle = 0;
+  int client_node = -1;
+  std::uint64_t reply_tag = 0;
+  /// false = timing-only mode: sizes and wire costs are simulated exactly,
+  /// but no real bytes are stored or returned (large benchmark sweeps).
+  bool carry_data = true;
+  std::variant<ContigPayload, ListPayload, DatatypePayload, MetaPayload>
+      payload;
+};
+
+struct Reply {
+  bool ok = true;
+  std::string error;
+  std::int64_t bytes = 0;       ///< data bytes this server moved
+  DataBuffer data;              ///< read replies (nullptr in timing-only mode)
+  std::uint64_t handle = 0;     ///< metadata create/open
+  std::int64_t local_size = 0;  ///< metadata stat: this server's bstream size
+};
+
+/// Wire-size accounting for the request descriptor (excludes bulk data,
+/// which is added separately). These sizes drive the cost model: list I/O
+/// pays per-region descriptor bytes, datatype I/O pays the encoded loop.
+[[nodiscard]] std::uint64_t request_descriptor_bytes(const Request& request,
+                                                     std::uint64_t list_bytes_per_region);
+
+}  // namespace dtio::pfs

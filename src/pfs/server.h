@@ -1,0 +1,112 @@
+// The PVFS-like I/O server (PVFS's "iod"), plus metadata service on
+// server 0 (which doubles as metadata server, as in the paper's testbed).
+//
+// A server is a simulated process that handles requests from its mailbox
+// sequentially (single CPU, single disk). For each data request it builds
+// the job/access view of its part of the access — clipping logical
+// regions to its own strips — and charges the cost model for request
+// decode, per-region processing, and disk time. Datatype requests are the
+// paper's contribution: the server decodes a dataloop and expands it
+// locally instead of receiving an offset-length list.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/box.h"
+#include "net/cost_model.h"
+#include "net/network.h"
+#include "pfs/bstream.h"
+#include "pfs/layout.h"
+#include "dataloop/dataloop.h"
+#include "pfs/protocol.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+#include "sim/tracer.h"
+
+namespace dtio::pfs {
+
+/// Per-server instrumentation, inspected by benches and tests.
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t regions_walked = 0;   ///< offset-length regions processed
+  std::uint64_t my_pieces = 0;        ///< pieces that landed on this server
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t dataloops_decoded = 0;
+  std::uint64_t dataloop_cache_hits = 0;
+  std::uint64_t bad_requests = 0;     ///< malformed requests answered with errors
+};
+
+class IOServer {
+ public:
+  IOServer(sim::Scheduler& sched, net::Network& network,
+           const net::ClusterConfig& config, int server_index);
+
+  /// Spawn the server process (parks on its mailbox; never terminates —
+  /// the scheduler reclaims it at teardown).
+  void start();
+
+  [[nodiscard]] int node_id() const noexcept { return server_index_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Bstream* find_bstream(std::uint64_t handle) const;
+  [[nodiscard]] sim::Resource& disk() noexcept { return disk_; }
+  [[nodiscard]] sim::Resource& cpu() noexcept { return cpu_; }
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+ private:
+  sim::Task<void> run();
+  sim::Task<void> handle_request(Box<Request> boxed);
+
+  sim::Task<void> handle_contig(Request& request);
+  sim::Task<void> handle_list(Request& request);
+  sim::Task<void> handle_datatype(Request& request);
+  void handle_meta(Request& request, Reply& reply);
+
+  void finish_data_reply(Request& request, bool is_write,
+                         std::int64_t my_bytes, DataBuffer reply_data);
+  sim::Task<void> charge_disk(std::int64_t bytes);
+  sim::Fire disk_drain(SimTime hold);
+  /// Region-processing CPU: the handler blocks only for a prime batch of
+  /// regions (partial processing streams data while the walk continues);
+  /// the rest drains on the CPU resource, still serialising against other
+  /// requests at saturation.
+  sim::Task<void> charge_regions(std::int64_t pieces, SimTime per_region);
+  sim::Fire cpu_drain(SimTime hold);
+  void send_reply(int dst, std::uint64_t tag, Reply reply,
+                  std::uint64_t wire_data_bytes);
+  sim::Fire send_reply_fire(int dst, Box<sim::Message> message);
+
+  sim::Scheduler* sched_;
+  net::Network* network_;
+  const net::ClusterConfig* config_;
+  int server_index_;
+  FileLayout layout_;
+  sim::Resource disk_;
+  sim::Resource cpu_;
+  sim::Tracer* tracer_ = nullptr;
+  ServerStats stats_;
+
+  std::unordered_map<std::uint64_t, Bstream> store_;
+
+  // Decoded-dataloop cache (enabled by ServerConfig::dataloop_cache),
+  // keyed by a hash of the encoded bytes; bounded FIFO eviction.
+  std::unordered_map<std::uint64_t, dl::DataloopPtr> loop_cache_;
+  std::deque<std::uint64_t> loop_cache_order_;
+
+  // Metadata state (server 0 only).
+  std::unordered_map<std::string, std::uint64_t> namespace_;
+  std::uint64_t next_handle_ = 1;
+
+  // Whole-file FIFO locks (server 0 only): holders and parked waiters
+  // (client node, reply tag) whose grant reply is deferred until unlock.
+  std::unordered_set<std::uint64_t> locked_;
+  std::unordered_map<std::uint64_t,
+                     std::deque<std::pair<int, std::uint64_t>>> lock_waiters_;
+};
+
+}  // namespace dtio::pfs

@@ -1,0 +1,60 @@
+// Reusable synchronization barrier for groups of simulated processes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace dtio::sim {
+
+/// All `parties` processes must arrive before any proceeds. Reusable:
+/// a generation counter separates consecutive barrier episodes.
+class Barrier {
+ public:
+  Barrier(Scheduler& sched, std::size_t parties) noexcept
+      : sched_(&sched), parties_(parties) {
+    assert(parties >= 1);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  struct ArriveAwaiter {
+    Barrier* barrier;
+    bool await_ready() {
+      if (barrier->arrived_ + 1 == barrier->parties_) {
+        barrier->release_all();
+        return true;  // last arrival passes straight through
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ++barrier->arrived_;
+      barrier->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] ArriveAwaiter arrive_and_wait() noexcept { return {this}; }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  void release_all() {
+    for (auto h : waiters_) sched_->schedule_at(sched_->now(), h);
+    waiters_.clear();
+    arrived_ = 0;
+    ++generation_;
+  }
+
+  Scheduler* sched_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace dtio::sim

@@ -1,0 +1,147 @@
+// Tagged mailboxes: the message-delivery endpoint of each simulated node.
+//
+// Matching follows MPI semantics: a receive names a (source, tag) pair,
+// either of which may be a wildcard, and matches the earliest queued
+// message satisfying the filter. Delivery and receipt are decoupled —
+// the network layer calls deliver() when the last packet of a message
+// arrives; receivers park in recv() until a match exists.
+#pragma once
+
+#include <any>
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "sim/scheduler.h"
+
+namespace dtio::sim {
+
+inline constexpr int kAnySource = -1;
+inline constexpr std::uint64_t kAnyTag = std::numeric_limits<std::uint64_t>::max();
+
+/// A delivered message. `wire_bytes` is the simulated on-the-wire size
+/// (headers + descriptors + data), which may exceed the in-memory size of
+/// `body`; the cost model charges for wire_bytes, correctness uses body.
+struct Message {
+  int src = kAnySource;
+  std::uint64_t tag = 0;
+  std::uint64_t wire_bytes = 0;
+  std::any body;
+
+  Message() = default;
+  Message(int src_, std::uint64_t tag_, std::uint64_t wire_bytes_,
+          std::any body_) noexcept
+      : src(src_), tag(tag_), wire_bytes(wire_bytes_), body(std::move(body_)) {}
+  // The move operations are user-provided on purpose: the GCC in use
+  // miscompiles by-value coroutine parameters whose move constructor is
+  // implicitly defined (double destruction of the parameter object; see
+  // common/box.h). A user-provided move makes Message safe to pass by
+  // value into any coroutine, including as a prvalue.
+  Message(Message&& other) noexcept
+      : src(other.src),
+        tag(other.tag),
+        wire_bytes(other.wire_bytes),
+        body(std::move(other.body)) {}
+  Message& operator=(Message&& other) noexcept {
+    src = other.src;
+    tag = other.tag;
+    wire_bytes = other.wire_bytes;
+    body = std::move(other.body);
+    return *this;
+  }
+  Message(const Message&) = default;
+  Message& operator=(const Message&) = default;
+  ~Message() = default;
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    const T* p = std::any_cast<T>(&body);
+    assert(p != nullptr && "message body type mismatch");
+    return *p;
+  }
+  template <typename T>
+  [[nodiscard]] T take() {
+    T* p = std::any_cast<T>(&body);
+    assert(p != nullptr && "message body type mismatch");
+    return std::move(*p);
+  }
+};
+
+class Mailbox {
+ public:
+  explicit Mailbox(Scheduler& sched) noexcept : sched_(&sched) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  struct RecvAwaiter {
+    Mailbox* mailbox;
+    int src_filter;
+    std::uint64_t tag_filter;
+    Message message;
+
+    bool await_ready() {
+      return mailbox->try_take(src_filter, tag_filter, message);
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      mailbox->waiters_.push_back(Waiter{src_filter, tag_filter, &message, h});
+    }
+    Message await_resume() noexcept { return std::move(message); }
+  };
+
+  /// Await a message matching (src, tag); wildcards allowed.
+  [[nodiscard]] RecvAwaiter recv(int src = kAnySource,
+                                 std::uint64_t tag = kAnyTag) {
+    return RecvAwaiter{this, src, tag, {}};
+  }
+
+  /// Hand a fully-arrived message to this mailbox. If a parked receiver
+  /// matches, it is resumed through the event queue at the current time.
+  void deliver(Message msg) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (matches(msg, it->src_filter, it->tag_filter)) {
+        *it->slot = std::move(msg);
+        auto h = it->handle;
+        waiters_.erase(it);
+        sched_->schedule_at(sched_->now(), h);
+        return;
+      }
+    }
+    queue_.push_back(std::move(msg));
+  }
+
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    int src_filter;
+    std::uint64_t tag_filter;
+    Message* slot;
+    std::coroutine_handle<> handle;
+  };
+
+  static bool matches(const Message& m, int src_filter,
+                      std::uint64_t tag_filter) noexcept {
+    return (src_filter == kAnySource || src_filter == m.src) &&
+           (tag_filter == kAnyTag || tag_filter == m.tag);
+  }
+
+  bool try_take(int src_filter, std::uint64_t tag_filter, Message& out) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, src_filter, tag_filter)) {
+        out = std::move(*it);
+        queue_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Scheduler* sched_;
+  std::deque<Message> queue_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace dtio::sim

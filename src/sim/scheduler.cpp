@@ -1,0 +1,73 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dtio::sim {
+
+Scheduler::~Scheduler() {
+  // Destroy remaining frames (processes parked on never-delivered recvs at
+  // teardown, or finished frames suspended at final_suspend).
+  for (auto h : processes_) {
+    if (h) h.destroy();
+  }
+}
+
+void Scheduler::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule into the simulated past");
+  queue_.push(Event{t, next_seq_++, h, nullptr});
+}
+
+void Scheduler::schedule_call(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the simulated past");
+  queue_.push(Event{t, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Scheduler::spawn(Task<void> process) {
+  auto h = process.release();
+  assert(h && "spawn of an empty task");
+  processes_.push_back(h);
+  schedule_at(now_, h);
+}
+
+void Scheduler::start(Fire fire) { schedule_at(now_, fire.handle()); }
+
+void Scheduler::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else {
+      ev.fn();
+    }
+  }
+  check_process_exceptions();
+}
+
+void Scheduler::check_process_exceptions() {
+  if (detail::g_fire_exception) {
+    auto exc = detail::g_fire_exception;
+    detail::g_fire_exception = nullptr;
+    std::rethrow_exception(exc);
+  }
+  for (auto h : processes_) {
+    if (h && h.done() && h.promise().exception) {
+      auto exc = h.promise().exception;
+      h.promise().exception = nullptr;
+      std::rethrow_exception(exc);
+    }
+  }
+}
+
+std::size_t Scheduler::processes_finished() const noexcept {
+  std::size_t n = 0;
+  for (auto h : processes_) {
+    if (h && h.done()) ++n;
+  }
+  return n;
+}
+
+}  // namespace dtio::sim

@@ -1,0 +1,93 @@
+// The discrete-event scheduler at the heart of the simulated cluster.
+//
+// Events are (time, sequence) ordered; ties resolve in insertion order so
+// a given program is bit-for-bit deterministic. All cross-process resumption
+// (resource grants, message delivery, barrier release) goes through this
+// queue rather than resuming coroutines inline, which keeps stacks shallow
+// and makes event ordering the single source of truth for interleaving.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/fire.h"
+#include "sim/task.h"
+
+namespace dtio::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Resume `h` at absolute simulated time `t` (>= now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+
+  /// Run an arbitrary callback at absolute time `t`.
+  void schedule_call(SimTime t, std::function<void()> fn);
+
+  /// Awaitable pause of `dt` simulated time. dt == 0 still round-trips
+  /// through the event queue, yielding to same-time events queued earlier.
+  struct DelayAwaiter {
+    Scheduler* sched;
+    SimTime dt;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      sched->schedule_at(sched->now_ + dt, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] DelayAwaiter delay(SimTime dt) noexcept { return {this, dt}; }
+
+  /// Register a top-level simulated process; it starts at the current time.
+  /// The scheduler owns the coroutine frame from here on.
+  void spawn(Task<void> process);
+
+  /// Start a self-destroying Fire coroutine at the current time.
+  void start(Fire fire);
+
+  /// Process events until the queue is empty, then rethrow the first
+  /// exception that escaped any spawned process.
+  void run();
+
+  /// Number of processes spawned that have run to completion.
+  [[nodiscard]] std::size_t processes_finished() const noexcept;
+  [[nodiscard]] std::size_t processes_spawned() const noexcept {
+    return processes_.size();
+  }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;   // exactly one of handle/fn is set
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void check_process_exceptions();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::coroutine_handle<Task<void>::promise_type>> processes_;
+};
+
+}  // namespace dtio::sim

@@ -1,0 +1,22 @@
+#include "sim/tracer.h"
+
+namespace dtio::sim {
+
+void Tracer::dump_csv(std::ostream& out) const {
+  out << "time_us,kind,node,peer,tag,bytes,detail\n";
+  // The ring keeps [next_slot_, end) + [0, next_slot_) in age order once
+  // wrapped; before wrapping, insertion order is age order.
+  const auto emit = [&](const TraceEvent& e) {
+    out << static_cast<double>(e.time) / 1000.0 << ',' << e.kind << ','
+        << e.node << ',' << e.peer << ',' << e.tag << ',' << e.bytes << ','
+        << e.detail << '\n';
+  };
+  if (truncated()) {
+    for (std::size_t i = next_slot_; i < events_.size(); ++i) emit(events_[i]);
+    for (std::size_t i = 0; i < next_slot_; ++i) emit(events_[i]);
+  } else {
+    for (const TraceEvent& e : events_) emit(e);
+  }
+}
+
+}  // namespace dtio::sim

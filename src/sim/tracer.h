@@ -1,0 +1,63 @@
+// Event tracing: an optional observer that records what the simulated
+// cluster did and when — message sends/deliveries, server request
+// handling — for debugging protocol behaviour and for post-processing
+// (the CSV dump loads straight into a spreadsheet or pandas).
+//
+// Tracing is off unless a Tracer is attached; the hot paths pay one
+// pointer test when disabled.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dtio::sim {
+
+struct TraceEvent {
+  SimTime time = 0;
+  std::string_view kind;    ///< "send", "deliver", "request", "reply", ...
+  int node = -1;            ///< where it happened
+  int peer = -1;            ///< other endpoint (-1 when n/a)
+  std::uint64_t tag = 0;
+  std::uint64_t bytes = 0;
+  std::string_view detail;  ///< e.g. the op name; must outlive the tracer
+};
+
+class Tracer {
+ public:
+  /// `capacity` bounds memory; older events are dropped once full (the
+  /// count keeps rising so truncation is visible).
+  explicit Tracer(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void record(TraceEvent event) {
+    ++total_;
+    if (events_.size() == capacity_) {
+      events_[next_slot_] = event;
+      next_slot_ = (next_slot_ + 1) % capacity_;
+    } else {
+      events_.push_back(event);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+  [[nodiscard]] bool truncated() const noexcept {
+    return total_ > events_.size();
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// "time_us,kind,node,peer,tag,bytes,detail" rows, oldest first.
+  void dump_csv(std::ostream& out) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dtio::sim

@@ -1,0 +1,604 @@
+#include "types/datatype.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "dataloop/cursor.h"
+
+namespace dtio::types {
+
+std::string_view combiner_name(Combiner combiner) noexcept {
+  switch (combiner) {
+    case Combiner::kNamed:
+      return "named";
+    case Combiner::kContiguous:
+      return "contiguous";
+    case Combiner::kVector:
+      return "vector";
+    case Combiner::kHvector:
+      return "hvector";
+    case Combiner::kIndexed:
+      return "indexed";
+    case Combiner::kHindexed:
+      return "hindexed";
+    case Combiner::kIndexedBlock:
+      return "indexed_block";
+    case Combiner::kStruct:
+      return "struct";
+    case Combiner::kResized:
+      return "resized";
+    case Combiner::kSubarray:
+      return "subarray";
+  }
+  return "?";
+}
+
+namespace detail {
+
+struct TypeNode {
+  Combiner combiner = Combiner::kNamed;
+  std::string name;                       ///< named types only
+  std::int64_t el_size = 0;               ///< named types only
+  std::vector<std::int64_t> integers;     ///< per-combiner (see contents())
+  std::vector<std::int64_t> addresses;    ///< byte displacements
+  std::vector<Datatype> subtypes;
+
+  // Derived at construction per MPI composition rules; cross-checked
+  // against the dataloop in tests.
+  std::int64_t size = 0;
+  std::int64_t extent = 0;
+  std::int64_t lb = 0;
+
+  // Built lazily by the envelope/contents walk (the conversion path the
+  // paper's §3.2 prototype uses), cached because the node is immutable.
+  mutable dl::DataloopPtr loop;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::TypeNode;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("datatype: " + what);
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) fail(what);
+}
+
+/// Convert a type to its dataloop via the public introspection interface
+/// only — mirroring the paper's recursive MPI_Type_get_envelope /
+/// MPI_Type_get_contents conversion, which keeps this portable across
+/// "MPI implementations" (here: independent of TypeNode internals).
+dl::DataloopPtr build_dataloop(const Datatype& type) {
+  const TypeContents c = type.contents();
+  switch (c.combiner) {
+    case Combiner::kNamed:
+      return dl::make_leaf(type.size());
+    case Combiner::kContiguous:
+      return dl::make_contig(c.integers[0], c.datatypes[0].dataloop());
+    case Combiner::kVector: {
+      const std::int64_t stride_bytes =
+          c.integers[2] * c.datatypes[0].extent();
+      return dl::make_vector(c.integers[0], c.integers[1], stride_bytes,
+                             c.datatypes[0].dataloop());
+    }
+    case Combiner::kHvector:
+      return dl::make_vector(c.integers[0], c.integers[1], c.addresses[0],
+                             c.datatypes[0].dataloop());
+    case Combiner::kIndexed: {
+      const std::int64_t count = c.integers[0];
+      const std::int64_t ext = c.datatypes[0].extent();
+      std::vector<std::int64_t> blocklens(
+          c.integers.begin() + 1, c.integers.begin() + 1 + count);
+      std::vector<std::int64_t> displs;
+      displs.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t i = 0; i < count; ++i) {
+        displs.push_back(c.integers[static_cast<std::size_t>(1 + count + i)] *
+                         ext);
+      }
+      return dl::make_indexed(blocklens, displs, c.datatypes[0].dataloop());
+    }
+    case Combiner::kHindexed: {
+      const std::int64_t count = c.integers[0];
+      std::vector<std::int64_t> blocklens(
+          c.integers.begin() + 1, c.integers.begin() + 1 + count);
+      return dl::make_indexed(blocklens, c.addresses,
+                              c.datatypes[0].dataloop());
+    }
+    case Combiner::kIndexedBlock: {
+      const std::int64_t count = c.integers[0];
+      const std::int64_t blocklen = c.integers[1];
+      const std::int64_t ext = c.datatypes[0].extent();
+      std::vector<std::int64_t> displs;
+      displs.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t i = 0; i < count; ++i) {
+        displs.push_back(c.integers[static_cast<std::size_t>(2 + i)] * ext);
+      }
+      return dl::make_blockindexed(count, blocklen, displs,
+                                   c.datatypes[0].dataloop());
+    }
+    case Combiner::kStruct: {
+      const std::int64_t count = c.integers[0];
+      std::vector<std::int64_t> blocklens(
+          c.integers.begin() + 1, c.integers.begin() + 1 + count);
+      std::vector<dl::DataloopPtr> children;
+      children.reserve(static_cast<std::size_t>(count));
+      for (const Datatype& t : c.datatypes) children.push_back(t.dataloop());
+      return dl::make_struct(blocklens, c.addresses, children);
+    }
+    case Combiner::kResized:
+      return dl::make_resized(c.datatypes[0].dataloop(), c.addresses[0],
+                              c.addresses[1]);
+    case Combiner::kSubarray: {
+      const auto ndims = static_cast<std::size_t>(c.integers[0]);
+      std::span<const std::int64_t> sizes(c.integers.data() + 1, ndims);
+      std::span<const std::int64_t> subsizes(c.integers.data() + 1 + ndims,
+                                             ndims);
+      std::span<const std::int64_t> starts(c.integers.data() + 1 + 2 * ndims,
+                                           ndims);
+      const Order order =
+          c.integers[1 + 3 * ndims] == 0 ? Order::kC : Order::kFortran;
+      const Datatype& el = c.datatypes[0];
+
+      // Dimension traversal from fastest-varying to slowest: last dim for
+      // C order, first for Fortran.
+      std::vector<std::size_t> dims(ndims);
+      std::iota(dims.begin(), dims.end(), std::size_t{0});
+      if (order == Order::kC) std::reverse(dims.begin(), dims.end());
+
+      dl::DataloopPtr loop = el.dataloop();
+      std::int64_t dim_stride = el.extent();  // bytes between neighbours
+      std::int64_t start_offset = 0;
+      bool innermost = true;
+      for (const std::size_t d : dims) {
+        start_offset += starts[d] * dim_stride;
+        if (innermost) {
+          loop = dl::make_contig(subsizes[d], std::move(loop));
+          innermost = false;
+        } else {
+          loop = dl::make_vector(subsizes[d], 1, dim_stride, std::move(loop));
+        }
+        dim_stride *= sizes[d];
+      }
+      if (start_offset != 0) {
+        const std::int64_t offs[] = {start_offset};
+        loop = dl::make_blockindexed(1, 1, offs, std::move(loop));
+      }
+      // The subarray's extent is the full array, so consecutive instances
+      // tile whole arrays (MPI_Type_create_subarray semantics).
+      return dl::make_resized(std::move(loop), 0, dim_stride);
+    }
+  }
+  fail("unknown combiner");
+}
+
+}  // namespace
+
+// ---- Datatype methods -------------------------------------------------------
+
+std::int64_t Datatype::size() const noexcept { return node_->size; }
+std::int64_t Datatype::extent() const noexcept { return node_->extent; }
+std::int64_t Datatype::lb() const noexcept { return node_->lb; }
+
+bool Datatype::is_contiguous() const noexcept {
+  const auto& loop = dataloop();
+  return loop->solid && loop->data_lb == 0 && loop->extent == loop->size;
+}
+
+Combiner Datatype::combiner() const noexcept { return node_->combiner; }
+
+TypeContents Datatype::contents() const {
+  return TypeContents{node_->combiner, node_->integers, node_->addresses,
+                      node_->subtypes};
+}
+
+const dl::DataloopPtr& Datatype::dataloop() const {
+  if (!node_->loop) node_->loop = build_dataloop(*this);
+  return node_->loop;
+}
+
+std::int64_t Datatype::type_node_count() const noexcept {
+  std::int64_t n = 1;
+  for (const Datatype& t : node_->subtypes) n += t.type_node_count();
+  return n;
+}
+
+std::vector<Region> Datatype::flatten(std::int64_t base,
+                                      std::int64_t count) const {
+  return dl::flatten(dataloop(), base, count);
+}
+
+std::string Datatype::to_string() const {
+  std::ostringstream out;
+  if (node_->combiner == Combiner::kNamed) {
+    out << node_->name;
+  } else {
+    out << combiner_name(node_->combiner) << "(";
+    for (std::size_t i = 0; i < node_->integers.size() && i < 6; ++i) {
+      if (i) out << ",";
+      out << node_->integers[i];
+    }
+    if (node_->integers.size() > 6) out << ",...";
+    out << ")[";
+    for (std::size_t i = 0; i < node_->subtypes.size() && i < 2; ++i) {
+      if (i) out << ",";
+      out << node_->subtypes[i].to_string();
+    }
+    if (node_->subtypes.size() > 2) out << ",...";
+    out << "]";
+  }
+  return out.str();
+}
+
+// The builders construct TypeNodes and wrap them through Datatype's
+// private constructor.
+class TypeBuilderAccess {
+ public:
+  static Datatype wrap(std::shared_ptr<const TypeNode> node) {
+    return Datatype(std::move(node));
+  }
+};
+
+namespace {
+
+Datatype finish(std::shared_ptr<TypeNode> node) {
+  return TypeBuilderAccess::wrap(std::move(node));
+}
+
+void require_valid(const Datatype& t, const char* what) {
+  require(t.valid(), what);
+}
+
+}  // namespace
+
+// ---- Named types -------------------------------------------------------------
+
+Datatype make_named(std::string name, std::int64_t el_size) {
+  require(el_size > 0, "named type element size must be positive");
+  auto node = std::make_shared<TypeNode>();
+  node->combiner = Combiner::kNamed;
+  node->name = std::move(name);
+  node->el_size = el_size;
+  node->size = el_size;
+  node->extent = el_size;
+  node->lb = 0;
+  return finish(std::move(node));
+}
+
+namespace {
+Datatype named_singleton(const char* name, std::int64_t el_size) {
+  return make_named(name, el_size);
+}
+}  // namespace
+
+Datatype byte_t() {
+  static const Datatype t = named_singleton("byte", 1);
+  return t;
+}
+Datatype char_t() {
+  static const Datatype t = named_singleton("char", 1);
+  return t;
+}
+Datatype int32_t_() {
+  static const Datatype t = named_singleton("int32", 4);
+  return t;
+}
+Datatype int64_t_() {
+  static const Datatype t = named_singleton("int64", 8);
+  return t;
+}
+Datatype float_t() {
+  static const Datatype t = named_singleton("float", 4);
+  return t;
+}
+Datatype double_t() {
+  static const Datatype t = named_singleton("double", 8);
+  return t;
+}
+
+// ---- Derived constructors ------------------------------------------------------
+
+Datatype contiguous(std::int64_t count, const Datatype& old) {
+  require(count >= 0, "contiguous count must be >= 0");
+  require_valid(old, "contiguous old type invalid");
+  auto node = std::make_shared<TypeNode>();
+  node->combiner = Combiner::kContiguous;
+  node->integers = {count};
+  node->subtypes = {old};
+  node->size = count * old.size();
+  node->extent = count * old.extent();
+  node->lb = count == 0 ? 0 : old.lb();
+  return finish(std::move(node));
+}
+
+namespace {
+
+Datatype make_strided(Combiner combiner, std::int64_t count,
+                      std::int64_t blocklen, std::int64_t stride_bytes,
+                      std::int64_t stride_input, const Datatype& old) {
+  require(count >= 0, "vector count must be >= 0");
+  require(blocklen >= 0, "vector blocklen must be >= 0");
+  auto node = std::make_shared<TypeNode>();
+  node->combiner = combiner;
+  if (combiner == Combiner::kVector) {
+    node->integers = {count, blocklen, stride_input};
+  } else {
+    node->integers = {count, blocklen};
+    node->addresses = {stride_bytes};
+  }
+  node->subtypes = {old};
+  node->size = count * blocklen * old.size();
+  if (count == 0 || blocklen == 0) {
+    node->extent = 0;
+    node->lb = 0;
+  } else {
+    const std::int64_t last = (count - 1) * stride_bytes;
+    node->lb = old.lb() + std::min<std::int64_t>(0, last);
+    node->extent = std::max<std::int64_t>(0, last) + blocklen * old.extent() -
+                   std::min<std::int64_t>(0, last);
+  }
+  return finish(std::move(node));
+}
+
+}  // namespace
+
+Datatype vector(std::int64_t count, std::int64_t blocklen, std::int64_t stride,
+                const Datatype& old) {
+  require_valid(old, "vector old type invalid");
+  return make_strided(Combiner::kVector, count, blocklen,
+                      stride * old.extent(), stride, old);
+}
+
+Datatype hvector(std::int64_t count, std::int64_t blocklen,
+                 std::int64_t stride_bytes, const Datatype& old) {
+  require_valid(old, "hvector old type invalid");
+  return make_strided(Combiner::kHvector, count, blocklen, stride_bytes, 0,
+                      old);
+}
+
+namespace {
+
+Datatype make_indexed_like(Combiner combiner,
+                           std::span<const std::int64_t> blocklens,
+                           std::span<const std::int64_t> displ_bytes,
+                           std::span<const std::int64_t> displ_input,
+                           const Datatype& old) {
+  const auto count = static_cast<std::int64_t>(blocklens.size());
+  auto node = std::make_shared<TypeNode>();
+  node->combiner = combiner;
+  node->integers.push_back(count);
+  node->integers.insert(node->integers.end(), blocklens.begin(),
+                        blocklens.end());
+  if (combiner == Combiner::kIndexed) {
+    node->integers.insert(node->integers.end(), displ_input.begin(),
+                          displ_input.end());
+  } else {
+    node->addresses.assign(displ_bytes.begin(), displ_bytes.end());
+  }
+  node->subtypes = {old};
+
+  std::int64_t size = 0;
+  bool first = true;
+  std::int64_t lo = 0, hi = 0;
+  for (std::int64_t b = 0; b < count; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    require(blocklens[bi] >= 0, "indexed blocklens must be >= 0");
+    size += blocklens[bi] * old.size();
+    if (blocklens[bi] == 0) continue;
+    const std::int64_t begin = displ_bytes[bi] + old.lb();
+    const std::int64_t end =
+        displ_bytes[bi] + blocklens[bi] * old.extent() + old.lb();
+    if (first) {
+      lo = begin;
+      hi = end;
+      first = false;
+    } else {
+      lo = std::min(lo, begin);
+      hi = std::max(hi, end);
+    }
+  }
+  node->size = size;
+  node->lb = lo;
+  node->extent = hi - lo;
+  return finish(std::move(node));
+}
+
+}  // namespace
+
+Datatype indexed(std::span<const std::int64_t> blocklens,
+                 std::span<const std::int64_t> displacements,
+                 const Datatype& old) {
+  require_valid(old, "indexed old type invalid");
+  require(blocklens.size() == displacements.size(),
+          "indexed blocklens/displacements length mismatch");
+  std::vector<std::int64_t> displ_bytes;
+  displ_bytes.reserve(displacements.size());
+  for (const std::int64_t d : displacements) {
+    displ_bytes.push_back(d * old.extent());
+  }
+  return make_indexed_like(Combiner::kIndexed, blocklens, displ_bytes,
+                           displacements, old);
+}
+
+Datatype hindexed(std::span<const std::int64_t> blocklens,
+                  std::span<const std::int64_t> displacement_bytes,
+                  const Datatype& old) {
+  require_valid(old, "hindexed old type invalid");
+  require(blocklens.size() == displacement_bytes.size(),
+          "hindexed blocklens/displacements length mismatch");
+  return make_indexed_like(Combiner::kHindexed, blocklens, displacement_bytes,
+                           {}, old);
+}
+
+Datatype indexed_block(std::int64_t blocklen,
+                       std::span<const std::int64_t> displacements,
+                       const Datatype& old) {
+  require_valid(old, "indexed_block old type invalid");
+  require(blocklen >= 0, "indexed_block blocklen must be >= 0");
+  const auto count = static_cast<std::int64_t>(displacements.size());
+  auto node = std::make_shared<TypeNode>();
+  node->combiner = Combiner::kIndexedBlock;
+  node->integers.push_back(count);
+  node->integers.push_back(blocklen);
+  node->integers.insert(node->integers.end(), displacements.begin(),
+                        displacements.end());
+  node->subtypes = {old};
+  node->size = count * blocklen * old.size();
+  if (count == 0 || blocklen == 0) {
+    node->extent = 0;
+    node->lb = 0;
+  } else {
+    std::int64_t lo = displacements[0], hi = displacements[0];
+    for (const std::int64_t d : displacements) {
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    node->lb = lo * old.extent() + old.lb();
+    node->extent = (hi - lo) * old.extent() + blocklen * old.extent();
+  }
+  return finish(std::move(node));
+}
+
+Datatype create_struct(std::span<const std::int64_t> blocklens,
+                       std::span<const std::int64_t> displacement_bytes,
+                       std::span<const Datatype> types) {
+  require(blocklens.size() == displacement_bytes.size() &&
+              blocklens.size() == types.size(),
+          "struct blocklens/displacements/types length mismatch");
+  const auto count = static_cast<std::int64_t>(blocklens.size());
+  auto node = std::make_shared<TypeNode>();
+  node->combiner = Combiner::kStruct;
+  node->integers.push_back(count);
+  node->integers.insert(node->integers.end(), blocklens.begin(),
+                        blocklens.end());
+  node->addresses.assign(displacement_bytes.begin(), displacement_bytes.end());
+  node->subtypes.assign(types.begin(), types.end());
+
+  std::int64_t size = 0;
+  bool first = true;
+  std::int64_t lo = 0, hi = 0;
+  for (std::int64_t b = 0; b < count; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    require_valid(types[bi], "struct member type invalid");
+    require(blocklens[bi] >= 0, "struct blocklens must be >= 0");
+    size += blocklens[bi] * types[bi].size();
+    if (blocklens[bi] == 0 || types[bi].size() == 0) continue;
+    const std::int64_t begin = displacement_bytes[bi] + types[bi].lb();
+    const std::int64_t end = displacement_bytes[bi] +
+                             blocklens[bi] * types[bi].extent() +
+                             types[bi].lb();
+    if (first) {
+      lo = begin;
+      hi = end;
+      first = false;
+    } else {
+      lo = std::min(lo, begin);
+      hi = std::max(hi, end);
+    }
+  }
+  node->size = size;
+  node->lb = lo;
+  node->extent = hi - lo;
+  return finish(std::move(node));
+}
+
+Datatype resized(const Datatype& old, std::int64_t lb, std::int64_t extent) {
+  require_valid(old, "resized old type invalid");
+  require(extent >= 0, "resized extent must be >= 0");
+  auto node = std::make_shared<TypeNode>();
+  node->combiner = Combiner::kResized;
+  node->addresses = {lb, extent};
+  node->subtypes = {old};
+  node->size = old.size();
+  node->lb = lb;
+  node->extent = extent;
+  return finish(std::move(node));
+}
+
+Datatype subarray(std::span<const std::int64_t> sizes,
+                  std::span<const std::int64_t> subsizes,
+                  std::span<const std::int64_t> starts, Order order,
+                  const Datatype& element) {
+  require_valid(element, "subarray element type invalid");
+  require(!sizes.empty(), "subarray needs at least one dimension");
+  require(sizes.size() == subsizes.size() && sizes.size() == starts.size(),
+          "subarray sizes/subsizes/starts length mismatch");
+  std::int64_t total_elems = 1;
+  std::int64_t sub_elems = 1;
+  for (std::size_t d = 0; d < sizes.size(); ++d) {
+    require(sizes[d] > 0, "subarray sizes must be positive");
+    require(subsizes[d] > 0, "subarray subsizes must be positive");
+    require(starts[d] >= 0 && starts[d] + subsizes[d] <= sizes[d],
+            "subarray slab must fit inside the array");
+    total_elems *= sizes[d];
+    sub_elems *= subsizes[d];
+  }
+  auto node = std::make_shared<TypeNode>();
+  node->combiner = Combiner::kSubarray;
+  node->integers.push_back(static_cast<std::int64_t>(sizes.size()));
+  node->integers.insert(node->integers.end(), sizes.begin(), sizes.end());
+  node->integers.insert(node->integers.end(), subsizes.begin(),
+                        subsizes.end());
+  node->integers.insert(node->integers.end(), starts.begin(), starts.end());
+  node->integers.push_back(order == Order::kC ? 0 : 1);
+  node->subtypes = {element};
+  node->size = sub_elems * element.size();
+  node->extent = total_elems * element.extent();
+  node->lb = 0;
+  return finish(std::move(node));
+}
+
+Datatype darray(int size, int rank, std::span<const std::int64_t> gsizes,
+                std::span<const Distribution> distribs,
+                std::span<const std::int64_t> psizes, Order order,
+                const Datatype& element) {
+  require(size >= 1, "darray needs a positive grid size");
+  require(rank >= 0 && rank < size, "darray rank outside the grid");
+  require(gsizes.size() == psizes.size() &&
+              gsizes.size() == distribs.size(),
+          "darray gsizes/distribs/psizes length mismatch");
+  std::int64_t grid = 1;
+  for (const std::int64_t p : psizes) {
+    require(p >= 1, "darray psizes must be positive");
+    grid *= p;
+  }
+  require(grid == size, "darray psizes must multiply to size");
+
+  // Rank-major process coordinates (C order: last dimension varies
+  // fastest, matching MPI's darray definition).
+  const std::size_t ndims = gsizes.size();
+  std::vector<std::int64_t> coords(ndims);
+  {
+    std::int64_t rest = rank;
+    for (std::size_t d = ndims; d-- > 0;) {
+      coords[d] = rest % psizes[d];
+      rest /= psizes[d];
+    }
+  }
+
+  std::vector<std::int64_t> subsizes(ndims);
+  std::vector<std::int64_t> starts(ndims);
+  for (std::size_t d = 0; d < ndims; ++d) {
+    if (distribs[d] == Distribution::kNone) {
+      require(psizes[d] == 1, "darray: NONE distribution needs psize 1");
+      subsizes[d] = gsizes[d];
+      starts[d] = 0;
+      continue;
+    }
+    // MPI_DISTRIBUTE_BLOCK with default dargs: block = ceil(g / p).
+    const std::int64_t block = (gsizes[d] + psizes[d] - 1) / psizes[d];
+    starts[d] = coords[d] * block;
+    require(starts[d] < gsizes[d],
+            "darray: rank's block is empty (grid larger than array)");
+    subsizes[d] = std::min(block, gsizes[d] - starts[d]);
+  }
+  return subarray(gsizes, subsizes, starts, order, element);
+}
+
+}  // namespace dtio::types

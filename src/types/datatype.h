@@ -1,0 +1,163 @@
+// MPI-like datatypes: the structured-data vocabulary applications use.
+//
+// This layer mirrors the MPI type constructors (contiguous, vector,
+// hvector, indexed, hindexed, indexed_block, struct, resized, subarray)
+// with MPI's unit conventions (element-typed strides/displacements for
+// vector/indexed, byte displacements for the h* and struct forms). Each
+// type exposes an envelope/contents pair — the introspection interface the
+// paper's prototype uses to convert MPI datatypes to dataloops — and a
+// cached dataloop built exactly by that recursive contents walk.
+//
+// Datatype is an immutable value handle; copies are cheap shared refs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/region.h"
+#include "dataloop/dataloop.h"
+
+namespace dtio::types {
+
+enum class Combiner {
+  kNamed = 0,
+  kContiguous,
+  kVector,
+  kHvector,
+  kIndexed,
+  kHindexed,
+  kIndexedBlock,
+  kStruct,
+  kResized,
+  kSubarray,
+};
+
+std::string_view combiner_name(Combiner combiner) noexcept;
+
+/// Array storage order for subarray construction.
+enum class Order { kC, kFortran };
+
+class Datatype;
+
+/// What MPI_Type_get_envelope/get_contents return: the constructor call
+/// that produced this type.
+struct TypeContents {
+  Combiner combiner = Combiner::kNamed;
+  std::vector<std::int64_t> integers;   ///< counts, blocklengths, sizes...
+  std::vector<std::int64_t> addresses;  ///< byte displacements
+  std::vector<Datatype> datatypes;      ///< input types
+};
+
+namespace detail {
+struct TypeNode;
+}
+
+class Datatype {
+ public:
+  Datatype() = default;  ///< null handle; only assignment/validity allowed
+
+  [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+
+  /// Data bytes one instance carries (MPI_Type_size).
+  [[nodiscard]] std::int64_t size() const noexcept;
+  /// Spacing between consecutive instances (MPI_Type_get_extent).
+  [[nodiscard]] std::int64_t extent() const noexcept;
+  /// Lower bound displacement.
+  [[nodiscard]] std::int64_t lb() const noexcept;
+  /// True if one instance is a single contiguous run.
+  [[nodiscard]] bool is_contiguous() const noexcept;
+
+  /// Constructor introspection (MPI_Type_get_envelope + get_contents).
+  [[nodiscard]] Combiner combiner() const noexcept;
+  [[nodiscard]] TypeContents contents() const;
+
+  /// The dataloop representation (built on first use by the recursive
+  /// envelope/contents walk, then cached on the immutable node).
+  [[nodiscard]] const dl::DataloopPtr& dataloop() const;
+
+  /// Number of nodes in the MPI-level constructor tree.
+  [[nodiscard]] std::int64_t type_node_count() const noexcept;
+
+  /// Flatten `count` instances anchored at byte `base` into a coalesced
+  /// offset-length list (what list I/O and POSIX I/O work from).
+  [[nodiscard]] std::vector<Region> flatten(std::int64_t base,
+                                            std::int64_t count) const;
+
+  /// Debug rendering ("vector(3, 2, 10)[int32]").
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Datatype& a, const Datatype& b) noexcept {
+    return a.node_ == b.node_;
+  }
+
+ private:
+  friend Datatype make_named(std::string name, std::int64_t el_size);
+  friend class TypeBuilderAccess;
+  explicit Datatype(std::shared_ptr<const detail::TypeNode> node) noexcept
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const detail::TypeNode> node_;
+};
+
+// ---- Named (basic) types ---------------------------------------------------
+
+Datatype byte_t();
+Datatype char_t();
+Datatype int32_t_();
+Datatype int64_t_();
+Datatype float_t();
+Datatype double_t();
+/// Arbitrary named elementary type of `el_size` bytes.
+Datatype make_named(std::string name, std::int64_t el_size);
+
+// ---- Derived-type constructors ---------------------------------------------
+//
+// Unit conventions follow MPI: `stride`/`displacements` are in elements of
+// `old` (i.e. multiples of old.extent()) for vector/indexed/indexed_block,
+// and in bytes for hvector/hindexed/create_struct. Invalid arguments throw
+// std::invalid_argument.
+
+Datatype contiguous(std::int64_t count, const Datatype& old);
+Datatype vector(std::int64_t count, std::int64_t blocklen, std::int64_t stride,
+                const Datatype& old);
+Datatype hvector(std::int64_t count, std::int64_t blocklen,
+                 std::int64_t stride_bytes, const Datatype& old);
+Datatype indexed(std::span<const std::int64_t> blocklens,
+                 std::span<const std::int64_t> displacements,
+                 const Datatype& old);
+Datatype hindexed(std::span<const std::int64_t> blocklens,
+                  std::span<const std::int64_t> displacement_bytes,
+                  const Datatype& old);
+Datatype indexed_block(std::int64_t blocklen,
+                       std::span<const std::int64_t> displacements,
+                       const Datatype& old);
+Datatype create_struct(std::span<const std::int64_t> blocklens,
+                       std::span<const std::int64_t> displacement_bytes,
+                       std::span<const Datatype> types);
+Datatype resized(const Datatype& old, std::int64_t lb, std::int64_t extent);
+
+/// MPI_Type_create_subarray: an n-dimensional slab [starts, starts+subsizes)
+/// out of an array of `sizes`, with the full array as the type's extent so
+/// instances tile whole arrays.
+Datatype subarray(std::span<const std::int64_t> sizes,
+                  std::span<const std::int64_t> subsizes,
+                  std::span<const std::int64_t> starts, Order order,
+                  const Datatype& element);
+
+/// Distribution kinds for darray (MPI_DISTRIBUTE_*).
+enum class Distribution { kBlock, kNone };
+
+/// MPI_Type_create_darray (block and none distributions): the piece of a
+/// `gsizes` global array owned by `rank` of a `psizes` process grid in
+/// rank-major order. Equivalent to the subarray of the rank's block, which
+/// is how ROMIO's coll_perf builds its 3-D access. Throws when the rank's
+/// block would be empty (gsizes smaller than the grid).
+Datatype darray(int size, int rank, std::span<const std::int64_t> gsizes,
+                std::span<const Distribution> distribs,
+                std::span<const std::int64_t> psizes, Order order,
+                const Datatype& element);
+
+}  // namespace dtio::types

@@ -1,0 +1,20 @@
+#include "workloads/block3d.h"
+
+namespace dtio::workloads {
+
+types::Datatype Block3dConfig::block_filetype(int rank) const {
+  const std::int64_t m = blocks_per_edge;
+  const std::int64_t bd = block_dim();
+  const std::int64_t bx = rank % m;
+  const std::int64_t by = (rank / m) % m;
+  const std::int64_t bz = rank / (m * m);
+  // Work in byte elements with the fastest dimension scaled by el_size so
+  // rows are single contiguous runs.
+  const std::int64_t sizes[] = {dim, dim, dim * el_size};
+  const std::int64_t subsizes[] = {bd, bd, bd * el_size};
+  const std::int64_t starts[] = {bz * bd, by * bd, bx * bd * el_size};
+  return types::subarray(sizes, subsizes, starts, types::Order::kC,
+                         types::byte_t());
+}
+
+}  // namespace dtio::workloads

@@ -1,0 +1,43 @@
+// The ROMIO coll_perf workload (paper §4.3): a 600^3 array of 4-byte
+// integers block-decomposed over p = m^3 processes; each process reads or
+// writes its own block. Memory is contiguous; the file side is a 3-D
+// subarray whose rows are the contiguous pieces.
+#pragma once
+
+#include <cstdint>
+
+#include "types/datatype.h"
+
+namespace dtio::workloads {
+
+struct Block3dConfig {
+  std::int64_t dim = 600;      ///< array edge (elements)
+  std::int64_t el_size = 4;    ///< int
+  int blocks_per_edge = 2;     ///< m; clients = m^3
+
+  [[nodiscard]] int num_clients() const noexcept {
+    return blocks_per_edge * blocks_per_edge * blocks_per_edge;
+  }
+  [[nodiscard]] std::int64_t block_dim() const noexcept {
+    return dim / blocks_per_edge;
+  }
+  [[nodiscard]] std::int64_t file_bytes() const noexcept {
+    return dim * dim * dim * el_size;
+  }
+  [[nodiscard]] std::int64_t block_bytes() const noexcept {
+    return block_dim() * block_dim() * block_dim() * el_size;
+  }
+  /// Contiguous file pieces per block: one per (plane, row).
+  [[nodiscard]] std::int64_t rows_per_block() const noexcept {
+    return block_dim() * block_dim();
+  }
+
+  /// File datatype for `rank`'s block (C-order block coordinates).
+  [[nodiscard]] types::Datatype block_filetype(int rank) const;
+
+  [[nodiscard]] types::Datatype memtype() const {
+    return types::contiguous(block_bytes(), types::byte_t());
+  }
+};
+
+}  // namespace dtio::workloads

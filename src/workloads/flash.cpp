@@ -1,0 +1,42 @@
+#include "workloads/flash.h"
+
+#include <vector>
+
+namespace dtio::workloads {
+
+types::Datatype FlashConfig::memtype() const {
+  // One variable slot inside a cell, with the whole cell as its extent so
+  // consecutive elements step whole cells.
+  auto var_slot = types::resized(types::double_t(), 0, cell_bytes());
+
+  // The interior cells of one block (guard cells skipped) for one
+  // variable; the subarray spans the full 16^3-cell block.
+  const std::int64_t edge = cells_per_edge();
+  const std::int64_t sizes[] = {edge, edge, edge};
+  const std::int64_t subsizes[] = {interior, interior, interior};
+  const std::int64_t starts[] = {guard, guard, guard};
+  auto one_var_one_block =
+      types::subarray(sizes, subsizes, starts, types::Order::kC, var_slot);
+
+  // All blocks for one variable: blocks are adjacent in memory, and the
+  // subarray's extent is already the full block footprint.
+  auto one_var_all_blocks =
+      types::contiguous(blocks_per_proc, one_var_one_block);
+
+  // All variables, variable-major: variable v's elements sit v*var_bytes
+  // into each cell. hindexed over the same type with byte displacements.
+  std::vector<std::int64_t> blocklens(static_cast<std::size_t>(num_vars), 1);
+  std::vector<std::int64_t> displs;
+  displs.reserve(static_cast<std::size_t>(num_vars));
+  for (int v = 0; v < num_vars; ++v) displs.push_back(v * var_bytes);
+  return types::hindexed(blocklens, displs, one_var_all_blocks);
+}
+
+types::Datatype FlashConfig::filetype(int nprocs) const {
+  // 24 chunks of var_chunk_bytes, one per variable section, strided by the
+  // per-variable section size.
+  return types::hvector(num_vars, var_chunk_bytes(),
+                        nprocs * var_chunk_bytes(), types::byte_t());
+}
+
+}  // namespace dtio::workloads

@@ -1,0 +1,72 @@
+// The FLASH I/O checkpoint workload (paper §4.4): each process holds 80
+// AMR blocks; a block is an 8^3 array of interior cells surrounded by 4
+// guard cells per side (16^3 cells in memory), and every cell carries 24
+// double-precision variables stored adjacently (array-of-structs).
+//
+// The checkpoint reorganises to variable-major order in the file: for each
+// variable, every process's blocks' interior cells are stored contiguously.
+// Memory and file are therefore BOTH noncontiguous, with an 8-byte joint
+// granularity — 983 040 joint pieces per process, the paper's stress case.
+#pragma once
+
+#include <cstdint>
+
+#include "types/datatype.h"
+
+namespace dtio::workloads {
+
+struct FlashConfig {
+  int blocks_per_proc = 80;
+  int interior = 8;    ///< nxb = nyb = nzb
+  int guard = 4;       ///< guard cells per side
+  int num_vars = 24;
+  std::int64_t var_bytes = 8;  ///< double
+
+  [[nodiscard]] std::int64_t cells_per_edge() const noexcept {
+    return interior + 2 * guard;  // 16
+  }
+  [[nodiscard]] std::int64_t interior_cells() const noexcept {
+    return static_cast<std::int64_t>(interior) * interior * interior;  // 512
+  }
+  [[nodiscard]] std::int64_t cell_bytes() const noexcept {
+    return num_vars * var_bytes;  // 192
+  }
+  /// In-memory bytes of one block including guard cells.
+  [[nodiscard]] std::int64_t block_mem_bytes() const noexcept {
+    const std::int64_t edge = cells_per_edge();
+    return edge * edge * edge * cell_bytes();
+  }
+  /// Checkpoint bytes contributed per process (7.5 MiB at defaults).
+  [[nodiscard]] std::int64_t bytes_per_proc() const noexcept {
+    return static_cast<std::int64_t>(blocks_per_proc) * interior_cells() *
+           num_vars * var_bytes;
+  }
+  /// Contiguous bytes per (variable, process) in the file.
+  [[nodiscard]] std::int64_t var_chunk_bytes() const noexcept {
+    return static_cast<std::int64_t>(blocks_per_proc) * interior_cells() *
+           var_bytes;  // 320 KiB
+  }
+  /// Joint (memory, file) pieces per process — the POSIX op count.
+  [[nodiscard]] std::int64_t joint_pieces() const noexcept {
+    return static_cast<std::int64_t>(blocks_per_proc) * interior_cells() *
+           num_vars;  // 983 040
+  }
+  [[nodiscard]] std::int64_t file_bytes(int nprocs) const noexcept {
+    return bytes_per_proc() * nprocs;
+  }
+
+  /// Memory datatype: variable-major traversal of the in-memory blocks —
+  /// for each variable, for each block, the interior cells' copy of that
+  /// variable. Matches the file stream order as MPI requires.
+  [[nodiscard]] types::Datatype memtype() const;
+
+  /// File datatype for `rank` of `nprocs`: 24 contiguous chunks (one per
+  /// variable section) of var_chunk_bytes each, strided by the section
+  /// size nprocs * var_chunk_bytes. Anchor with displacement(rank).
+  [[nodiscard]] types::Datatype filetype(int nprocs) const;
+  [[nodiscard]] std::int64_t displacement(int rank) const noexcept {
+    return rank * var_chunk_bytes();
+  }
+};
+
+}  // namespace dtio::workloads

@@ -1,0 +1,16 @@
+#include "workloads/tile.h"
+
+namespace dtio::workloads {
+
+types::Datatype TileConfig::tile_filetype(int rank) const {
+  const std::int64_t sizes[] = {frame_height(),
+                                frame_width() * bytes_per_pixel};
+  const std::int64_t subsizes[] = {
+      tile_height, static_cast<std::int64_t>(tile_width) * bytes_per_pixel};
+  const std::int64_t starts[] = {tile_y0(rank),
+                                 tile_x0(rank) * bytes_per_pixel};
+  return types::subarray(sizes, subsizes, starts, types::Order::kC,
+                         types::byte_t());
+}
+
+}  // namespace dtio::workloads

@@ -1,0 +1,65 @@
+// The tile-reader workload (paper §4.2): a 3x2 display wall where each
+// compute node reads its own 1024x768x24bpp tile out of each frame, with
+// 270-pixel horizontal and 128-pixel vertical overlap between tiles.
+// Frames are 10.2 MB; the per-client access is a 2-D subarray of frame
+// rows — 768 noncontiguous rows of 3072 bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "types/datatype.h"
+
+namespace dtio::workloads {
+
+struct TileConfig {
+  int tiles_x = 3;
+  int tiles_y = 2;
+  int tile_width = 1024;   ///< pixels
+  int tile_height = 768;   ///< pixels
+  int bytes_per_pixel = 3; ///< 24-bit colour
+  int overlap_x = 270;     ///< pixels shared between horizontal neighbours
+  int overlap_y = 128;     ///< pixels shared between vertical neighbours
+  int frames = 100;
+
+  [[nodiscard]] int num_clients() const noexcept { return tiles_x * tiles_y; }
+  [[nodiscard]] std::int64_t frame_width() const noexcept {
+    return static_cast<std::int64_t>(tiles_x) * tile_width -
+           static_cast<std::int64_t>(tiles_x - 1) * overlap_x;
+  }
+  [[nodiscard]] std::int64_t frame_height() const noexcept {
+    return static_cast<std::int64_t>(tiles_y) * tile_height -
+           static_cast<std::int64_t>(tiles_y - 1) * overlap_y;
+  }
+  [[nodiscard]] std::int64_t frame_bytes() const noexcept {
+    return frame_width() * frame_height() * bytes_per_pixel;
+  }
+  [[nodiscard]] std::int64_t tile_bytes() const noexcept {
+    return static_cast<std::int64_t>(tile_width) * tile_height *
+           bytes_per_pixel;
+  }
+  /// Top-left pixel of a rank's tile within the frame.
+  [[nodiscard]] std::int64_t tile_x0(int rank) const noexcept {
+    return (rank % tiles_x) *
+           static_cast<std::int64_t>(tile_width - overlap_x);
+  }
+  [[nodiscard]] std::int64_t tile_y0(int rank) const noexcept {
+    return (rank / tiles_x) *
+           static_cast<std::int64_t>(tile_height - overlap_y);
+  }
+
+  /// File datatype for `rank`: its tile as a subarray of one frame, with
+  /// the whole frame as extent so consecutive instances tile frames.
+  [[nodiscard]] types::Datatype tile_filetype(int rank) const;
+
+  /// Memory datatype: the tile is read into a contiguous buffer.
+  [[nodiscard]] types::Datatype memtype() const {
+    return types::contiguous(tile_bytes(), types::byte_t());
+  }
+
+  /// Rows per tile = contiguous file pieces per frame (POSIX op count).
+  [[nodiscard]] std::int64_t rows_per_tile() const noexcept {
+    return tile_height;
+  }
+};
+
+}  // namespace dtio::workloads

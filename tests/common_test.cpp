@@ -1,0 +1,215 @@
+// Unit tests for common utilities: Status/Result, regions, units, CRC, RNG.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/box.h"
+#include "common/crc32.h"
+#include "common/region.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace dtio {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = not_found("no such file: /pvfs/a");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: no such file: /pvfs/a");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kUnsupported, StatusCode::kInternal,
+        StatusCode::kPermissionDenied}) {
+    EXPECT_NE(status_code_name(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = invalid_argument("negative count");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Region, EndIsOffsetPlusLength) {
+  Region r{100, 50};
+  EXPECT_EQ(r.end(), 150);
+}
+
+TEST(Region, TotalLength) {
+  std::vector<Region> rs{{0, 10}, {20, 5}, {100, 1}};
+  EXPECT_EQ(total_length(rs), 16);
+  EXPECT_EQ(total_length(std::vector<Region>{}), 0);
+}
+
+TEST(Region, SortedDisjointDetection) {
+  EXPECT_TRUE(regions_sorted_disjoint(std::vector<Region>{}));
+  EXPECT_TRUE(regions_sorted_disjoint(std::vector<Region>{{0, 10}}));
+  EXPECT_TRUE(regions_sorted_disjoint(std::vector<Region>{{0, 10}, {10, 5}}));
+  EXPECT_FALSE(regions_sorted_disjoint(std::vector<Region>{{0, 10}, {9, 5}}));
+  EXPECT_FALSE(regions_sorted_disjoint(std::vector<Region>{{10, 5}, {0, 5}}));
+}
+
+TEST(Region, CoalesceMergesOnlyAdjacent) {
+  std::vector<Region> rs{{0, 10}, {10, 10}, {30, 5}, {35, 5}, {50, 1}};
+  const std::size_t merges = coalesce_adjacent(rs);
+  EXPECT_EQ(merges, 2u);
+  EXPECT_EQ(rs, (std::vector<Region>{{0, 20}, {30, 10}, {50, 1}}));
+}
+
+TEST(Region, CoalesceSingleAndEmpty) {
+  std::vector<Region> empty;
+  EXPECT_EQ(coalesce_adjacent(empty), 0u);
+  std::vector<Region> one{{5, 5}};
+  EXPECT_EQ(coalesce_adjacent(one), 0u);
+  EXPECT_EQ(one, (std::vector<Region>{{5, 5}}));
+}
+
+TEST(Region, CoalesceChainCollapsesToOne) {
+  std::vector<Region> rs;
+  for (int i = 0; i < 100; ++i) rs.push_back({i * 4, 4});
+  coalesce_adjacent(rs);
+  EXPECT_EQ(rs, (std::vector<Region>{{0, 400}}));
+}
+
+TEST(Region, IntersectRangeClips) {
+  std::vector<Region> rs{{0, 10}, {20, 10}, {40, 10}};
+  std::vector<Region> out;
+  intersect_range(rs, 5, 45, out);
+  EXPECT_EQ(out, (std::vector<Region>{{5, 5}, {20, 10}, {40, 5}}));
+}
+
+TEST(Region, IntersectRangeEmptyWhenNoOverlap) {
+  std::vector<Region> rs{{0, 10}};
+  std::vector<Region> out;
+  intersect_range(rs, 100, 200, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Region, BoundingHull) {
+  std::vector<Region> rs{{20, 10}, {5, 2}, {100, 1}};
+  EXPECT_EQ(bounding_hull(rs), (Region{5, 96}));
+  EXPECT_EQ(bounding_hull(std::vector<Region>{}), (Region{0, 0}));
+}
+
+TEST(Units, TransferTimeRoundsUp) {
+  EXPECT_EQ(transfer_time(0, 1e6), 0);
+  // 1 byte at 1 GB/s = 1 ns exactly.
+  EXPECT_EQ(transfer_time(1, 1e9), 1);
+  // 1000 bytes at 1 MB/s = 1 ms.
+  EXPECT_EQ(transfer_time(1000, 1e6), kMillisecond);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kMiB + 256 * kKiB), "2.25 MiB");
+}
+
+TEST(Units, ToSeconds) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMillisecond), 1e-3);
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // CRC32("123456789") == 0xCBF43926 (IEEE check value).
+  const char* s = "123456789";
+  const std::uint32_t crc = crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s), 9));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(1000);
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const std::uint32_t whole = crc32(data);
+  std::uint32_t chained = 0;
+  chained = crc32(std::span(data).subspan(0, 400), chained);
+  chained = crc32(std::span(data).subspan(400), chained);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(IoStats, AccumulatesAcrossClients) {
+  IoStats a{.desired_bytes = 10, .accessed_bytes = 20, .io_ops = 3};
+  IoStats b{.desired_bytes = 1, .accessed_bytes = 2, .io_ops = 4,
+            .resent_bytes = 8};
+  a += b;
+  EXPECT_EQ(a.desired_bytes, 11u);
+  EXPECT_EQ(a.accessed_bytes, 22u);
+  EXPECT_EQ(a.io_ops, 7u);
+  EXPECT_EQ(a.resent_bytes, 8u);
+  a.reset();
+  EXPECT_EQ(a.io_ops, 0u);
+}
+
+TEST(Box, TransfersOwnershipExactlyOnce) {
+  Box<std::vector<int>> box(std::vector<int>{1, 2, 3});
+  EXPECT_TRUE(box.has_value());
+  EXPECT_EQ(box.peek().size(), 3u);
+  Box<std::vector<int>> copy = box;  // shares the slot
+  std::vector<int> taken = copy.take();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(copy.has_value());
+}
+
+TEST(Box, EmptyBoxTakesDefault) {
+  Box<std::vector<int>> empty;
+  EXPECT_FALSE(empty.has_value());
+  EXPECT_TRUE(empty.take().empty());
+}
+
+}  // namespace
+}  // namespace dtio

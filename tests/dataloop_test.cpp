@@ -1,0 +1,682 @@
+// Unit and property tests for the dataloop engine: builders and their
+// regularity-capturing normalisations, cursor traversal, partial
+// processing, seek, pack/unpack, and wire serialisation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/region.h"
+#include "common/rng.h"
+#include "dataloop/cursor.h"
+#include "dataloop/dataloop.h"
+#include "dataloop/pack.h"
+#include "dataloop/serialize.h"
+
+namespace dtio::dl {
+namespace {
+
+constexpr std::int64_t kUnlimited = std::numeric_limits<std::int64_t>::max();
+
+std::vector<Region> collect(Cursor& cursor, std::int64_t max_regions = kUnlimited,
+                            std::int64_t max_bytes = kUnlimited,
+                            bool coalesce = true) {
+  std::vector<Region> out;
+  cursor.process(
+      max_regions, max_bytes,
+      [&](std::int64_t off, std::int64_t len) { out.push_back({off, len}); },
+      coalesce);
+  return out;
+}
+
+// ---- Builders -------------------------------------------------------------
+
+TEST(Builder, LeafBasics) {
+  auto leaf = make_leaf(4);
+  EXPECT_EQ(leaf->kind, Kind::kLeaf);
+  EXPECT_EQ(leaf->size, 4);
+  EXPECT_EQ(leaf->extent, 4);
+  EXPECT_EQ(leaf->lb, 0);
+  EXPECT_TRUE(leaf->solid);
+  EXPECT_EQ(leaf->node_count(), 1);
+  EXPECT_EQ(leaf->depth(), 1);
+  EXPECT_THROW(make_leaf(0), std::invalid_argument);
+  EXPECT_THROW(make_leaf(-1), std::invalid_argument);
+}
+
+TEST(Builder, ContigComputesSizeAndExtent) {
+  auto c = make_contig(10, make_leaf(4));
+  EXPECT_EQ(c->kind, Kind::kContig);
+  EXPECT_EQ(c->size, 40);
+  EXPECT_EQ(c->extent, 40);
+  EXPECT_TRUE(c->solid);
+}
+
+TEST(Builder, ContigOfOneCollapsesToChild) {
+  auto leaf = make_leaf(8);
+  auto c = make_contig(1, leaf);
+  EXPECT_EQ(c.get(), leaf.get());
+}
+
+TEST(Builder, NestedContigCollapses) {
+  auto c = make_contig(3, make_contig(5, make_leaf(2)));
+  EXPECT_EQ(c->kind, Kind::kContig);
+  EXPECT_EQ(c->count, 15);
+  EXPECT_EQ(c->child->kind, Kind::kLeaf);
+}
+
+TEST(Builder, VectorComputesGeometry) {
+  // 4 blocks of 3 int32s every 100 bytes.
+  auto v = make_vector(4, 3, 100, make_leaf(4));
+  EXPECT_EQ(v->kind, Kind::kVector);
+  EXPECT_EQ(v->size, 48);
+  EXPECT_EQ(v->extent, 3 * 100 + 12);
+  EXPECT_EQ(v->lb, 0);
+  EXPECT_FALSE(v->solid);
+  EXPECT_EQ(v->region_count(), 4);
+}
+
+TEST(Builder, VectorWithSeamlessStrideBecomesContig) {
+  auto v = make_vector(4, 3, 12, make_leaf(4));
+  EXPECT_EQ(v->kind, Kind::kContig);
+  EXPECT_EQ(v->count, 12);
+}
+
+TEST(Builder, VectorCountOneBecomesContig) {
+  auto v = make_vector(1, 5, 999, make_leaf(4));
+  EXPECT_EQ(v->kind, Kind::kContig);
+  EXPECT_EQ(v->size, 20);
+}
+
+TEST(Builder, VectorNegativeStride) {
+  auto v = make_vector(3, 1, -10, make_leaf(4));
+  EXPECT_EQ(v->size, 12);
+  EXPECT_EQ(v->lb, -20);
+  EXPECT_EQ(v->extent, 20 + 4);
+}
+
+TEST(Builder, BlockIndexedKeepsIrregularOffsets) {
+  const std::int64_t offs[] = {0, 10, 50};
+  auto b = make_blockindexed(3, 2, offs, make_leaf(1));
+  EXPECT_EQ(b->kind, Kind::kBlockIndexed);
+  EXPECT_EQ(b->size, 6);
+  EXPECT_EQ(b->extent, 52);
+  EXPECT_EQ(b->region_count(), 3);
+}
+
+TEST(Builder, BlockIndexedUniformStrideBecomesVector) {
+  const std::int64_t offs[] = {0, 100, 200, 300};
+  auto b = make_blockindexed(4, 2, offs, make_leaf(4));
+  EXPECT_EQ(b->kind, Kind::kVector);
+  EXPECT_EQ(b->stride, 100);
+}
+
+TEST(Builder, IndexedUniformBlocklensBecomesBlockIndexed) {
+  const std::int64_t lens[] = {3, 3, 3};
+  const std::int64_t offs[] = {0, 7, 100};
+  auto ix = make_indexed(lens, offs, make_leaf(1));
+  EXPECT_EQ(ix->kind, Kind::kBlockIndexed);
+  EXPECT_EQ(ix->blocklen, 3);
+}
+
+TEST(Builder, IndexedIrregularGeometry) {
+  const std::int64_t lens[] = {2, 0, 5};
+  const std::int64_t offs[] = {10, 90, 40};
+  auto ix = make_indexed(lens, offs, make_leaf(4));
+  EXPECT_EQ(ix->kind, Kind::kIndexed);
+  EXPECT_EQ(ix->size, 28);
+  EXPECT_EQ(ix->lb, 10);                 // empty block at 90 ignored
+  EXPECT_EQ(ix->extent, 40 + 20 - 10);   // hull [10, 60)
+  EXPECT_EQ(ix->region_count(), 2);
+  ASSERT_EQ(ix->block_bytes_prefix.size(), 4u);
+  EXPECT_EQ(ix->block_bytes_prefix[1], 8);
+  EXPECT_EQ(ix->block_bytes_prefix[2], 8);
+  EXPECT_EQ(ix->block_bytes_prefix[3], 28);
+}
+
+TEST(Builder, StructMixedChildren) {
+  const std::int64_t lens[] = {1, 2};
+  const std::int64_t offs[] = {0, 16};
+  const DataloopPtr kids[] = {make_leaf(8), make_leaf(4)};
+  auto st = make_struct(lens, offs, kids);
+  EXPECT_EQ(st->kind, Kind::kStruct);
+  EXPECT_EQ(st->size, 16);
+  EXPECT_EQ(st->extent, 24);
+}
+
+TEST(Builder, StructHomogeneousBecomesIndexed) {
+  auto leaf = make_leaf(4);
+  const std::int64_t lens[] = {1, 2};
+  const std::int64_t offs[] = {0, 16};
+  const DataloopPtr kids[] = {leaf, leaf};
+  auto st = make_struct(lens, offs, kids);
+  EXPECT_NE(st->kind, Kind::kStruct);
+}
+
+TEST(Builder, ResizedOverridesExtent) {
+  auto r = make_resized(make_contig(2, make_leaf(4)), 0, 32);
+  EXPECT_EQ(r->size, 8);
+  EXPECT_EQ(r->extent, 32);
+  EXPECT_TRUE(r->solid);  // instance itself is still one solid run
+}
+
+TEST(Builder, MismatchedSpansThrow) {
+  const std::int64_t lens[] = {1, 2};
+  const std::int64_t offs[] = {0};
+  EXPECT_THROW(make_indexed(lens, offs, make_leaf(1)), std::invalid_argument);
+  EXPECT_THROW(make_contig(-1, make_leaf(1)), std::invalid_argument);
+  EXPECT_THROW(make_contig(2, nullptr), std::invalid_argument);
+}
+
+// ---- Cursor traversal -----------------------------------------------------
+
+TEST(Cursor, SolidTypeEmitsOneRegion) {
+  Cursor c(make_contig(8, make_leaf(4)), 1000, 1);
+  auto regions = collect(c);
+  EXPECT_EQ(regions, (std::vector<Region>{{1000, 32}}));
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.position(), 32);
+}
+
+TEST(Cursor, MultipleInstancesOfSolidTypeCoalesce) {
+  Cursor c(make_contig(8, make_leaf(4)), 0, 5);
+  auto regions = collect(c);
+  EXPECT_EQ(regions, (std::vector<Region>{{0, 160}}));
+}
+
+TEST(Cursor, VectorEmitsPerBlock) {
+  // Row extraction: 3 rows of 4 ints out of a 10-int-wide 2D array.
+  Cursor c(make_vector(3, 4, 40, make_leaf(4)), 0, 1);
+  auto regions = collect(c);
+  EXPECT_EQ(regions,
+            (std::vector<Region>{{0, 16}, {40, 16}, {80, 16}}));
+}
+
+TEST(Cursor, VectorInstancesTileByExtent) {
+  auto v = make_vector(2, 1, 8, make_leaf(4));  // extent = 8 + 4 = 12
+  Cursor c(v, 0, 2);
+  // Instance 0 blocks at 0 and 8; instance 1 at 12 and 20. The block at 8
+  // touches instance 1's first block at 12, so they coalesce.
+  auto regions = collect(c);
+  EXPECT_EQ(regions, (std::vector<Region>{{0, 4}, {8, 8}, {20, 4}}));
+  Cursor raw(v, 0, 2);
+  auto uncoalesced = collect(raw, kUnlimited, kUnlimited, /*coalesce=*/false);
+  EXPECT_EQ(uncoalesced,
+            (std::vector<Region>{{0, 4}, {8, 4}, {12, 4}, {20, 4}}));
+}
+
+TEST(Cursor, IndexedSkipsEmptyBlocks) {
+  const std::int64_t lens[] = {2, 0, 1, 0};
+  const std::int64_t offs[] = {0, 50, 30, 99};
+  Cursor c(make_indexed(lens, offs, make_leaf(4)), 0, 1);
+  auto regions = collect(c);
+  EXPECT_EQ(regions, (std::vector<Region>{{0, 8}, {30, 4}}));
+}
+
+TEST(Cursor, StructWalksHeterogeneousChildren) {
+  const std::int64_t lens[] = {1, 3};
+  const std::int64_t offs[] = {0, 10};
+  const DataloopPtr kids[] = {make_leaf(2), make_leaf(4)};
+  Cursor c(make_struct(lens, offs, kids), 100, 1);
+  auto regions = collect(c);
+  EXPECT_EQ(regions, (std::vector<Region>{{100, 2}, {110, 12}}));
+}
+
+TEST(Cursor, NestedVectorOfVector) {
+  // Outer: 2 blocks stride 100 of inner; inner: 2 blocks of 1x4B stride 10.
+  auto inner = make_vector(2, 1, 10, make_leaf(4));  // extent 14, size 8
+  auto outer = make_vector(2, 1, 100, inner);
+  Cursor c(outer, 0, 1);
+  auto regions = collect(c);
+  EXPECT_EQ(regions,
+            (std::vector<Region>{{0, 4}, {10, 4}, {100, 4}, {110, 4}}));
+}
+
+TEST(Cursor, ResizedChildLeavesGapsBetweenElements) {
+  // 3 elements of a 4-byte leaf resized to extent 10 inside a contig.
+  auto el = make_resized(make_leaf(4), 0, 10);
+  Cursor c(make_contig(3, el), 0, 1);
+  auto regions = collect(c);
+  EXPECT_EQ(regions, (std::vector<Region>{{0, 4}, {10, 4}, {20, 4}}));
+}
+
+TEST(Cursor, CoalesceMergesTouchingBlocks) {
+  // Indexed with adjacent blocks 0..8 and 8..12.
+  const std::int64_t lens[] = {2, 1, 2};
+  const std::int64_t offs[] = {0, 8, 100};
+  Cursor c(make_indexed(lens, offs, make_leaf(4)), 0, 1);
+  auto merged = collect(c);
+  EXPECT_EQ(merged, (std::vector<Region>{{0, 12}, {100, 8}}));
+  Cursor c2(make_indexed(lens, offs, make_leaf(4)), 0, 1);
+  auto raw = collect(c2, kUnlimited, kUnlimited, /*coalesce=*/false);
+  EXPECT_EQ(raw, (std::vector<Region>{{0, 8}, {8, 4}, {100, 8}}));
+}
+
+TEST(Cursor, EmptyTypeIsImmediatelyDone) {
+  Cursor c(make_contig(0, make_leaf(4)), 0, 5);
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.total_bytes(), 0);
+  auto regions = collect(c);
+  EXPECT_TRUE(regions.empty());
+}
+
+TEST(Cursor, ZeroCountIsDone) {
+  Cursor c(make_leaf(4), 0, 0);
+  EXPECT_TRUE(c.done());
+}
+
+// ---- Partial processing ---------------------------------------------------
+
+TEST(PartialProcessing, RegionBudgetIsResumable) {
+  auto v = make_vector(10, 1, 8, make_leaf(4));
+  Cursor whole(v, 0, 1);
+  const auto expect = collect(whole);
+
+  Cursor c(v, 0, 1);
+  std::vector<Region> got;
+  while (!c.done()) {
+    auto part = collect(c, /*max_regions=*/3);
+    got.insert(got.end(), part.begin(), part.end());
+    EXPECT_LE(part.size(), 3u);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(PartialProcessing, ByteBudgetSplitsRegions) {
+  Cursor c(make_contig(10, make_leaf(4)), 0, 1);  // solid 40 bytes
+  auto part1 = collect(c, kUnlimited, /*max_bytes=*/12);
+  EXPECT_EQ(part1, (std::vector<Region>{{0, 12}}));
+  EXPECT_EQ(c.position(), 12);
+  auto part2 = collect(c, kUnlimited, 100);
+  EXPECT_EQ(part2, (std::vector<Region>{{12, 28}}));
+  EXPECT_TRUE(c.done());
+}
+
+TEST(PartialProcessing, ByteBudgetAcrossBlocks) {
+  auto v = make_vector(4, 2, 20, make_leaf(4));  // blocks of 8B at 0,20,40,60
+  Cursor c(v, 0, 1);
+  auto part = collect(c, kUnlimited, /*max_bytes=*/12);
+  EXPECT_EQ(part, (std::vector<Region>{{0, 8}, {20, 4}}));
+  auto rest = collect(c);
+  EXPECT_EQ(rest, (std::vector<Region>{{24, 4}, {40, 8}, {60, 8}}));
+}
+
+TEST(PartialProcessing, ProcessReportsCounts) {
+  auto v = make_vector(5, 1, 10, make_leaf(4));
+  Cursor c(v, 0, 1);
+  auto r = c.process(2, kUnlimited, [](std::int64_t, std::int64_t) {});
+  EXPECT_EQ(r.regions, 2);
+  EXPECT_EQ(r.bytes, 8);
+}
+
+// ---- Seek -----------------------------------------------------------------
+
+TEST(Seek, MatchesSequentialConsumption) {
+  const std::int64_t lens[] = {3, 1, 4};
+  const std::int64_t offs[] = {0, 20, 33};
+  auto type = make_indexed(lens, offs, make_leaf(4));
+  const std::int64_t total = 2 * type->size;
+  for (std::int64_t pos = 0; pos <= total; ++pos) {
+    Cursor seeker(type, 0, 2);
+    seeker.seek(pos);
+    EXPECT_EQ(seeker.position(), pos);
+    auto via_seek = collect(seeker);
+
+    Cursor walker(type, 0, 2);
+    auto skipped = collect(walker, kUnlimited, pos);
+    (void)skipped;
+    auto via_walk = collect(walker);
+    EXPECT_EQ(via_seek, via_walk) << "at pos " << pos;
+  }
+}
+
+TEST(Seek, ReseekAfterDoneRestartsCleanly) {
+  auto type = make_vector(5, 2, 16, make_leaf(4));
+  Cursor c(type, 0, 2);
+  (void)collect(c);
+  EXPECT_TRUE(c.done());
+  c.seek(0);  // rewind
+  EXPECT_FALSE(c.done());
+  auto again = collect(c);
+  Cursor fresh(type, 0, 2);
+  EXPECT_EQ(again, collect(fresh));
+}
+
+TEST(Seek, PackAfterSeekProducesTheStreamSuffix) {
+  auto type = make_vector(8, 4, 16, make_leaf(1));  // 32 data bytes
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(type->extent));
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i);
+  }
+  Cursor whole(type, 0, 1);
+  std::vector<std::uint8_t> full(32);
+  pack(buf.data(), whole, full);
+
+  Cursor suffix(type, 0, 1);
+  suffix.seek(13);
+  std::vector<std::uint8_t> tail(19);
+  EXPECT_EQ(pack(buf.data(), suffix, tail), 19u);
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(), full.begin() + 13));
+}
+
+TEST(Seek, ToEndIsDone) {
+  auto type = make_vector(3, 2, 16, make_leaf(4));
+  Cursor c(type, 0, 4);
+  c.seek(c.total_bytes());
+  EXPECT_TRUE(c.done());
+}
+
+TEST(Seek, OutOfRangeThrows) {
+  Cursor c(make_leaf(4), 0, 1);
+  EXPECT_THROW(c.seek(-1), std::out_of_range);
+  EXPECT_THROW(c.seek(5), std::out_of_range);
+}
+
+TEST(Seek, DeepNestedSeek) {
+  auto inner = make_vector(4, 1, 10, make_leaf(2));   // 8B per instance
+  auto mid = make_vector(3, 2, 100, inner);           // 48B per instance
+  auto outer = make_contig(5, mid);                   // 240B per instance
+  const std::int64_t total = 2 * outer->size;
+  for (std::int64_t pos = 0; pos <= total; pos += 7) {
+    Cursor seeker(outer, 0, 2);
+    seeker.seek(pos);
+    auto via_seek = collect(seeker);
+    Cursor walker(outer, 0, 2);
+    (void)collect(walker, kUnlimited, pos);
+    auto via_walk = collect(walker);
+    EXPECT_EQ(via_seek, via_walk) << "at pos " << pos;
+  }
+}
+
+// ---- Pack / unpack --------------------------------------------------------
+
+TEST(Pack, GatherScatterRoundTrip) {
+  auto type = make_vector(4, 2, 24, make_leaf(4));  // 32 data bytes
+  const std::int64_t footprint = type->extent;
+  std::vector<std::uint8_t> src(static_cast<std::size_t>(footprint), 0xEE);
+  // Paint data bytes with a recognisable ramp via unpack of a ramp stream.
+  std::vector<std::uint8_t> stream(32);
+  std::iota(stream.begin(), stream.end(), std::uint8_t{1});
+
+  Cursor w(type, 0, 1);
+  EXPECT_EQ(unpack(src.data(), w, stream), 32u);
+
+  Cursor r(type, 0, 1);
+  std::vector<std::uint8_t> out(32, 0);
+  EXPECT_EQ(pack(src.data(), r, out), 32u);
+  EXPECT_EQ(out, stream);
+
+  // Gap bytes untouched.
+  EXPECT_EQ(src[8], 0xEE);
+  EXPECT_EQ(src[20], 0xEE);
+}
+
+TEST(Pack, BoundedBufferPacksIncrementally) {
+  auto type = make_vector(8, 1, 6, make_leaf(4));  // 32 data bytes
+  std::vector<std::uint8_t> src(static_cast<std::size_t>(type->extent));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i);
+  }
+  Cursor c(type, 0, 1);
+  std::vector<std::uint8_t> all;
+  std::vector<std::uint8_t> chunk(10);
+  while (!c.done()) {
+    const std::size_t n = pack(src.data(), c, chunk);
+    all.insert(all.end(), chunk.begin(), chunk.begin() + static_cast<long>(n));
+  }
+  ASSERT_EQ(all.size(), 32u);
+  Cursor c2(type, 0, 1);
+  std::vector<std::uint8_t> whole(32);
+  pack(src.data(), c2, whole);
+  EXPECT_EQ(all, whole);
+}
+
+// ---- Serialisation --------------------------------------------------------
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const std::int64_t lens[] = {1, 3, 2};
+  const std::int64_t offs[] = {0, 11, 60};
+  const DataloopPtr kids[] = {make_leaf(8), make_leaf(4),
+                              make_vector(2, 1, 12, make_leaf(4))};
+  auto type = make_struct(lens, offs, kids);
+  std::vector<std::uint8_t> wire;
+  encode(*type, wire);
+  EXPECT_EQ(wire.size(), encoded_size(*type));
+  auto back = decode(wire);
+  EXPECT_TRUE(deep_equal(*type, *back));
+}
+
+TEST(Serialize, RoundTripPreservesResizedExtent) {
+  auto type = make_resized(make_vector(3, 1, 10, make_leaf(4)), -4, 64);
+  std::vector<std::uint8_t> wire;
+  encode(*type, wire);
+  auto back = decode(wire);
+  EXPECT_EQ(back->extent, 64);
+  EXPECT_EQ(back->lb, -4);
+  EXPECT_TRUE(deep_equal(*type, *back));
+}
+
+TEST(Serialize, DecodedLoopProcessesIdentically) {
+  const std::int64_t lens[] = {5, 2, 7};
+  const std::int64_t offs[] = {3, 50, 90};
+  auto type = make_indexed(lens, offs, make_leaf(2));
+  std::vector<std::uint8_t> wire;
+  encode(*type, wire);
+  auto back = decode(wire);
+  Cursor a(type, 1000, 3);
+  Cursor b(back, 1000, 3);
+  EXPECT_EQ(collect(a), collect(b));
+}
+
+TEST(Serialize, MalformedInputsThrow) {
+  EXPECT_THROW((void)decode({}), std::invalid_argument);
+  std::vector<std::uint8_t> wire;
+  encode(*make_leaf(4), wire);
+  wire.pop_back();
+  EXPECT_THROW((void)decode(wire), std::invalid_argument);
+  wire.push_back(0);
+  wire.push_back(0xFF);  // trailing garbage
+  EXPECT_THROW((void)decode(wire), std::invalid_argument);
+  std::vector<std::uint8_t> bogus(32, 0xAB);
+  EXPECT_THROW((void)decode(bogus), std::invalid_argument);
+}
+
+TEST(Serialize, DecoderSurvivesRandomBytes) {
+  // Fuzz the wire decoder: random byte strings must either decode to a
+  // valid loop or throw std::invalid_argument — never crash or hang.
+  Rng rng(0xF022);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> bytes(rng.next_below(120));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      auto loop = decode(bytes);
+      // If it decoded, it must be internally consistent.
+      EXPECT_GE(loop->size, 0);
+      EXPECT_GE(loop->node_count(), 1);
+    } catch (const std::invalid_argument&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST(Serialize, DecoderSurvivesBitFlips) {
+  const std::int64_t lens[] = {2, 5, 1};
+  const std::int64_t offs[] = {0, 30, 90};
+  auto type = make_indexed(lens, offs, make_leaf(4));
+  std::vector<std::uint8_t> wire;
+  encode(*type, wire);
+  Rng rng(99);
+  for (int round = 0; round < 500; ++round) {
+    auto mutated = wire;
+    mutated[rng.next_below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    try {
+      auto loop = decode(mutated);
+      EXPECT_GE(loop->node_count(), 1);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Cursor, DeepNestingStress) {
+  // 20 levels of alternating vectors: traversal and seek stay correct.
+  DataloopPtr loop = make_leaf(2);
+  for (int d = 0; d < 20; ++d) {
+    loop = make_vector(2, 1, loop->extent + 1 + d % 3, loop);
+  }
+  EXPECT_EQ(loop->size, 2 << 20);
+  auto regions = flatten(loop, 0, 1);
+  EXPECT_EQ(total_length(regions), loop->size);
+  Cursor seeker(loop, 0, 1);
+  seeker.seek(loop->size / 2);
+  Region r;
+  EXPECT_TRUE(seeker.peek(r));
+  EXPECT_EQ(seeker.position(), loop->size / 2);
+}
+
+// ---- Property tests over random (monotonic) types -------------------------
+
+DataloopPtr random_type(Rng& rng, int depth) {
+  if (depth == 0) {
+    return make_leaf(rng.next_range(1, 16));
+  }
+  auto child = random_type(rng, depth - 1);
+  switch (rng.next_below(5)) {
+    case 0:
+      return make_contig(rng.next_range(1, 5), child);
+    case 1: {
+      const std::int64_t blocklen = rng.next_range(1, 4);
+      const std::int64_t min_stride = blocklen * child->extent;
+      return make_vector(rng.next_range(2, 5), blocklen,
+                         min_stride + rng.next_range(0, 32), child);
+    }
+    case 2: {
+      const std::int64_t count = rng.next_range(1, 5);
+      const std::int64_t blocklen = rng.next_range(1, 3);
+      std::vector<std::int64_t> offs;
+      std::int64_t at = 0;
+      for (std::int64_t i = 0; i < count; ++i) {
+        offs.push_back(at);
+        at += blocklen * child->extent + rng.next_range(0, 40);
+      }
+      return make_blockindexed(count, blocklen, offs, child);
+    }
+    case 3: {
+      const std::int64_t count = rng.next_range(1, 5);
+      std::vector<std::int64_t> lens, offs;
+      std::int64_t at = rng.next_range(0, 8);
+      for (std::int64_t i = 0; i < count; ++i) {
+        const std::int64_t bl = rng.next_range(0, 3);
+        lens.push_back(bl);
+        offs.push_back(at);
+        at += bl * child->extent + rng.next_range(1, 24);
+      }
+      return make_indexed(lens, offs, child);
+    }
+    default: {
+      // Heterogeneous struct with monotonic non-overlapping blocks.
+      const std::int64_t count = rng.next_range(2, 4);
+      std::vector<std::int64_t> lens, offs;
+      std::vector<DataloopPtr> kids;
+      std::int64_t at = rng.next_range(0, 8);
+      for (std::int64_t i = 0; i < count; ++i) {
+        auto kid = i == 0 ? child : random_type(rng, 0);
+        const std::int64_t bl = rng.next_range(1, 2);
+        lens.push_back(bl);
+        offs.push_back(at);
+        // The block's data ends at offset + bl*extent + lb (instances tile
+        // by extent from the block origin, data spans [lb, lb+extent) of
+        // each instance); keep the next block past that.
+        at += bl * kid->extent + kid->lb + rng.next_range(1, 24);
+        kids.push_back(std::move(kid));
+      }
+      return make_struct(lens, offs, kids);
+    }
+  }
+}
+
+class DataloopProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataloopProperty, FlattenCoversExactlySizeBytes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto type = random_type(rng, static_cast<int>(rng.next_range(1, 3)));
+  const std::int64_t count = rng.next_range(1, 4);
+  auto regions = flatten(type, 0, count);
+  EXPECT_EQ(total_length(regions), type->size * count);
+  EXPECT_TRUE(regions_sorted_disjoint(regions));
+  // Coalesced output never has touching neighbours.
+  for (std::size_t i = 1; i < regions.size(); ++i) {
+    EXPECT_GT(regions[i].offset, regions[i - 1].end());
+  }
+}
+
+TEST_P(DataloopProperty, PartialProcessingMatchesFull) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  auto type = random_type(rng, static_cast<int>(rng.next_range(1, 3)));
+  const std::int64_t count = rng.next_range(1, 3);
+  auto expect = flatten(type, 0, count);
+
+  Cursor c(type, 0, count);
+  std::vector<Region> got;
+  while (!c.done()) {
+    auto part = collect(c, rng.next_range(1, 4), rng.next_range(1, 64));
+    got.insert(got.end(), part.begin(), part.end());
+  }
+  coalesce_adjacent(got);  // budget cuts may split regions
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(DataloopProperty, SerializeRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  auto type = random_type(rng, static_cast<int>(rng.next_range(1, 3)));
+  std::vector<std::uint8_t> wire;
+  encode(*type, wire);
+  auto back = decode(wire);
+  EXPECT_TRUE(deep_equal(*type, *back));
+}
+
+TEST_P(DataloopProperty, PackUnpackIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  auto type = random_type(rng, static_cast<int>(rng.next_range(1, 3)));
+  const std::int64_t count = rng.next_range(1, 3);
+  const std::int64_t total = type->size * count;
+  const std::int64_t span = type->extent * count + 64;
+
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(span), 0);
+  std::vector<std::uint8_t> stream(static_cast<std::size_t>(total));
+  for (auto& b : stream) b = static_cast<std::uint8_t>(rng.next());
+
+  Cursor w(type, 0, count);
+  ASSERT_EQ(unpack(buffer.data(), w, stream),
+            static_cast<std::size_t>(total));
+  Cursor r(type, 0, count);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(total), 0);
+  ASSERT_EQ(pack(buffer.data(), r, out), static_cast<std::size_t>(total));
+  EXPECT_EQ(out, stream);
+}
+
+TEST_P(DataloopProperty, SeekEquivalentToSkip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537);
+  auto type = random_type(rng, static_cast<int>(rng.next_range(1, 3)));
+  const std::int64_t count = rng.next_range(1, 3);
+  const std::int64_t total = type->size * count;
+  const std::int64_t pos = rng.next_range(0, total);
+
+  Cursor seeker(type, 0, count);
+  seeker.seek(pos);
+  auto via_seek = collect(seeker);
+
+  Cursor walker(type, 0, count);
+  (void)collect(walker, kUnlimited, pos);
+  auto via_walk = collect(walker);
+  EXPECT_EQ(via_seek, via_walk);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTypes, DataloopProperty,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace dtio::dl

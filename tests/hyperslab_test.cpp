@@ -1,0 +1,240 @@
+// Tests for the HDF5-style hyperslab front-end: brute-force oracle over
+// element coordinates, datatype/dataloop equivalence, validation, and an
+// end-to-end write/read through the simulated file system.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataloop/cursor.h"
+#include "hyperslab/hyperslab.h"
+#include "io/methods.h"
+#include "mpiio/file.h"
+#include "pfs/cluster.h"
+
+namespace dtio::hyperslab {
+namespace {
+
+using sim::Task;
+
+/// Brute-force: byte regions of all selected elements, in row-major order.
+std::vector<Region> oracle_regions(const Hyperslab& slab,
+                                   std::int64_t el_size) {
+  const auto& dims = slab.dims();
+  std::vector<std::int64_t> coords(dims.size(), 0);
+  std::vector<Region> out;
+  while (true) {
+    if (slab.contains(coords)) {
+      std::int64_t flat = 0;
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        flat = flat * dims[d] + coords[d];
+      }
+      out.push_back({flat * el_size, el_size});
+    }
+    // Odometer increment.
+    std::size_t d = dims.size();
+    while (d-- > 0) {
+      if (++coords[d] < dims[d]) break;
+      coords[d] = 0;
+      if (d == 0) {
+        coalesce_adjacent(out);
+        return out;
+      }
+    }
+  }
+}
+
+TEST(Hyperslab, SimpleStridedColumns) {
+  // 4x8 space; every other column pair, rows 1..2.
+  const std::int64_t dims[] = {4, 8};
+  const DimSelection sel[] = {{1, 1, 2, 1}, {0, 4, 2, 2}};
+  Hyperslab slab(dims, sel);
+  EXPECT_EQ(slab.num_selected(), 2 * 4);
+  EXPECT_TRUE(slab.contains(std::vector<std::int64_t>{1, 0}));
+  EXPECT_TRUE(slab.contains(std::vector<std::int64_t>{2, 5}));
+  EXPECT_FALSE(slab.contains(std::vector<std::int64_t>{0, 0}));
+  EXPECT_FALSE(slab.contains(std::vector<std::int64_t>{1, 2}));
+  EXPECT_FALSE(slab.contains(std::vector<std::int64_t>{3, 4}));
+
+  auto regions = dl::flatten(slab.to_dataloop(1), 0, 1);
+  EXPECT_EQ(regions, oracle_regions(slab, 1));
+}
+
+TEST(Hyperslab, DatatypeAndDataloopAgree) {
+  const std::int64_t dims[] = {5, 6, 7};
+  const DimSelection sel[] = {{0, 2, 2, 1}, {1, 3, 2, 2}, {2, 5, 1, 3}};
+  Hyperslab slab(dims, sel);
+  auto via_loop = dl::flatten(slab.to_dataloop(4), 0, 1);
+  auto via_type = slab.to_datatype(types::int32_t_()).flatten(0, 1);
+  EXPECT_EQ(via_loop, via_type);
+  EXPECT_EQ(via_type, oracle_regions(slab, 4));
+  EXPECT_EQ(slab.to_datatype(types::int32_t_()).size(),
+            slab.num_selected() * 4);
+}
+
+TEST(Hyperslab, ExtentSpansWholeDataspace) {
+  const std::int64_t dims[] = {3, 4};
+  const DimSelection sel[] = {{0, 1, 1, 1}, {1, 2, 2, 1}};
+  Hyperslab slab(dims, sel);
+  EXPECT_EQ(slab.to_datatype(types::double_t()).extent(), 3 * 4 * 8);
+  EXPECT_EQ(slab.to_dataloop(8)->extent, 3 * 4 * 8);
+}
+
+TEST(Hyperslab, ValidationRejectsBadSelections) {
+  const std::int64_t dims[] = {4, 4};
+  const DimSelection overlap[] = {{0, 1, 1, 1}, {0, 2, 2, 3}};
+  EXPECT_THROW(Hyperslab(dims, overlap), std::invalid_argument);
+  const DimSelection outside[] = {{0, 1, 1, 1}, {2, 2, 2, 1}};
+  EXPECT_THROW(Hyperslab(dims, outside), std::invalid_argument);
+  const DimSelection negative[] = {{-1, 1, 1, 1}, {0, 1, 1, 1}};
+  EXPECT_THROW(Hyperslab(dims, negative), std::invalid_argument);
+  const DimSelection wrong_arity[] = {{0, 1, 1, 1}};
+  EXPECT_THROW(Hyperslab(dims, wrong_arity), std::invalid_argument);
+}
+
+class HyperslabProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperslabProperty, RandomSelectionsMatchOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2357);
+  const auto ndims = static_cast<std::size_t>(rng.next_range(1, 3));
+  std::vector<std::int64_t> dims;
+  std::vector<DimSelection> sel;
+  for (std::size_t d = 0; d < ndims; ++d) {
+    const std::int64_t size = rng.next_range(4, 12);
+    DimSelection s;
+    s.block = rng.next_range(1, 3);
+    s.stride = s.block + rng.next_range(0, 3);
+    const std::int64_t max_count =
+        (size - s.block) / s.stride + 1;
+    s.count = rng.next_range(1, std::max<std::int64_t>(1, max_count));
+    s.start = rng.next_range(0, size - ((s.count - 1) * s.stride + s.block));
+    dims.push_back(size);
+    sel.push_back(s);
+  }
+  Hyperslab slab(dims, sel);
+  const std::int64_t el = rng.next_range(1, 8);
+  auto regions = dl::flatten(slab.to_dataloop(el), 0, 1);
+  EXPECT_EQ(regions, oracle_regions(slab, el));
+  EXPECT_EQ(total_length(regions), slab.num_selected() * el);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, HyperslabProperty, ::testing::Range(0, 30));
+
+// ---- Union selections (H5S_SELECT_OR) -----------------------------------------
+
+TEST(Selection, UnionDeduplicatesOverlaps) {
+  const std::int64_t dims[] = {8, 8};
+  Selection sel(dims);
+  const DimSelection rows_0_3[] = {{0, 1, 4, 1}, {0, 1, 8, 1}};
+  const DimSelection rows_2_5[] = {{2, 1, 4, 1}, {0, 1, 8, 1}};
+  sel.select_or(rows_0_3);
+  sel.select_or(rows_2_5);
+  EXPECT_EQ(sel.num_slabs(), 2u);
+  // Rows 0..5 of 8 columns, overlap (rows 2..3) counted once.
+  EXPECT_EQ(sel.num_selected(), 6 * 8);
+  EXPECT_TRUE(sel.contains(std::vector<std::int64_t>{5, 7}));
+  EXPECT_FALSE(sel.contains(std::vector<std::int64_t>{6, 0}));
+  // Rows 0..5 are contiguous in element space: one merged region.
+  EXPECT_EQ(sel.element_regions(), (std::vector<Region>{{0, 48}}));
+}
+
+TEST(Selection, DisjointSlabsKeepSeparateRegions) {
+  const std::int64_t dims[] = {16};
+  Selection sel(dims);
+  const DimSelection a[] = {{0, 1, 2, 1}};
+  const DimSelection b[] = {{10, 2, 3, 1}};
+  sel.select_or(a);
+  sel.select_or(b);
+  EXPECT_EQ(sel.element_regions(),
+            (std::vector<Region>{{0, 2}, {10, 1}, {12, 1}, {14, 1}}));
+  EXPECT_EQ(sel.num_selected(), 5);
+}
+
+TEST(Selection, UnionDatatypeMatchesMembership) {
+  const std::int64_t dims[] = {6, 10};
+  Selection sel(dims);
+  const DimSelection block_a[] = {{0, 1, 2, 1}, {0, 3, 3, 2}};
+  const DimSelection block_b[] = {{1, 1, 3, 1}, {4, 1, 4, 1}};
+  sel.select_or(block_a);
+  sel.select_or(block_b);
+  auto type = sel.to_datatype(types::int32_t_());
+  EXPECT_EQ(type.size(), sel.num_selected() * 4);
+  EXPECT_EQ(type.extent(), 6 * 10 * 4);
+  // Every flattened byte maps back to a selected element and vice versa.
+  std::int64_t covered = 0;
+  for (const Region& r : type.flatten(0, 1)) {
+    EXPECT_EQ(r.offset % 4, 0);
+    EXPECT_EQ(r.length % 4, 0);
+    for (std::int64_t el = r.offset / 4; el < r.end() / 4; ++el) {
+      const std::int64_t coords[] = {el / 10, el % 10};
+      EXPECT_TRUE(sel.contains(coords)) << "element " << el;
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, sel.num_selected());
+}
+
+TEST(Selection, RegionUnionPrimitive) {
+  std::vector<Region> messy{{10, 5}, {0, 4}, {12, 10}, {3, 2}, {40, 0}};
+  EXPECT_EQ(region_union(std::move(messy)),
+            (std::vector<Region>{{0, 5}, {10, 12}}));
+  EXPECT_TRUE(region_union({}).empty());
+}
+
+TEST(Hyperslab, EndToEndThroughTheFileSystem) {
+  // Write a full 2-D dataset, read back a hyperslab with datatype I/O,
+  // verify against the oracle.
+  net::ClusterConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_clients = 1;
+  cfg.strip_size = 512;
+  pfs::Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+  io::Context ctx{cluster.scheduler(), *client, cluster.config()};
+  mpiio::File file(ctx);
+
+  const std::int64_t dims[] = {16, 32};
+  const DimSelection sel[] = {{2, 3, 4, 2}, {1, 6, 5, 3}};
+  Hyperslab slab(dims, sel);
+
+  std::vector<std::uint8_t> dataset(16 * 32);
+  std::iota(dataset.begin(), dataset.end(), 0);
+  std::vector<std::uint8_t> picked(
+      static_cast<std::size_t>(slab.num_selected()), 0);
+  bool ok = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, const Hyperslab& s,
+         const std::vector<std::uint8_t>& all, std::vector<std::uint8_t>& out,
+         bool& verified) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/h5", true)).is_ok());
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto whole = types::contiguous(
+            static_cast<std::int64_t>(all.size()), types::byte_t());
+        EXPECT_TRUE((co_await f.write_at(0, all.data(), 1, whole,
+                                         mpiio::Method::kDatatype))
+                        .is_ok());
+        // Select through the hyperslab view (the HDF5-layer path).
+        f.set_view(0, types::byte_t(), s.to_datatype(types::byte_t()));
+        auto memtype = types::contiguous(s.num_selected(), types::byte_t());
+        EXPECT_TRUE((co_await f.read_at(0, out.data(), 1, memtype,
+                                        mpiio::Method::kDatatype))
+                        .is_ok());
+        verified = true;
+      }(file, slab, dataset, picked, ok));
+  cluster.run();
+  ASSERT_TRUE(ok);
+
+  const auto expect = oracle_regions(slab, 1);
+  std::size_t at = 0;
+  for (const Region& r : expect) {
+    for (std::int64_t i = r.offset; i < r.end(); ++i) {
+      ASSERT_EQ(picked[at++], dataset[static_cast<std::size_t>(i)])
+          << "element " << i;
+    }
+  }
+  EXPECT_EQ(at, picked.size());
+}
+
+}  // namespace
+}  // namespace dtio::hyperslab

@@ -1,0 +1,267 @@
+// Tests for the MPI-IO facade: open/create semantics, file views with
+// non-byte etypes, view offsets, file size queries, and misuse guards.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "collective/comm.h"
+#include "mpiio/file.h"
+#include "mpiio/hints.h"
+#include "pfs/cluster.h"
+
+namespace dtio {
+namespace {
+
+using mpiio::Method;
+using sim::Task;
+
+struct World {
+  explicit World(int clients = 1) {
+    net::ClusterConfig cfg;
+    cfg.num_servers = 4;
+    cfg.num_clients = clients;
+    cfg.strip_size = 1024;
+    cluster = std::make_unique<pfs::Cluster>(cfg);
+    for (int r = 0; r < clients; ++r) {
+      clients_.push_back(cluster->make_client(r));
+      contexts_.push_back(std::make_unique<io::Context>(io::Context{
+          cluster->scheduler(), *clients_.back(), cluster->config()}));
+      files.push_back(std::make_unique<mpiio::File>(*contexts_.back()));
+    }
+  }
+  std::unique_ptr<pfs::Cluster> cluster;
+  std::vector<std::unique_ptr<pfs::Client>> clients_;
+  std::vector<std::unique_ptr<io::Context>> contexts_;
+  std::vector<std::unique_ptr<mpiio::File>> files;
+};
+
+TEST(MpiioFile, OpenMissingFileFails) {
+  World w;
+  Status status;
+  w.cluster->scheduler().spawn([](mpiio::File& f, Status& out) -> Task<void> {
+    out = co_await f.open("/missing", /*create=*/false);
+  }(*w.files[0], status));
+  w.cluster->run();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_FALSE(w.files[0]->is_open());
+}
+
+TEST(MpiioFile, CreateThenReopenKeepsHandle) {
+  World w;
+  std::uint64_t h1 = 0, h2 = 0;
+  w.cluster->scheduler().spawn(
+      [](mpiio::File& f, std::uint64_t& a, std::uint64_t& b) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/file", true)).is_ok());
+        a = f.handle();
+        EXPECT_TRUE((co_await f.open("/file", true)).is_ok());  // create-or-open
+        b = f.handle();
+      }(*w.files[0], h1, h2));
+  w.cluster->run();
+  EXPECT_NE(h1, 0u);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MpiioFile, EtypeScalesViewOffsets) {
+  // etype = int32: read_at(offset) counts 4-byte elements, not bytes.
+  World w;
+  std::vector<std::int32_t> values(64);
+  std::iota(values.begin(), values.end(), 1000);
+  std::int32_t got = 0;
+  w.cluster->scheduler().spawn(
+      [](mpiio::File& f, const std::vector<std::int32_t>& src,
+         std::int32_t& out) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/etype", true)).is_ok());
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto bytes = types::contiguous(
+            static_cast<std::int64_t>(src.size() * 4), types::byte_t());
+        EXPECT_TRUE((co_await f.write_at(0, src.data(), 1, bytes,
+                                         Method::kDatatype))
+                        .is_ok());
+        // Now view the file as int32s and read element 17.
+        f.set_view(0, types::int32_t_(), types::int32_t_());
+        EXPECT_TRUE((co_await f.read_at(17, &out, 1, types::int32_t_(),
+                                        Method::kPosix))
+                        .is_ok());
+      }(*w.files[0], values, got));
+  w.cluster->run();
+  EXPECT_EQ(got, 1017);
+}
+
+TEST(MpiioFile, DisplacementShiftsTheView) {
+  World w;
+  std::vector<std::uint8_t> raw(256);
+  std::iota(raw.begin(), raw.end(), 0);
+  std::uint8_t got = 0;
+  w.cluster->scheduler().spawn(
+      [](mpiio::File& f, const std::vector<std::uint8_t>& src,
+         std::uint8_t& out) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/disp", true)).is_ok());
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto bytes = types::contiguous(256, types::byte_t());
+        EXPECT_TRUE((co_await f.write_at(0, src.data(), 1, bytes,
+                                         Method::kDatatype))
+                        .is_ok());
+        f.set_view(100, types::byte_t(), types::byte_t());
+        EXPECT_TRUE((co_await f.read_at(0, &out, 1, types::byte_t(),
+                                        Method::kList))
+                        .is_ok());
+      }(*w.files[0], raw, got));
+  w.cluster->run();
+  EXPECT_EQ(got, 100);
+}
+
+TEST(MpiioFile, SizeReflectsHighestWrite) {
+  World w;
+  std::int64_t size = -1;
+  w.cluster->scheduler().spawn(
+      [](mpiio::File& f, std::int64_t& out) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/size", true)).is_ok());
+        f.set_view(0, types::byte_t(), types::byte_t());
+        std::vector<std::uint8_t> data(100, 1);
+        auto bytes = types::contiguous(100, types::byte_t());
+        EXPECT_TRUE((co_await f.write_at(5000, data.data(), 1, bytes,
+                                         Method::kDatatype))
+                        .is_ok());
+        out = co_await f.size();
+      }(*w.files[0], size));
+  w.cluster->run();
+  EXPECT_EQ(size, 5100);
+}
+
+TEST(MpiioFile, TwoPhaseRejectedOnIndependentPath) {
+  World w;
+  Status status;
+  w.cluster->scheduler().spawn([](mpiio::File& f, Status& out) -> Task<void> {
+    EXPECT_TRUE((co_await f.open("/tp", true)).is_ok());
+    std::uint8_t byte = 0;
+    out = co_await f.read_at(0, &byte, 1, types::byte_t(),
+                             Method::kTwoPhase);
+  }(*w.files[0], status));
+  w.cluster->run();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MpiioFile, ZeroCountIsANoOp) {
+  World w;
+  Status status;
+  w.cluster->scheduler().spawn([](mpiio::File& f, Status& out) -> Task<void> {
+    EXPECT_TRUE((co_await f.open("/zero", true)).is_ok());
+    out = co_await f.write_at(0, nullptr, 0, types::int32_t_(),
+                              Method::kDatatype);
+  }(*w.files[0], status));
+  w.cluster->run();
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(w.clients_[0]->stats().requests_sent, 0u);
+}
+
+TEST(MpiioFile, CollectiveOnViewWithDifferentMethodsAgrees) {
+  // Two ranks write halves with different methods under write_at_all's
+  // fallback; the bytes must land identically to a contiguous oracle.
+  World w(2);
+  coll::Communicator comm(w.cluster->scheduler(), w.cluster->network(),
+                          w.cluster->config(), 2);
+  std::vector<std::uint8_t> data(2048);
+  std::iota(data.begin(), data.end(), 0);
+  int done = 0;
+  for (int r = 0; r < 2; ++r) {
+    w.cluster->scheduler().spawn(
+        [](mpiio::File& f, coll::Communicator& c, int rank,
+           const std::vector<std::uint8_t>& src, int& finished) -> Task<void> {
+          EXPECT_TRUE((co_await f.open("/mix", rank == 0)).is_ok());
+          f.set_view(0, types::byte_t(), types::byte_t());
+          auto memtype = types::contiguous(1024, types::byte_t());
+          const Method m = rank == 0 ? Method::kList : Method::kDatatype;
+          EXPECT_TRUE((co_await f.write_at_all(c, rank, rank * 1024,
+                                               src.data() + rank * 1024, 1,
+                                               memtype, m))
+                          .is_ok());
+          ++finished;
+        }(*w.files[r], comm, r, data, done));
+  }
+  w.cluster->run();
+  EXPECT_EQ(done, 2);
+
+  bool ok = false;
+  w.cluster->scheduler().spawn(
+      [](mpiio::File& f, const std::vector<std::uint8_t>& expect,
+         bool& verified) -> Task<void> {
+        std::vector<std::uint8_t> back(2048);
+        auto memtype = types::contiguous(2048, types::byte_t());
+        EXPECT_TRUE((co_await f.read_at(0, back.data(), 1, memtype,
+                                        Method::kDataSieving))
+                        .is_ok());
+        verified = back == expect;
+      }(*w.files[0], data, ok));
+  w.cluster->run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Hints, ParsesRomioVocabulary) {
+  const std::pair<std::string_view, std::string_view> pairs[] = {
+      {"cb_buffer_size", "8M"},
+      {"ind_rd_buffer_size", "512k"},
+      {"striping_unit", "131072"},
+      {"romio_cb_write", "disable"},
+      {"romio_ds_read", "enable"},
+      {"pvfs_listio_max_regions", "128"},
+      {"pvfs_dtype_cache", "enable"},
+      {"some_unknown_key", "whatever"},  // ignored per MPI semantics
+  };
+  auto parsed = mpiio::Hints::parse(pairs);
+  ASSERT_TRUE(parsed.is_ok());
+  const mpiio::Hints& h = parsed.value();
+  EXPECT_EQ(h.cb_buffer_size, 8 * kMiB);
+  EXPECT_EQ(h.ind_rd_buffer_size, 512 * kKiB);
+  EXPECT_EQ(h.striping_unit, 131072u);
+  EXPECT_EQ(h.cb_write, mpiio::Toggle::kDisable);
+  EXPECT_EQ(h.ds_read, mpiio::Toggle::kEnable);
+  EXPECT_EQ(h.listio_max_regions, 128u);
+  EXPECT_TRUE(h.dtype_cache);
+}
+
+TEST(Hints, BadValuesAreErrors) {
+  const std::pair<std::string_view, std::string_view> bad_size[] = {
+      {"cb_buffer_size", "lots"}};
+  EXPECT_FALSE(mpiio::Hints::parse(bad_size).is_ok());
+  const std::pair<std::string_view, std::string_view> bad_toggle[] = {
+      {"romio_cb_read", "yes"}};
+  EXPECT_FALSE(mpiio::Hints::parse(bad_toggle).is_ok());
+  const std::pair<std::string_view, std::string_view> zero[] = {
+      {"striping_unit", "0"}};
+  EXPECT_FALSE(mpiio::Hints::parse(zero).is_ok());
+}
+
+TEST(Hints, ApplyFoldsIntoClusterConfig) {
+  const std::pair<std::string_view, std::string_view> pairs[] = {
+      {"cb_buffer_size", "1M"},
+      {"striping_unit", "32k"},
+      {"pvfs_listio_max_regions", "32"},
+      {"pvfs_dtype_cache", "enable"},
+  };
+  auto h = mpiio::Hints::parse(pairs);
+  ASSERT_TRUE(h.is_ok());
+  net::ClusterConfig cfg;
+  h.value().apply(cfg);
+  EXPECT_EQ(cfg.cb_buffer_size, kMiB);
+  EXPECT_EQ(cfg.strip_size, 32 * kKiB);
+  EXPECT_EQ(cfg.list_io_max_regions, 32u);
+  EXPECT_TRUE(cfg.server.dataloop_cache);
+}
+
+TEST(Hints, MethodSelectionHonoursToggles) {
+  mpiio::Hints h;
+  EXPECT_EQ(h.choose_collective(false), Method::kTwoPhase);
+  EXPECT_EQ(h.choose_independent(false), Method::kDatatype);
+  h.cb_write = mpiio::Toggle::kDisable;
+  EXPECT_EQ(h.choose_collective(true), Method::kDatatype);
+  h.ds_read = mpiio::Toggle::kEnable;
+  EXPECT_EQ(h.choose_independent(false), Method::kDataSieving);
+  // Sieving writes never selected on lock-free PVFS.
+  h.ds_write = mpiio::Toggle::kEnable;
+  EXPECT_EQ(h.choose_independent(true), Method::kDatatype);
+}
+
+}  // namespace
+}  // namespace dtio

@@ -1,0 +1,458 @@
+// Tests for the PVFS-like file system: striping math, sparse bstreams,
+// metadata operations, and end-to-end data round trips through all three
+// interfaces (contiguous, list, datatype) including cross-interface
+// write-with-one/read-with-another oracles.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "dataloop/dataloop.h"
+#include "pfs/bstream.h"
+#include "pfs/cluster.h"
+#include "pfs/layout.h"
+
+namespace dtio::pfs {
+namespace {
+
+using sim::Task;
+
+// ---- Layout -------------------------------------------------------------------
+
+TEST(Layout, PlaceRoundRobin) {
+  FileLayout layout(4, 100);
+  EXPECT_EQ(layout.place(0).server, 0);
+  EXPECT_EQ(layout.place(99).server, 0);
+  EXPECT_EQ(layout.place(100).server, 1);
+  EXPECT_EQ(layout.place(399).server, 3);
+  EXPECT_EQ(layout.place(400).server, 0);    // second stripe
+  EXPECT_EQ(layout.place(400).physical, 100);
+  EXPECT_EQ(layout.place(50).physical, 50);
+  EXPECT_EQ(layout.place(150).physical, 50);
+}
+
+TEST(Layout, LogicalInvertsPlace) {
+  FileLayout layout(16, 64 * 1024);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto offset = static_cast<std::int64_t>(rng.next_below(1u << 30));
+    const auto p = layout.place(offset);
+    EXPECT_EQ(layout.logical(p.server, p.physical), offset);
+  }
+}
+
+TEST(Layout, MapRegionSplitsAtStripBoundaries) {
+  FileLayout layout(2, 10);
+  std::vector<std::tuple<int, Region, std::int64_t>> pieces;
+  layout.map_region(Region{5, 20}, [&](int s, Region r, std::int64_t pos) {
+    pieces.emplace_back(s, r, pos);
+  });
+  // [5,10) srv0 phys[5,10); [10,20) srv1 phys[0,10); [20,25) srv0 phys[10,15)
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], std::make_tuple(0, Region{5, 5}, std::int64_t{0}));
+  EXPECT_EQ(pieces[1], std::make_tuple(1, Region{0, 10}, std::int64_t{5}));
+  EXPECT_EQ(pieces[2], std::make_tuple(0, Region{10, 5}, std::int64_t{15}));
+}
+
+TEST(Layout, MapRegionsTracksStreamAcrossRegions) {
+  FileLayout layout(2, 10);
+  const std::vector<Region> regions{{0, 4}, {30, 4}};
+  std::vector<std::int64_t> stream_positions;
+  layout.map_regions(regions, [&](int, Region, std::int64_t pos) {
+    stream_positions.push_back(pos);
+  });
+  EXPECT_EQ(stream_positions, (std::vector<std::int64_t>{0, 4}));
+}
+
+TEST(Layout, ServersTouched) {
+  FileLayout layout(4, 10);
+  EXPECT_EQ(layout.servers_touched({0, 5}), 1);
+  EXPECT_EQ(layout.servers_touched({0, 11}), 2);
+  EXPECT_EQ(layout.servers_touched({0, 1000}), 4);  // capped at server count
+  EXPECT_EQ(layout.servers_touched({0, 0}), 0);
+}
+
+// ---- Bstream -------------------------------------------------------------------
+
+TEST(BstreamStore, ReadBackAndZeroFill) {
+  Bstream bs;
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  bs.write(100, data);
+  std::vector<std::uint8_t> out(9, 0xFF);
+  bs.read(98, out);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0, 0, 1, 2, 3, 4, 5, 0, 0}));
+  EXPECT_EQ(bs.size(), 105);
+}
+
+TEST(BstreamStore, CrossPageWrites) {
+  Bstream bs;
+  std::vector<std::uint8_t> data(3 * Bstream::kPageSize);
+  Rng rng(5);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const std::int64_t at = Bstream::kPageSize / 2;
+  bs.write(at, data);
+  std::vector<std::uint8_t> out(data.size());
+  bs.read(at, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(bs.resident_pages(), 4u);
+}
+
+TEST(BstreamStore, SparseFilesStaySparse) {
+  Bstream bs;
+  bs.write(1000LL * Bstream::kPageSize, std::vector<std::uint8_t>{1});
+  EXPECT_EQ(bs.resident_pages(), 1u);
+  EXPECT_EQ(bs.size(), 1000LL * Bstream::kPageSize + 1);
+}
+
+TEST(BstreamStore, NoteWriteOnlyAdvancesSize) {
+  Bstream bs;
+  bs.note_write(500, 100);
+  EXPECT_EQ(bs.size(), 600);
+  EXPECT_EQ(bs.resident_pages(), 0u);
+}
+
+// ---- End-to-end fixture -----------------------------------------------------------
+
+net::ClusterConfig small_config(int servers = 4, int clients = 2) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = servers;
+  cfg.num_clients = clients;
+  cfg.strip_size = 1024;  // small strips exercise splitting
+  return cfg;
+}
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> data(n);
+  Rng rng(seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  return data;
+}
+
+TEST(EndToEnd, CreateOpenRemove) {
+  Cluster cluster(small_config());
+  auto client = cluster.make_client(0);
+  bool finished = false;
+  cluster.scheduler().spawn([](Client& c, bool& done) -> Task<void> {
+    MetaResult created = co_await c.create("/a");
+    EXPECT_TRUE(created.status.is_ok());
+    EXPECT_NE(created.handle, 0u);
+
+    MetaResult duplicate = co_await c.create("/a");
+    EXPECT_FALSE(duplicate.status.is_ok());
+
+    MetaResult opened = co_await c.open("/a");
+    EXPECT_TRUE(opened.status.is_ok());
+    EXPECT_EQ(opened.handle, created.handle);
+
+    MetaResult missing = co_await c.open("/nope");
+    EXPECT_FALSE(missing.status.is_ok());
+
+    MetaResult removed = co_await c.remove("/a");
+    EXPECT_TRUE(removed.status.is_ok());
+    MetaResult gone = co_await c.open("/a");
+    EXPECT_FALSE(gone.status.is_ok());
+    done = true;
+  }(*client, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(EndToEnd, ContigWriteReadAcrossStripes) {
+  Cluster cluster(small_config());
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(10000, 42);  // spans several stripes
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<std::uint8_t>& src,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/contig");
+        EXPECT_TRUE(f.status.is_ok());
+        Status w = co_await c.write_contig(f.handle, 500, src.data(),
+                                           static_cast<std::int64_t>(src.size()));
+        EXPECT_TRUE(w.is_ok());
+
+        std::vector<std::uint8_t> back(src.size());
+        Status r = co_await c.read_contig(f.handle, 500, back.data(),
+                                          static_cast<std::int64_t>(back.size()));
+        EXPECT_TRUE(r.is_ok());
+        EXPECT_EQ(back, src);
+
+        MetaResult st = co_await c.stat("/contig");
+        EXPECT_TRUE(st.status.is_ok());
+        EXPECT_EQ(st.size, 500 + static_cast<std::int64_t>(src.size()));
+        done = true;
+      }(*client, data, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(EndToEnd, ListWriteReadRoundTrip) {
+  Cluster cluster(small_config());
+  auto client = cluster.make_client(0);
+  const std::vector<Region> regions{{0, 100}, {2000, 50}, {5000, 300}};
+  const auto stream = pattern_bytes(450, 7);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<Region>& regs,
+         const std::vector<std::uint8_t>& src, bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/list");
+        EXPECT_TRUE(f.status.is_ok());
+        EXPECT_TRUE((co_await c.write_list(f.handle, regs, src.data())).is_ok());
+        std::vector<std::uint8_t> back(src.size(), 0);
+        EXPECT_TRUE((co_await c.read_list(f.handle, regs, back.data())).is_ok());
+        EXPECT_EQ(back, src);
+        done = true;
+      }(*client, regions, stream, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(EndToEnd, DatatypeWriteReadRoundTrip) {
+  Cluster cluster(small_config());
+  auto client = cluster.make_client(0);
+  // Strided file pattern crossing strip boundaries: 40 blocks of 96 bytes
+  // every 250.
+  auto filetype = dl::make_vector(40, 96, 250, dl::make_leaf(1));
+  const auto stream = pattern_bytes(static_cast<std::size_t>(filetype->size),
+                                    11);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, dl::DataloopPtr* type,
+         const std::vector<std::uint8_t>& src, bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/dt");
+        EXPECT_TRUE(f.status.is_ok());
+        EXPECT_TRUE((co_await c.write_datatype(f.handle, *type, 123, 1, 0,
+                                              (*type)->size, src.data())).is_ok());
+        std::vector<std::uint8_t> back(src.size(), 0);
+        EXPECT_TRUE((co_await c.read_datatype(f.handle, *type, 123, 1, 0,
+                                             (*type)->size, back.data())).is_ok());
+        EXPECT_EQ(back, src);
+        done = true;
+      }(*client, &filetype, stream, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(EndToEnd, DatatypeStreamWindowIsRespected) {
+  Cluster cluster(small_config());
+  auto client = cluster.make_client(0);
+  auto filetype = dl::make_vector(10, 8, 64, dl::make_leaf(1));  // 80 bytes
+  const auto stream = pattern_bytes(80, 13);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, dl::DataloopPtr* type,
+         const std::vector<std::uint8_t>& src, bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/win");
+        EXPECT_TRUE(f.status.is_ok());
+        // Write the whole stream, then read back only window [24, 56).
+        EXPECT_TRUE((co_await c.write_datatype(f.handle, *type, 0, 1, 0, 80,
+                                              src.data())).is_ok());
+        std::vector<std::uint8_t> part(32, 0);
+        EXPECT_TRUE((co_await c.read_datatype(f.handle, *type, 0, 1, 24, 32,
+                                             part.data())).is_ok());
+        EXPECT_TRUE(std::equal(part.begin(), part.end(), src.begin() + 24));
+        done = true;
+      }(*client, &filetype, stream, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(EndToEnd, CrossInterfaceOracle) {
+  // Write with the datatype interface, read back with list and contig:
+  // all three views of the file must agree byte-for-byte.
+  Cluster cluster(small_config());
+  auto client = cluster.make_client(0);
+  auto filetype = dl::make_vector(8, 32, 200, dl::make_leaf(1));  // 256 B
+  const auto stream = pattern_bytes(256, 17);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, dl::DataloopPtr* type,
+         const std::vector<std::uint8_t>& src, bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/oracle");
+        EXPECT_TRUE(f.status.is_ok());
+        EXPECT_TRUE((co_await c.write_datatype(f.handle, *type, 0, 1, 0, 256,
+                                              src.data())).is_ok());
+
+        // The same regions, described explicitly.
+        std::vector<Region> regions;
+        for (int b = 0; b < 8; ++b) regions.push_back({b * 200, 32});
+        std::vector<std::uint8_t> via_list(256, 0);
+        EXPECT_TRUE((co_await c.read_list(f.handle, regions, via_list.data())).is_ok());
+        EXPECT_EQ(via_list, src);
+
+        // Contig read of one block plus its gap.
+        std::vector<std::uint8_t> via_contig(200, 0);
+        EXPECT_TRUE((co_await c.read_contig(f.handle, 200, via_contig.data(),
+                                           200)).is_ok());
+        EXPECT_TRUE(std::equal(via_contig.begin(), via_contig.begin() + 32,
+                               src.begin() + 32));
+        // Gap bytes were never written: zero-filled.
+        for (std::size_t i = 32; i < 200; ++i) EXPECT_EQ(via_contig[i], 0);
+        done = true;
+      }(*client, &filetype, stream, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(EndToEnd, MultipleClientsDisjointWrites) {
+  auto cfg = small_config(4, 4);
+  Cluster cluster(cfg);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int r = 0; r < 4; ++r) clients.push_back(cluster.make_client(r));
+  std::vector<std::vector<std::uint8_t>> data;
+  for (int r = 0; r < 4; ++r) {
+    data.push_back(pattern_bytes(5000, 100 + static_cast<std::uint64_t>(r)));
+  }
+  int finished = 0;
+
+  // Rank 0 creates; all ranks write disjoint 5000-byte segments.
+  cluster.scheduler().spawn([](Cluster& cl, Client& c) -> Task<void> {
+    (void)co_await c.create("/shared");
+    (void)cl;
+  }(cluster, *clients[0]));
+  cluster.run();  // settle create first
+
+  for (int r = 0; r < 4; ++r) {
+    cluster.scheduler().spawn(
+        [](Client& c, const std::vector<std::uint8_t>& src, int rank,
+           int& done) -> Task<void> {
+          MetaResult f = co_await c.open("/shared");
+          EXPECT_TRUE(f.status.is_ok());
+          EXPECT_TRUE((co_await c.write_contig(
+              f.handle, rank * 5000, src.data(),
+              static_cast<std::int64_t>(src.size()))).is_ok());
+          ++done;
+        }(*clients[static_cast<std::size_t>(r)],
+          data[static_cast<std::size_t>(r)], r, finished));
+  }
+  cluster.run();
+  EXPECT_EQ(finished, 4);
+
+  bool verified = false;
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<std::vector<std::uint8_t>>& all,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.open("/shared");
+        std::vector<std::uint8_t> back(20000);
+        EXPECT_TRUE((co_await c.read_contig(f.handle, 0, back.data(), 20000)).is_ok());
+        for (int r = 0; r < 4; ++r) {
+          EXPECT_TRUE(std::equal(all[static_cast<std::size_t>(r)].begin(),
+                                 all[static_cast<std::size_t>(r)].end(),
+                                 back.begin() + r * 5000))
+              << "rank " << r;
+        }
+        done = true;
+      }(*clients[0], data, verified));
+  cluster.run();
+  EXPECT_TRUE(verified);
+}
+
+TEST(EndToEnd, OverlappingWritesResolveDeterministically) {
+  // Two clients write the same range; the simulated-time order decides,
+  // and repeated runs agree byte for byte.
+  auto run_once = []() {
+    Cluster cluster(small_config(2, 2));
+    auto c0 = cluster.make_client(0);
+    auto c1 = cluster.make_client(1);
+    const auto a = pattern_bytes(4096, 111);
+    const auto b = pattern_bytes(4096, 222);
+    cluster.scheduler().spawn([](Client& c) -> Task<void> {
+      (void)co_await c.create("/ow");
+    }(*c0));
+    cluster.run();
+    for (int r = 0; r < 2; ++r) {
+      cluster.scheduler().spawn(
+          [](Client& c, const std::vector<std::uint8_t>& src,
+             int rank) -> Task<void> {
+            MetaResult f = co_await c.open("/ow");
+            (void)co_await c.write_contig(f.handle, 0, src.data(),
+                                          4096 - rank);  // overlap
+          }(r == 0 ? *c0 : *c1, r == 0 ? a : b, r));
+    }
+    cluster.run();
+    std::vector<std::uint8_t> back(4096);
+    cluster.scheduler().spawn(
+        [](Client& c, std::vector<std::uint8_t>& out) -> Task<void> {
+          MetaResult f = co_await c.open("/ow");
+          (void)co_await c.read_contig(f.handle, 0, out.data(), 4096);
+        }(*c0, back));
+    cluster.run();
+    return back;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EndToEnd, TimingOnlyModeMatchesTimingOfRealTransfer) {
+  // The whole point of timing-only mode: identical simulated time and
+  // counters, no data movement.
+  auto run_once = [](bool transfer) {
+    Cluster cluster(small_config());
+    auto client = cluster.make_client(0);
+    client->set_transfer_data(transfer);
+    const auto data = pattern_bytes(50000, 1);
+    cluster.scheduler().spawn(
+        [](Client& c, const std::vector<std::uint8_t>& src) -> Task<void> {
+          MetaResult f = co_await c.create("/t");
+          (void)co_await c.write_contig(f.handle, 0, src.data(),
+                                        static_cast<std::int64_t>(src.size()));
+          std::vector<std::uint8_t> back(src.size());
+          (void)co_await c.read_contig(f.handle, 0, back.data(),
+                                       static_cast<std::int64_t>(back.size()));
+        }(*client, data));
+    cluster.run();
+    return std::make_tuple(cluster.scheduler().now(), client->stats().io_ops,
+                           client->stats().accessed_bytes,
+                           cluster.server(0).stats().bytes_written);
+  };
+  EXPECT_EQ(run_once(true), run_once(false));
+}
+
+TEST(EndToEnd, StatsCountOpsAndBytes) {
+  Cluster cluster(small_config());
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(3000, 2);
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<std::uint8_t>& src) -> Task<void> {
+        MetaResult f = co_await c.create("/s");
+        (void)co_await c.write_contig(f.handle, 0, src.data(), 3000);
+        (void)co_await c.read_contig(f.handle, 0,
+                                     const_cast<std::uint8_t*>(src.data()),
+                                     3000);
+      }(*client, data));
+  cluster.run();
+  const IoStats& stats = client->stats();
+  EXPECT_EQ(stats.io_ops, 2u);
+  // desired_bytes is owned by the I/O-method layer (data sieving reads
+  // more than desired); the raw client counts only accessed bytes.
+  EXPECT_EQ(stats.desired_bytes, 0u);
+  EXPECT_EQ(stats.accessed_bytes, 6000u);
+  // 3000 B with 1024 B strips: pieces 0..1023, 1024..2047, 2048..2999 on
+  // three servers; same for the read.
+  EXPECT_EQ(stats.regions_client, 6u);
+  EXPECT_EQ(stats.requests_sent, 6u);
+}
+
+TEST(EndToEnd, ServerStatsTrackProcessing) {
+  Cluster cluster(small_config());
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(2048, 3);
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<std::uint8_t>& src) -> Task<void> {
+        MetaResult f = co_await c.create("/sv");
+        (void)co_await c.write_contig(f.handle, 0, src.data(), 2048);
+      }(*client, data));
+  cluster.run();
+  // Strips are 1024 B: servers 0 and 1 each received one request of 1024 B.
+  EXPECT_EQ(cluster.server(0).stats().bytes_written, 1024u);
+  EXPECT_EQ(cluster.server(1).stats().bytes_written, 1024u);
+  EXPECT_EQ(cluster.server(2).stats().bytes_written, 0u);
+  // Metadata + its data request.
+  EXPECT_GE(cluster.server(0).stats().requests, 2u);
+}
+
+}  // namespace
+}  // namespace dtio::pfs

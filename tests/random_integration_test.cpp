@@ -1,0 +1,208 @@
+// Randomised end-to-end integration property: for random (memory type,
+// file type, displacement, count) combinations, every access method must
+// produce byte-identical results — write with a random method, read back
+// with ALL methods, compare against a locally computed oracle image of
+// the file.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataloop/cursor.h"
+#include "io/joint.h"
+#include "io/methods.h"
+#include "mpiio/file.h"
+#include "pfs/cluster.h"
+
+namespace dtio {
+namespace {
+
+using mpiio::Method;
+using sim::Task;
+
+/// Random monotonic file-suitable datatype (offsets nondecreasing).
+types::Datatype random_filetype(Rng& rng, int depth) {
+  if (depth == 0) {
+    return types::byte_t();
+  }
+  auto inner = random_filetype(rng, depth - 1);
+  switch (rng.next_below(4)) {
+    case 0:
+      return types::contiguous(rng.next_range(1, 4), inner);
+    case 1: {
+      const std::int64_t bl = rng.next_range(1, 3);
+      return types::hvector(rng.next_range(1, 4), bl,
+                            bl * inner.extent() +
+                                rng.next_range(0, 32),
+                            inner);
+    }
+    case 2: {
+      const std::int64_t count = rng.next_range(1, 4);
+      std::vector<std::int64_t> lens, offs;
+      std::int64_t at = rng.next_range(0, 8) * inner.extent();
+      for (std::int64_t i = 0; i < count; ++i) {
+        const std::int64_t bl = rng.next_range(1, 2);
+        lens.push_back(bl);
+        offs.push_back(at);
+        at += bl * inner.extent() + rng.next_range(1, 40);
+      }
+      return types::hindexed(lens, offs, inner);
+    }
+    default: {
+      auto base = types::contiguous(rng.next_range(1, 3), inner);
+      return types::resized(base, 0,
+                            base.extent() + rng.next_range(0, 24));
+    }
+  }
+}
+
+struct Scenario {
+  types::Datatype memtype;
+  types::Datatype filetype;
+  std::int64_t displacement;
+  std::int64_t mem_count;
+  std::int64_t offset_etypes;
+};
+
+Scenario random_scenario(Rng& rng) {
+  Scenario s;
+  s.filetype = random_filetype(rng, static_cast<int>(rng.next_range(1, 3)));
+  // Memory type with matching total size: contiguous or strided.
+  const std::int64_t mem_count = rng.next_range(1, 3);
+  // total bytes must be a multiple of memtype size; choose memtype size
+  // freely and cover whatever window it implies.
+  if (rng.next_below(2)) {
+    s.memtype = types::contiguous(rng.next_range(8, 200), types::byte_t());
+  } else {
+    const std::int64_t bl = rng.next_range(2, 16);
+    s.memtype = types::hvector(rng.next_range(2, 10), bl,
+                               bl + rng.next_range(0, 16), types::byte_t());
+  }
+  s.mem_count = mem_count;
+  s.displacement = rng.next_range(0, 512);
+  s.offset_etypes = rng.next_range(0, 64);
+  return s;
+}
+
+class RandomIntegration : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomIntegration, AllMethodsAgreeWithOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271 + 11);
+  const Scenario sc = random_scenario(rng);
+  const std::int64_t total = sc.mem_count * sc.memtype.size();
+
+  // Memory image: the typed buffer the application writes from.
+  const std::int64_t mem_span = sc.memtype.extent() * sc.mem_count + 64;
+  std::vector<std::uint8_t> mem_image(static_cast<std::size_t>(mem_span));
+  for (auto& b : mem_image) b = static_cast<std::uint8_t>(rng.next());
+
+  // Oracle: expected file bytes, computed with the joint walker alone.
+  std::map<std::int64_t, std::uint8_t> expected_file;
+  {
+    io::FileView view{sc.displacement, types::byte_t(), sc.filetype};
+    const io::StreamWindow window =
+        io::make_window(view, sc.offset_etypes, total);
+    io::JointWalker walker(io::make_mem_cursor(sc.memtype, sc.mem_count),
+                           io::make_file_cursor(view, window));
+    io::JointWalker::Piece piece;
+    while (walker.next(piece)) {
+      for (std::int64_t i = 0; i < piece.length; ++i) {
+        expected_file[piece.file_offset + i] =
+            mem_image[static_cast<std::size_t>(piece.mem_offset + i)];
+      }
+    }
+    ASSERT_EQ(static_cast<std::int64_t>(expected_file.size()), total)
+        << "oracle: file regions must be disjoint";
+  }
+
+  // One cluster; write once with a random method, read back with all.
+  net::ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.num_clients = 1;
+  cfg.strip_size = 256;  // small strips stress splitting
+  pfs::Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+  io::Context ctx{cluster.scheduler(), *client, cluster.config()};
+  mpiio::File file(ctx);
+
+  const Method write_methods[] = {Method::kPosix, Method::kList,
+                                  Method::kDatatype};
+  const Method write_method =
+      write_methods[rng.next_below(3)];
+
+  bool wrote = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, const Scenario& s,
+         const std::vector<std::uint8_t>& image, Method wm,
+         bool& done) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/rand", true)).is_ok());
+        f.set_view(s.displacement, types::byte_t(), s.filetype);
+        Status st = co_await f.write_at(s.offset_etypes, image.data(),
+                                        s.mem_count, s.memtype, wm);
+        EXPECT_TRUE(st.is_ok()) << st.to_string();
+        done = st.is_ok();
+      }(file, sc, mem_image, write_method, wrote));
+  cluster.run();
+  ASSERT_TRUE(wrote);
+
+  // Verify raw file contents against the oracle.
+  {
+    std::int64_t file_end = 0;
+    for (const auto& [off, byte] : expected_file) {
+      file_end = std::max(file_end, off + 1);
+    }
+    std::vector<std::uint8_t> raw(static_cast<std::size_t>(file_end), 0);
+    bool read_ok = false;
+    cluster.scheduler().spawn(
+        [](mpiio::File& f, std::vector<std::uint8_t>& out,
+           bool& done) -> Task<void> {
+          f.set_view(0, types::byte_t(), types::byte_t());
+          auto whole = types::contiguous(
+              static_cast<std::int64_t>(out.size()), types::byte_t());
+          done = (co_await f.read_at(0, out.data(), 1, whole,
+                                     mpiio::Method::kPosix))
+                     .is_ok();
+        }(file, raw, read_ok));
+    cluster.run();
+    ASSERT_TRUE(read_ok);
+    for (const auto& [off, byte] : expected_file) {
+      ASSERT_EQ(raw[static_cast<std::size_t>(off)], byte)
+          << "file byte " << off << " after "
+          << mpiio::method_name(write_method);
+    }
+  }
+
+  // Read back through the view with every method; compare the typed
+  // memory bytes.
+  for (const Method read_method :
+       {Method::kPosix, Method::kDataSieving, Method::kList,
+        Method::kDatatype}) {
+    std::vector<std::uint8_t> back(mem_image.size(), 0);
+    bool read_ok = false;
+    cluster.scheduler().spawn(
+        [](mpiio::File& f, const Scenario& s, std::vector<std::uint8_t>& out,
+           Method rm, bool& done) -> Task<void> {
+          f.set_view(s.displacement, types::byte_t(), s.filetype);
+          done = (co_await f.read_at(s.offset_etypes, out.data(),
+                                     s.mem_count, s.memtype, rm))
+                     .is_ok();
+        }(file, sc, back, read_method, read_ok));
+    cluster.run();
+    ASSERT_TRUE(read_ok) << mpiio::method_name(read_method);
+    for (const Region& r : sc.memtype.flatten(0, sc.mem_count)) {
+      for (std::int64_t i = r.offset; i < r.end(); ++i) {
+        ASSERT_EQ(back[static_cast<std::size_t>(i)],
+                  mem_image[static_cast<std::size_t>(i)])
+            << "mem byte " << i << " via " << mpiio::method_name(read_method)
+            << " after " << mpiio::method_name(write_method);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, RandomIntegration, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace dtio

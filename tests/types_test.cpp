@@ -1,0 +1,456 @@
+// Tests for the MPI-like datatype layer: constructor metrics (size /
+// extent / lb per MPI composition rules), envelope/contents introspection,
+// the type-to-dataloop conversion, and flattening of the paper's workload
+// types (tile subarrays, 3-D block subarrays, FLASH-like structs).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/region.h"
+#include "common/rng.h"
+#include "dataloop/cursor.h"
+#include "types/datatype.h"
+
+namespace dtio::types {
+namespace {
+
+// ---- Named types ------------------------------------------------------------
+
+TEST(Named, BasicTypeSizes) {
+  EXPECT_EQ(byte_t().size(), 1);
+  EXPECT_EQ(char_t().size(), 1);
+  EXPECT_EQ(int32_t_().size(), 4);
+  EXPECT_EQ(int64_t_().size(), 8);
+  EXPECT_EQ(float_t().size(), 4);
+  EXPECT_EQ(double_t().size(), 8);
+  EXPECT_EQ(double_t().extent(), 8);
+  EXPECT_TRUE(double_t().is_contiguous());
+  EXPECT_EQ(double_t().combiner(), Combiner::kNamed);
+}
+
+TEST(Named, SingletonsShareNodes) {
+  EXPECT_EQ(int32_t_(), int32_t_());
+  EXPECT_FALSE(int32_t_() == int64_t_());
+}
+
+TEST(Named, CustomNamedType) {
+  auto t = make_named("complex128", 16);
+  EXPECT_EQ(t.size(), 16);
+  EXPECT_THROW(make_named("zero", 0), std::invalid_argument);
+}
+
+// ---- Constructor metrics ------------------------------------------------------
+
+TEST(Constructors, ContiguousMetrics) {
+  auto t = contiguous(100, int32_t_());
+  EXPECT_EQ(t.size(), 400);
+  EXPECT_EQ(t.extent(), 400);
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.type_node_count(), 2);
+}
+
+TEST(Constructors, VectorMetricsElementStride) {
+  // 3 blocks of 2 ints every 10 ints.
+  auto t = vector(3, 2, 10, int32_t_());
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.extent(), 2 * 10 * 4 + 2 * 4);
+  EXPECT_FALSE(t.is_contiguous());
+}
+
+TEST(Constructors, HvectorMetricsByteStride) {
+  auto t = hvector(3, 2, 40, int32_t_());
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.extent(), 2 * 40 + 8);
+}
+
+TEST(Constructors, IndexedMetrics) {
+  const std::int64_t lens[] = {2, 1};
+  const std::int64_t displs[] = {0, 5};  // elements
+  auto t = indexed(lens, displs, int32_t_());
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_EQ(t.extent(), 6 * 4);
+  EXPECT_EQ(t.lb(), 0);
+}
+
+TEST(Constructors, HindexedNegativeDisplacement) {
+  const std::int64_t lens[] = {1, 1};
+  const std::int64_t displs[] = {-8, 8};  // bytes
+  auto t = hindexed(lens, displs, int32_t_());
+  EXPECT_EQ(t.lb(), -8);
+  EXPECT_EQ(t.extent(), 20);
+}
+
+TEST(Constructors, IndexedBlockMetrics) {
+  const std::int64_t displs[] = {0, 4, 10};
+  auto t = indexed_block(2, displs, int32_t_());
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.extent(), 10 * 4 + 2 * 4);
+}
+
+TEST(Constructors, StructMetrics) {
+  const std::int64_t lens[] = {1, 2};
+  const std::int64_t displs[] = {0, 8};
+  const Datatype kinds[] = {int64_t_(), int32_t_()};
+  auto t = create_struct(lens, displs, kinds);
+  EXPECT_EQ(t.size(), 16);
+  EXPECT_EQ(t.extent(), 16);
+}
+
+TEST(Constructors, ResizedMetrics) {
+  auto t = resized(contiguous(2, int32_t_()), 0, 32);
+  EXPECT_EQ(t.size(), 8);
+  EXPECT_EQ(t.extent(), 32);
+  EXPECT_FALSE(t.is_contiguous());  // trailing gap between instances
+}
+
+TEST(Constructors, InvalidArgumentsThrow) {
+  EXPECT_THROW(contiguous(-1, int32_t_()), std::invalid_argument);
+  EXPECT_THROW(contiguous(3, Datatype{}), std::invalid_argument);
+  const std::int64_t lens[] = {1};
+  const std::int64_t displs[] = {0, 1};
+  EXPECT_THROW(indexed(lens, displs, int32_t_()), std::invalid_argument);
+  const std::int64_t sizes[] = {4, 4};
+  const std::int64_t subsizes[] = {2, 5};
+  const std::int64_t starts[] = {0, 0};
+  EXPECT_THROW(subarray(sizes, subsizes, starts, Order::kC, int32_t_()),
+               std::invalid_argument);
+}
+
+// ---- Envelope / contents -------------------------------------------------------
+
+TEST(Contents, VectorRoundTrip) {
+  auto t = vector(3, 2, 10, int32_t_());
+  const TypeContents c = t.contents();
+  EXPECT_EQ(c.combiner, Combiner::kVector);
+  EXPECT_EQ(c.integers, (std::vector<std::int64_t>{3, 2, 10}));
+  ASSERT_EQ(c.datatypes.size(), 1u);
+  EXPECT_EQ(c.datatypes[0], int32_t_());
+}
+
+TEST(Contents, StructRoundTrip) {
+  const std::int64_t lens[] = {1, 2};
+  const std::int64_t displs[] = {0, 8};
+  const Datatype kinds[] = {int64_t_(), int32_t_()};
+  auto t = create_struct(lens, displs, kinds);
+  const TypeContents c = t.contents();
+  EXPECT_EQ(c.combiner, Combiner::kStruct);
+  EXPECT_EQ(c.integers, (std::vector<std::int64_t>{2, 1, 2}));
+  EXPECT_EQ(c.addresses, (std::vector<std::int64_t>{0, 8}));
+  EXPECT_EQ(c.datatypes.size(), 2u);
+}
+
+TEST(Contents, SubarrayRoundTrip) {
+  const std::int64_t sizes[] = {8, 10};
+  const std::int64_t subsizes[] = {2, 3};
+  const std::int64_t starts[] = {1, 4};
+  auto t = subarray(sizes, subsizes, starts, Order::kC, double_t());
+  const TypeContents c = t.contents();
+  EXPECT_EQ(c.combiner, Combiner::kSubarray);
+  EXPECT_EQ(c.integers,
+            (std::vector<std::int64_t>{2, 8, 10, 2, 3, 1, 4, 0}));
+}
+
+TEST(Contents, HvectorAndIndexedBlockAndResized) {
+  auto hv = hvector(3, 2, 48, int32_t_());
+  const TypeContents hc = hv.contents();
+  EXPECT_EQ(hc.combiner, Combiner::kHvector);
+  EXPECT_EQ(hc.integers, (std::vector<std::int64_t>{3, 2}));
+  EXPECT_EQ(hc.addresses, (std::vector<std::int64_t>{48}));
+
+  const std::int64_t displs[] = {0, 4, 9};
+  auto ib = indexed_block(2, displs, int32_t_());
+  const TypeContents ic = ib.contents();
+  EXPECT_EQ(ic.combiner, Combiner::kIndexedBlock);
+  EXPECT_EQ(ic.integers, (std::vector<std::int64_t>{3, 2, 0, 4, 9}));
+
+  auto rs = resized(int32_t_(), -4, 16);
+  const TypeContents rc = rs.contents();
+  EXPECT_EQ(rc.combiner, Combiner::kResized);
+  EXPECT_EQ(rc.addresses, (std::vector<std::int64_t>{-4, 16}));
+  EXPECT_EQ(rs.lb(), -4);
+  EXPECT_EQ(rs.extent(), 16);
+}
+
+TEST(Contents, NodeCountsFollowTheTree) {
+  auto leafy = int32_t_();
+  EXPECT_EQ(leafy.type_node_count(), 1);
+  auto two = contiguous(4, vector(2, 1, 3, leafy));
+  EXPECT_EQ(two.type_node_count(), 3);
+  const Datatype pair_types[] = {two, leafy};
+  const std::int64_t lens[] = {1, 1};
+  const std::int64_t offs[] = {0, 100};
+  auto st = create_struct(lens, offs, pair_types);
+  EXPECT_EQ(st.type_node_count(), 5);
+}
+
+TEST(ToString, RendersReadableNames) {
+  EXPECT_EQ(int32_t_().to_string(), "int32");
+  auto v = vector(3, 2, 10, int32_t_());
+  EXPECT_EQ(v.to_string(), "vector(3,2,10)[int32]");
+}
+
+// ---- Dataloop conversion cross-checks --------------------------------------------
+
+void expect_metrics_match(const Datatype& t) {
+  const auto& loop = t.dataloop();
+  EXPECT_EQ(t.size(), loop->size) << t.to_string();
+  EXPECT_EQ(t.extent(), loop->extent) << t.to_string();
+  EXPECT_EQ(t.lb(), loop->lb) << t.to_string();
+}
+
+TEST(DataloopConversion, MetricsAgreeAcrossConstructors) {
+  const std::int64_t lens[] = {2, 0, 3};
+  const std::int64_t displs[] = {1, 4, 9};
+  const std::int64_t bdispls[] = {8, 32, 72};
+  const Datatype struct_types[] = {int32_t_(), double_t()};
+  const std::int64_t slens[] = {3, 1};
+  const std::int64_t sdispls[] = {0, 24};
+  const std::int64_t sizes[] = {6, 5, 4};
+  const std::int64_t subsizes[] = {2, 3, 1};
+  const std::int64_t starts[] = {1, 0, 2};
+
+  expect_metrics_match(contiguous(7, int32_t_()));
+  expect_metrics_match(vector(4, 3, 5, double_t()));
+  expect_metrics_match(hvector(4, 3, 100, int32_t_()));
+  expect_metrics_match(indexed(lens, displs, int32_t_()));
+  expect_metrics_match(hindexed(lens, bdispls, int32_t_()));
+  expect_metrics_match(indexed_block(2, displs, int64_t_()));
+  expect_metrics_match(create_struct(slens, sdispls, struct_types));
+  expect_metrics_match(resized(vector(2, 1, 3, int32_t_()), -4, 64));
+  expect_metrics_match(subarray(sizes, subsizes, starts, Order::kC,
+                                int32_t_()));
+  expect_metrics_match(subarray(sizes, subsizes, starts, Order::kFortran,
+                                int32_t_()));
+  // Nested composition.
+  expect_metrics_match(contiguous(3, vector(2, 2, 4, int32_t_())));
+  expect_metrics_match(vector(2, 1, 10, indexed(lens, displs, char_t())));
+}
+
+TEST(DataloopConversion, DataloopIsCached) {
+  auto t = vector(3, 2, 10, int32_t_());
+  const auto* first = t.dataloop().get();
+  EXPECT_EQ(t.dataloop().get(), first);
+}
+
+// ---- Flattening the paper's patterns ----------------------------------------------
+
+TEST(Flatten, VectorRowFromMatrix) {
+  // One column slice: rows of 1 int out of a 4x5 int matrix.
+  auto col = vector(4, 1, 5, int32_t_());
+  auto regions = col.flatten(0, 1);
+  EXPECT_EQ(regions, (std::vector<Region>{{0, 4}, {20, 4}, {40, 4}, {60, 4}}));
+}
+
+TEST(Flatten, Subarray2DTile) {
+  // 2x3 tile at (1,4) inside an 8x10 array of doubles, C order.
+  const std::int64_t sizes[] = {8, 10};
+  const std::int64_t subsizes[] = {2, 3};
+  const std::int64_t starts[] = {1, 4};
+  auto tile = subarray(sizes, subsizes, starts, Order::kC, double_t());
+  auto regions = tile.flatten(0, 1);
+  // Rows 1..2, columns 4..6: offsets (1*10+4)*8 and (2*10+4)*8, 24 B each.
+  EXPECT_EQ(regions, (std::vector<Region>{{112, 24}, {192, 24}}));
+  EXPECT_EQ(tile.extent(), 8 * 10 * 8);
+}
+
+TEST(Flatten, SubarrayFortranOrderTransposesStrides) {
+  const std::int64_t sizes[] = {8, 10};
+  const std::int64_t subsizes[] = {2, 3};
+  const std::int64_t starts[] = {1, 4};
+  auto tile = subarray(sizes, subsizes, starts, Order::kFortran, double_t());
+  // Fortran: first dim fastest. Columns 4..6, rows 1..2:
+  // element (r, c) at (c*8 + r)*8 bytes.
+  auto regions = tile.flatten(0, 1);
+  EXPECT_EQ(regions, (std::vector<Region>{
+                         {(4 * 8 + 1) * 8, 16},
+                         {(5 * 8 + 1) * 8, 16},
+                         {(6 * 8 + 1) * 8, 16},
+                     }));
+}
+
+TEST(Flatten, Subarray3DBlock) {
+  // The ROMIO coll_perf pattern in miniature: a 4^3 array of ints split
+  // into 2^3 blocks; the block at (1, 0, 1).
+  const std::int64_t sizes[] = {4, 4, 4};
+  const std::int64_t subsizes[] = {2, 2, 2};
+  const std::int64_t starts[] = {2, 0, 2};
+  auto block = subarray(sizes, subsizes, starts, Order::kC, int32_t_());
+  auto regions = block.flatten(0, 1);
+  EXPECT_EQ(block.size(), 8 * 4);
+  ASSERT_EQ(regions.size(), 4u);  // 2 planes x 2 rows
+  for (const auto& r : regions) EXPECT_EQ(r.length, 8);
+  EXPECT_EQ(regions[0].offset, (2 * 16 + 0 * 4 + 2) * 4);
+}
+
+TEST(Flatten, FlashLikeVariableExtraction) {
+  // FLASH-like miniature: elements of 24 variables (doubles); extract
+  // variable v from a 2^3-cell block with 1 guard cell on each side
+  // (4^3 cells in memory). Data cells are the interior.
+  constexpr std::int64_t kVars = 24;
+  constexpr std::int64_t kCells = 4;  // with guards
+  auto element = contiguous(kVars, double_t());       // one cell
+  // Interior slab of cells, then one variable within each cell: model as
+  // subarray over cells of a resized "one var" type positioned at var v.
+  const std::int64_t v = 3;
+  auto var_in_cell = resized(double_t(), 0, kVars * 8);
+  const std::int64_t sizes[] = {kCells, kCells, kCells};
+  const std::int64_t subsizes[] = {2, 2, 2};
+  const std::int64_t starts[] = {1, 1, 1};
+  auto slab = subarray(sizes, subsizes, starts, Order::kC, var_in_cell);
+  (void)element;
+  auto regions = slab.flatten(v * 8, 1);
+  EXPECT_EQ(regions.size(), 8u);  // every interior cell isolated
+  EXPECT_EQ(total_length(regions), 8 * 8);
+  // First interior cell is (1,1,1) -> cell index 16+4+1 = 21.
+  EXPECT_EQ(regions[0].offset, 21 * kVars * 8 + v * 8);
+}
+
+TEST(Flatten, CountTilesInstancesByExtent) {
+  auto t = resized(contiguous(2, int32_t_()), 0, 32);
+  auto regions = t.flatten(0, 3);
+  EXPECT_EQ(regions, (std::vector<Region>{{0, 8}, {32, 8}, {64, 8}}));
+}
+
+// ---- darray -------------------------------------------------------------------
+
+TEST(Darray, MatchesEquivalentSubarray) {
+  const std::int64_t gsizes[] = {8, 6};
+  const Distribution dist[] = {Distribution::kBlock, Distribution::kBlock};
+  const std::int64_t psizes[] = {2, 3};
+  // Rank 4 of a 2x3 row-major grid -> coords (1, 1).
+  auto da = darray(6, 4, gsizes, dist, psizes, Order::kC, int32_t_());
+  const std::int64_t subsizes[] = {4, 2};
+  const std::int64_t starts[] = {4, 2};
+  auto sa = subarray(gsizes, subsizes, starts, Order::kC, int32_t_());
+  EXPECT_EQ(da.flatten(0, 1), sa.flatten(0, 1));
+  EXPECT_EQ(da.size(), sa.size());
+  EXPECT_EQ(da.extent(), sa.extent());
+}
+
+TEST(Darray, AllRanksPartitionTheArray) {
+  const std::int64_t gsizes[] = {6, 6};
+  const Distribution dist[] = {Distribution::kBlock, Distribution::kBlock};
+  const std::int64_t psizes[] = {3, 2};
+  std::vector<bool> covered(static_cast<std::size_t>(6 * 6 * 4), false);
+  for (int rank = 0; rank < 6; ++rank) {
+    auto t = darray(6, rank, gsizes, dist, psizes, Order::kC, int32_t_());
+    for (const Region& r : t.flatten(0, 1)) {
+      for (std::int64_t b = r.offset; b < r.end(); ++b) {
+        EXPECT_FALSE(covered[static_cast<std::size_t>(b)]);
+        covered[static_cast<std::size_t>(b)] = true;
+      }
+    }
+  }
+  for (const bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(Darray, UnevenBlocksClipAtTheEdge) {
+  // 7 elements over 2 procs: blocks of 4 and 3.
+  const std::int64_t gsizes[] = {7};
+  const Distribution dist[] = {Distribution::kBlock};
+  const std::int64_t psizes[] = {2};
+  auto r0 = darray(2, 0, gsizes, dist, psizes, Order::kC, byte_t());
+  auto r1 = darray(2, 1, gsizes, dist, psizes, Order::kC, byte_t());
+  EXPECT_EQ(r0.size(), 4);
+  EXPECT_EQ(r1.size(), 3);
+  EXPECT_EQ(r1.flatten(0, 1).front().offset, 4);
+}
+
+TEST(Darray, NoneDistributionKeepsWholeDimension) {
+  const std::int64_t gsizes[] = {4, 10};
+  const Distribution dist[] = {Distribution::kBlock, Distribution::kNone};
+  const std::int64_t psizes[] = {2, 1};
+  auto t = darray(2, 1, gsizes, dist, psizes, Order::kC, byte_t());
+  EXPECT_EQ(t.size(), 2 * 10);
+  // Rows 2..3, all columns: one contiguous run.
+  auto regions = t.flatten(0, 1);
+  EXPECT_EQ(regions, (std::vector<Region>{{20, 20}}));
+}
+
+TEST(Darray, InvalidGridsThrow) {
+  const std::int64_t gsizes[] = {4};
+  const Distribution dist[] = {Distribution::kBlock};
+  const std::int64_t psizes[] = {3};
+  EXPECT_THROW(darray(2, 0, gsizes, dist, psizes, Order::kC, byte_t()),
+               std::invalid_argument);  // psizes product != size
+  const std::int64_t psizes8[] = {8};
+  EXPECT_THROW(darray(8, 7, gsizes, dist, psizes8, Order::kC, byte_t()),
+               std::invalid_argument);  // rank 7's block empty (4 < 8)
+}
+
+// ---- Property: flatten is consistent with dataloop stream --------------------------
+
+class TypeProperty : public ::testing::TestWithParam<int> {};
+
+Datatype random_datatype(Rng& rng, int depth) {
+  if (depth == 0) {
+    switch (rng.next_below(4)) {
+      case 0:
+        return int32_t_();
+      case 1:
+        return double_t();
+      case 2:
+        return char_t();
+      default:
+        return int64_t_();
+    }
+  }
+  auto inner = random_datatype(rng, depth - 1);
+  switch (rng.next_below(5)) {
+    case 0:
+      return contiguous(rng.next_range(1, 4), inner);
+    case 1: {
+      const std::int64_t bl = rng.next_range(1, 3);
+      return vector(rng.next_range(1, 4), bl, bl + rng.next_range(0, 4),
+                    inner);
+    }
+    case 2: {
+      const std::int64_t count = rng.next_range(1, 4);
+      std::vector<std::int64_t> lens, displs;
+      std::int64_t at = 0;
+      for (std::int64_t i = 0; i < count; ++i) {
+        const std::int64_t bl = rng.next_range(0, 2);
+        lens.push_back(bl);
+        displs.push_back(at);
+        at += bl + rng.next_range(1, 4);
+      }
+      return indexed(lens, displs, inner);
+    }
+    case 3: {
+      auto base = contiguous(rng.next_range(1, 3), inner);
+      return resized(base, 0, base.extent() + rng.next_range(0, 16));
+    }
+    default: {
+      const std::int64_t sizes[] = {rng.next_range(2, 5), rng.next_range(2, 5)};
+      const std::int64_t subsizes[] = {rng.next_range(1, sizes[0]),
+                                       rng.next_range(1, sizes[1])};
+      const std::int64_t starts[] = {
+          rng.next_range(0, sizes[0] - subsizes[0]),
+          rng.next_range(0, sizes[1] - subsizes[1])};
+      return subarray(sizes, subsizes, starts,
+                      rng.next_below(2) ? Order::kC : Order::kFortran, inner);
+    }
+  }
+}
+
+TEST_P(TypeProperty, FlattenTotalsMatchTypeSize) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  auto t = random_datatype(rng, static_cast<int>(rng.next_range(1, 3)));
+  const std::int64_t count = rng.next_range(1, 3);
+  auto regions = t.flatten(0, count);
+  EXPECT_EQ(total_length(regions), t.size() * count) << t.to_string();
+  EXPECT_TRUE(regions_sorted_disjoint(regions)) << t.to_string();
+}
+
+TEST_P(TypeProperty, TypeMetricsMatchDataloop) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 11400714819323198485ull);
+  auto t = random_datatype(rng, static_cast<int>(rng.next_range(1, 3)));
+  expect_metrics_match(t);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTypes, TypeProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace dtio::types

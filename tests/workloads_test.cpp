@@ -1,0 +1,203 @@
+// Validate the reproduction workloads against the paper's published
+// numbers: frame/tile sizes and op counts from Table 1, block sizes and
+// piece counts from Table 2, and FLASH geometry from Table 3 / §4.4.
+#include <gtest/gtest.h>
+
+#include "common/region.h"
+#include "dataloop/cursor.h"
+#include "io/joint.h"
+#include "io/view.h"
+#include "workloads/block3d.h"
+#include "workloads/flash.h"
+#include "workloads/tile.h"
+
+namespace dtio::workloads {
+namespace {
+
+std::int64_t count_joint_pieces(const types::Datatype& memtype,
+                                std::int64_t count,
+                                const io::FileView& view) {
+  const std::int64_t total = count * memtype.size();
+  const io::StreamWindow window = io::make_window(view, 0, total);
+  io::JointWalker walker(io::make_mem_cursor(memtype, count),
+                         io::make_file_cursor(view, window));
+  io::JointWalker::Piece piece;
+  std::int64_t pieces = 0;
+  while (walker.next(piece)) ++pieces;
+  return pieces;
+}
+
+// ---- Tile reader (Table 1) ----------------------------------------------------
+
+TEST(Tile, FrameGeometryMatchesPaper) {
+  TileConfig cfg;
+  EXPECT_EQ(cfg.num_clients(), 6);
+  EXPECT_EQ(cfg.frame_width(), 2532);   // 3*1024 - 2*270
+  EXPECT_EQ(cfg.frame_height(), 1408);  // 2*768 - 128
+  // "Each frame is 10.2 MBytes."
+  EXPECT_EQ(cfg.frame_bytes(), 10'695'168);
+  EXPECT_NEAR(static_cast<double>(cfg.frame_bytes()) / 1e6, 10.7, 0.5);
+  // Desired data per client: 2.25 MB.
+  EXPECT_EQ(cfg.tile_bytes(), 2'359'296);
+}
+
+TEST(Tile, PosixOpCountIs768PerFrame) {
+  TileConfig cfg;
+  // One op per tile row: 768 per client per frame (Table 1).
+  io::FileView view{0, types::byte_t(), cfg.tile_filetype(0)};
+  EXPECT_EQ(count_joint_pieces(cfg.memtype(), 1, view), 768);
+}
+
+TEST(Tile, FiletypeCoversExactTilePixels) {
+  TileConfig cfg;
+  for (int rank = 0; rank < cfg.num_clients(); ++rank) {
+    auto type = cfg.tile_filetype(rank);
+    EXPECT_EQ(type.size(), cfg.tile_bytes());
+    EXPECT_EQ(type.extent(), cfg.frame_bytes());
+    auto regions = type.flatten(0, 1);
+    EXPECT_EQ(static_cast<std::int64_t>(regions.size()), 768);
+    for (const Region& r : regions) EXPECT_EQ(r.length, 3072);
+  }
+}
+
+TEST(Tile, NeighbourTilesOverlap) {
+  TileConfig cfg;
+  // Horizontal neighbours share 270 pixel columns.
+  auto left = cfg.tile_filetype(0).flatten(0, 1);
+  auto right = cfg.tile_filetype(1).flatten(0, 1);
+  // Row 0 of tile 0 is [0, 3072); row 0 of tile 1 starts at pixel 754.
+  EXPECT_EQ(right.front().offset, (1024 - 270) * 3);
+  EXPECT_LT(right.front().offset, left.front().end());  // overlap
+}
+
+TEST(Tile, InstancesTileFrames) {
+  TileConfig cfg;
+  auto type = cfg.tile_filetype(0);
+  auto two_frames = type.flatten(0, 2);
+  EXPECT_EQ(static_cast<std::int64_t>(two_frames.size()), 2 * 768);
+  EXPECT_EQ(two_frames[768].offset, cfg.frame_bytes());
+}
+
+// ---- 3-D block (Table 2) -------------------------------------------------------
+
+TEST(Block3d, GeometryMatchesPaperAt8Clients) {
+  Block3dConfig cfg;  // m = 2 -> 8 clients
+  EXPECT_EQ(cfg.num_clients(), 8);
+  EXPECT_EQ(cfg.block_dim(), 300);
+  // Desired per client: 103 MB (= 300^3 * 4 bytes).
+  EXPECT_EQ(cfg.block_bytes(), 108'000'000);
+  // POSIX ops per client: 90 000.
+  EXPECT_EQ(cfg.rows_per_block(), 90'000);
+  // File: 600^3 * 4 = 864 MB.
+  EXPECT_EQ(cfg.file_bytes(), 864'000'000);
+}
+
+TEST(Block3d, GeometryAt27And64Clients) {
+  Block3dConfig cfg27{.blocks_per_edge = 3};
+  EXPECT_EQ(cfg27.num_clients(), 27);
+  EXPECT_EQ(cfg27.block_dim(), 200);
+  EXPECT_EQ(cfg27.block_bytes(), 32'000'000);   // paper: 30.5 MB(iB)
+  EXPECT_EQ(cfg27.rows_per_block(), 40'000);    // paper: 40 000 ops
+
+  Block3dConfig cfg64{.blocks_per_edge = 4};
+  EXPECT_EQ(cfg64.num_clients(), 64);
+  EXPECT_EQ(cfg64.block_bytes(), 13'500'000);   // paper: 12.9 MiB
+  EXPECT_EQ(cfg64.rows_per_block(), 22'500);    // paper: 22 500 ops
+}
+
+TEST(Block3d, BlocksPartitionTheFile) {
+  Block3dConfig cfg{.dim = 12, .blocks_per_edge = 2};
+  std::vector<bool> covered(static_cast<std::size_t>(cfg.file_bytes()), false);
+  for (int rank = 0; rank < cfg.num_clients(); ++rank) {
+    for (const Region& r : cfg.block_filetype(rank).flatten(0, 1)) {
+      for (std::int64_t b = r.offset; b < r.end(); ++b) {
+        EXPECT_FALSE(covered[static_cast<std::size_t>(b)])
+            << "byte " << b << " claimed twice";
+        covered[static_cast<std::size_t>(b)] = true;
+      }
+    }
+  }
+  for (const bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(Block3d, JointPiecesAreRows) {
+  Block3dConfig cfg{.dim = 24, .blocks_per_edge = 2};
+  io::FileView view{0, types::byte_t(), cfg.block_filetype(3)};
+  EXPECT_EQ(count_joint_pieces(cfg.memtype(), 1, view),
+            cfg.rows_per_block());
+}
+
+// ---- FLASH (Table 3) -------------------------------------------------------------
+
+TEST(Flash, GeometryMatchesPaper) {
+  FlashConfig cfg;
+  EXPECT_EQ(cfg.cells_per_edge(), 16);
+  EXPECT_EQ(cfg.interior_cells(), 512);
+  EXPECT_EQ(cfg.cell_bytes(), 192);
+  // Desired data per client: 7.5 MB.
+  EXPECT_EQ(cfg.bytes_per_proc(), 7'864'320);
+  // POSIX ops per client: 983 040.
+  EXPECT_EQ(cfg.joint_pieces(), 983'040);
+  // "Every processor adds 7 MBytes to the file": dataset 14 MB at 2
+  // clients to 896 MB at 128.
+  EXPECT_EQ(cfg.file_bytes(2), 15'728'640);
+  EXPECT_EQ(cfg.file_bytes(128), 1'006'632'960);
+  EXPECT_EQ(cfg.var_chunk_bytes(), 327'680);
+}
+
+TEST(Flash, MemtypeCoversInteriorOnly) {
+  FlashConfig cfg{.blocks_per_proc = 2};
+  auto memtype = cfg.memtype();
+  EXPECT_EQ(memtype.size(),
+            2 * cfg.interior_cells() * cfg.num_vars * cfg.var_bytes);
+  auto regions = memtype.flatten(0, 1);
+  // All pieces are single 8-byte variables (nothing coalesces across the
+  // 192-byte cells).
+  EXPECT_EQ(static_cast<std::int64_t>(regions.size()),
+            2 * cfg.interior_cells() * cfg.num_vars);
+  for (const Region& r : regions) EXPECT_EQ(r.length, 8);
+}
+
+TEST(Flash, SmallConfigJointPieceCount) {
+  FlashConfig cfg{.blocks_per_proc = 2, .interior = 4, .guard = 1,
+                  .num_vars = 3};
+  io::FileView view{cfg.displacement(1), types::byte_t(), cfg.filetype(4)};
+  EXPECT_EQ(count_joint_pieces(cfg.memtype(), 1, view), cfg.joint_pieces());
+  EXPECT_EQ(cfg.joint_pieces(), 2 * 64 * 3);
+}
+
+TEST(Flash, FiletypesOfAllRanksPartitionTheFile) {
+  FlashConfig cfg{.blocks_per_proc = 2, .interior = 2, .guard = 1,
+                  .num_vars = 3};
+  const int nprocs = 3;
+  std::vector<bool> covered(
+      static_cast<std::size_t>(cfg.file_bytes(nprocs)), false);
+  for (int rank = 0; rank < nprocs; ++rank) {
+    auto regions =
+        cfg.filetype(nprocs).flatten(cfg.displacement(rank), 1);
+    for (const Region& r : regions) {
+      for (std::int64_t b = r.offset; b < r.end(); ++b) {
+        EXPECT_FALSE(covered[static_cast<std::size_t>(b)]);
+        covered[static_cast<std::size_t>(b)] = true;
+      }
+    }
+  }
+  for (const bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(Flash, MemoryStreamOrderIsVariableMajor) {
+  FlashConfig cfg{.blocks_per_proc = 1, .interior = 1, .guard = 1,
+                  .num_vars = 2};
+  // One interior cell at (1,1,1) of a 3^3 block; vars 0 and 1. Disable
+  // coalescing to observe raw stream order (the two 8-byte variables are
+  // adjacent and would merge).
+  auto regions = dl::flatten(cfg.memtype().dataloop(), 0, 1,
+                             /*coalesce=*/false);
+  ASSERT_EQ(regions.size(), 2u);
+  const std::int64_t cell_at = (1 * 9 + 1 * 3 + 1) * cfg.cell_bytes();
+  EXPECT_EQ(regions[0].offset, cell_at);       // var 0 first
+  EXPECT_EQ(regions[1].offset, cell_at + 8);   // then var 1
+}
+
+}  // namespace
+}  // namespace dtio::workloads
