@@ -39,7 +39,7 @@ using sim::Task;
 
 // ---- A: coalescing ------------------------------------------------------------
 
-void ablate_coalescing() {
+void ablate_coalescing(obs::RunReport& report) {
   std::printf("\n== Ablation A: region coalescing (paper §3.2) ==\n");
   // An AMR-style block list where many neighbouring blocks abut in the
   // file (exactly the pattern FLASH produces after refinement): the
@@ -59,6 +59,9 @@ void ablate_coalescing() {
     std::printf("  coalescing %-3s -> %8zu regions (server walks %zu "
                 "access-list entries per request)\n",
                 coalesce ? "on" : "off", regions.size(), regions.size());
+    report.scalars[coalesce ? "coalesce_on_regions"
+                            : "coalesce_off_regions"] =
+        static_cast<double>(regions.size());
   }
   // The tile filetype shows constructor-level regularity capture instead:
   // 768 rows stay 768 regions either way (rows never abut), but the
@@ -71,6 +74,10 @@ void ablate_coalescing() {
               static_cast<long long>(trows->node_count()),
               dl::encoded_size(*trows),
               static_cast<long long>(trows->region_count() * 16));
+  report.scalars["tile_dataloop_wire_bytes"] =
+      static_cast<double>(dl::encoded_size(*trows));
+  report.scalars["tile_list_wire_bytes"] =
+      static_cast<double>(trows->region_count() * 16);
 }
 
 // ---- B: list-I/O region cap ------------------------------------------------------
@@ -111,7 +118,7 @@ double run_flash_once(net::ClusterConfig cfg, Method method, int nclients) {
   return to_seconds(cluster.scheduler().now() - t0);
 }
 
-void ablate_list_cap() {
+void ablate_list_cap(obs::RunReport& report) {
   std::printf("\n== Ablation B: list-I/O regions-per-request cap "
               "(FLASH write, 8 clients) ==\n");
   std::printf("  %-10s %12s %14s\n", "cap", "sim sec", "requests/cli");
@@ -120,6 +127,10 @@ void ablate_list_cap() {
     net::ClusterConfig cfg;
     cfg.list_io_max_regions = cap;
     const double secs = run_flash_once(cfg, Method::kList, 8);
+    char key[48];
+    std::snprintf(key, sizeof key, "list_cap_%llu_sec",
+                  static_cast<unsigned long long>(cap));
+    report.scalars[key] = secs;
     std::printf("  %-10llu %12.2f %14lld\n",
                 static_cast<unsigned long long>(cap), secs,
                 static_cast<long long>((flash.joint_pieces() +
@@ -170,7 +181,7 @@ double run_block3d_read(net::ClusterConfig cfg, int blocks_per_edge) {
   return to_seconds(cluster.scheduler().now() - t0);
 }
 
-void ablate_server_region_cost() {
+void ablate_server_region_cost(obs::RunReport& report) {
   std::printf("\n== Ablation C: server per-region cost on datatype READs "
               "(600^3 block) ==\n");
   std::printf("  %-22s %10s %10s %10s   (aggregate MB/s)\n", "cost/region",
@@ -183,7 +194,12 @@ void ablate_server_region_cost() {
     double mbs[3];
     int i = 0;
     for (const int m : {2, 3, 4}) {
-      mbs[i++] = total / run_block3d_read(cfg, m) / 1e6;
+      mbs[i] = total / run_block3d_read(cfg, m) / 1e6;
+      char key[64];
+      std::snprintf(key, sizeof key, "region_cost_%lldns_%dcli_mbps",
+                    static_cast<long long>(cost), m * m * m);
+      report.scalars[key] = mbs[i];
+      ++i;
     }
     std::printf("  %-20.1f us %10.1f %10.1f %10.1f\n",
                 static_cast<double>(cost) / 1000.0, mbs[0], mbs[1], mbs[2]);
@@ -195,7 +211,7 @@ void ablate_server_region_cost() {
 
 // ---- D: fabric bisection -------------------------------------------------------------
 
-void ablate_fabric() {
+void ablate_fabric(obs::RunReport& report) {
   std::printf("\n== Ablation D: fabric bisection vs two-phase's double "
               "movement (FLASH write, 32 clients) ==\n");
   std::printf("  %-14s %14s %14s\n", "fabric MB/s", "two-phase s",
@@ -205,6 +221,11 @@ void ablate_fabric() {
     cfg.net.fabric_bandwidth_bytes_per_s = fabric * 1024 * 1024;
     const double tp = run_flash_once(cfg, Method::kTwoPhase, 32);
     const double dt = run_flash_once(cfg, Method::kDatatype, 32);
+    char key[64];
+    std::snprintf(key, sizeof key, "fabric_%.0fmbps_two_phase_sec", fabric);
+    report.scalars[key] = tp;
+    std::snprintf(key, sizeof key, "fabric_%.0fmbps_datatype_sec", fabric);
+    report.scalars[key] = dt;
     if (fabric == 0.0) {
       std::printf("  %-14s %14.2f %14.2f\n", "unlimited", tp, dt);
     } else {
@@ -217,7 +238,7 @@ void ablate_fabric() {
 
 // ---- E: server-side datatype cache (paper §5 future work) --------------------------
 
-void ablate_dataloop_cache() {
+void ablate_dataloop_cache(obs::RunReport& report) {
   std::printf("\n== Ablation E: server-side datatype cache (paper §5 "
               "future work) ==\n");
   // A deep nested type reused across 200 operations (checkpoint-every-
@@ -251,6 +272,12 @@ void ablate_dataloop_cache() {
                 to_seconds(cluster.scheduler().now()),
                 static_cast<unsigned long long>(decoded),
                 static_cast<unsigned long long>(hits));
+    report.scalars[cache ? "dataloop_cache_on_sec"
+                         : "dataloop_cache_off_sec"] =
+        to_seconds(cluster.scheduler().now());
+    report.scalars[cache ? "dataloop_cache_on_decodes"
+                         : "dataloop_cache_off_decodes"] =
+        static_cast<double>(decoded);
   }
   std::printf("  repeated identical types skip the per-request decode "
               "entirely when cached\n");
@@ -258,7 +285,7 @@ void ablate_dataloop_cache() {
 
 // ---- F: prototype vs "full-featured" datatype I/O (paper §5) ------------------------
 
-void ablate_pvfs2_mode() {
+void ablate_pvfs2_mode(obs::RunReport& report) {
   std::printf("\n== Ablation F: prototype vs full-featured datatype I/O "
               "(paper §5, the PVFS2 direction) ==\n");
   std::printf("  %-12s %14s %14s\n", "mode", "FLASH 32cli s",
@@ -268,6 +295,9 @@ void ablate_pvfs2_mode() {
     if (full) cfg = cfg.pvfs2_mode();
     const double flash = run_flash_once(cfg, Method::kDatatype, 32);
     const double block = run_block3d_read(cfg, 4);
+    const char* mode = full ? "pvfs2" : "prototype";
+    report.scalars[std::string(mode) + "_flash32_sec"] = flash;
+    report.scalars[std::string(mode) + "_block64_sec"] = block;
     std::printf("  %-12s %14.2f %14.2f\n",
                 full ? "full (pvfs2)" : "prototype", flash, block);
   }
@@ -318,30 +348,39 @@ double run_sparse_collective_write(net::CbWriteMode mode) {
   return to_seconds(cluster.scheduler().now() - t0);
 }
 
-void ablate_cb_write_back() {
+void ablate_cb_write_back(obs::RunReport& report) {
   std::printf("\n== Ablation G: two-phase write-back for holey rounds "
               "(sparse 8-rank collective, half the bytes untouched) ==\n");
   std::printf("  %-14s %12s\n", "strategy", "sim sec");
-  std::printf("  %-14s %12.2f\n", "RMW hull",
-              run_sparse_collective_write(net::CbWriteMode::kRmw));
-  std::printf("  %-14s %12.2f\n", "list I/O",
-              run_sparse_collective_write(net::CbWriteMode::kList));
-  std::printf("  %-14s %12.2f\n", "datatype I/O",
-              run_sparse_collective_write(net::CbWriteMode::kDatatype));
+  const double rmw = run_sparse_collective_write(net::CbWriteMode::kRmw);
+  const double list = run_sparse_collective_write(net::CbWriteMode::kList);
+  const double dtype =
+      run_sparse_collective_write(net::CbWriteMode::kDatatype);
+  report.scalars["cb_write_rmw_sec"] = rmw;
+  report.scalars["cb_write_list_sec"] = list;
+  report.scalars["cb_write_datatype_sec"] = dtype;
+  std::printf("  %-14s %12.2f\n", "RMW hull", rmw);
+  std::printf("  %-14s %12.2f\n", "list I/O", list);
+  std::printf("  %-14s %12.2f\n", "datatype I/O", dtype);
   std::printf("  noncontiguous write-back skips the hull read entirely — "
               "\"leveraging datatype I/O underneath two-phase\" (§5)\n");
+}
+
+int ablation_main(int argc, char** argv) {
+  obs::RunReport report;
+  report.bench = "ablation";
+  ablate_coalescing(report);
+  ablate_list_cap(report);
+  ablate_server_region_cost(report);
+  ablate_fabric(report);
+  ablate_dataloop_cache(report);
+  ablate_pvfs2_mode(report);
+  ablate_cb_write_back(report);
+  bench::write_report(report, argc, argv, "BENCH_ablation.json");
+  return 0;
 }
 
 }  // namespace
 }  // namespace dtio
 
-int main() {
-  dtio::ablate_coalescing();
-  dtio::ablate_list_cap();
-  dtio::ablate_server_region_cost();
-  dtio::ablate_fabric();
-  dtio::ablate_dataloop_cache();
-  dtio::ablate_pvfs2_mode();
-  dtio::ablate_cb_write_back();
-  return 0;
-}
+int main(int argc, char** argv) { return dtio::ablation_main(argc, argv); }

@@ -18,6 +18,8 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "mpiio/file.h"
+#include "obs/observability.h"
+#include "obs/run_report.h"
 
 namespace dtio::bench {
 
@@ -34,11 +36,28 @@ inline std::int64_t flag_int(int argc, char** argv, const char* name,
   return fallback;
 }
 
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const char* fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return std::string(fallback);
+}
+
 inline bool flag_set(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], name) == 0) return true;
   }
   return false;
+}
+
+/// Benches attach observability by default; --no-obs runs bare (useful for
+/// checking that instrumentation does not perturb simulated results).
+inline bool obs_enabled(int argc, char** argv) {
+  return !flag_set(argc, argv, "--no-obs");
 }
 
 // ---- Results -----------------------------------------------------------------
@@ -50,10 +69,48 @@ struct MethodResult {
   double bandwidth = 0;        ///< aggregate desired bytes / second
   IoStats per_client;          ///< rank 0's counters
   std::uint64_t events = 0;    ///< simulator events (sanity/efficiency)
+  obs::LatencySummary latency; ///< client-op latency (zero when obs is off)
 };
 
 inline double to_mib(double bytes) { return bytes / (1024.0 * 1024.0); }
 inline double to_mb(double bytes) { return bytes / 1e6; }
+
+/// Pull the merged client-op latency distribution out of a finished run's
+/// observability context into the result record.
+inline void capture_latency(MethodResult& r, const obs::Observability& obs) {
+  r.latency = obs::LatencySummary::from(
+      obs.metrics.merged_histogram("client_op_latency_ns"));
+}
+
+/// MethodResult -> the machine-readable report entry. `tag` prefixes the
+/// method name ("read/27/" etc.) when one report covers several sweeps.
+inline obs::MethodReport to_report(const MethodResult& r,
+                                   const std::string& tag = "") {
+  obs::MethodReport m;
+  m.method = tag + std::string(mpiio::method_name(r.method));
+  m.supported = r.supported;
+  m.sim_seconds = r.seconds;
+  m.bandwidth_mb_s = to_mb(r.bandwidth);
+  m.events = r.events;
+  m.per_client = r.per_client;
+  m.latency = r.latency;
+  return m;
+}
+
+/// Write the report to BENCH_<name>.json (or --json=PATH); prints where it
+/// went. Skipped entirely under --no-obs.
+inline void write_report(const obs::RunReport& report, int argc, char** argv,
+                         const std::string& default_path) {
+  if (!obs_enabled(argc, argv)) return;
+  const std::string path =
+      flag_str(argc, argv, "--json", default_path.c_str());
+  if (report.write_file(path)) {
+    std::fprintf(stderr, "bench report: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "error: could not write bench report %s\n",
+                 path.c_str());
+  }
+}
 
 /// "Figure 8"-style row: method, aggregate MB/s, simulated seconds.
 inline void print_figure_row(const MethodResult& r) {

@@ -28,11 +28,13 @@ using mpiio::Method;
 using sim::Task;
 
 MethodResult run_block3d(Method method, const workloads::Block3dConfig& block,
-                         bool is_write) {
+                         bool is_write, bool use_obs) {
   net::ClusterConfig cfg;
   cfg.num_clients = block.num_clients();
 
   pfs::Cluster cluster(cfg);
+  obs::Observability obs(1 << 16);
+  if (use_obs) cluster.set_observability(&obs);
   coll::Communicator comm(cluster.scheduler(), cluster.network(),
                           cluster.config(), cfg.num_clients);
   std::vector<std::unique_ptr<pfs::Client>> clients;
@@ -83,14 +85,20 @@ MethodResult run_block3d(Method method, const workloads::Block3dConfig& block,
                      block.num_clients() / result.seconds;
   result.per_client = clients[0]->stats();
   result.events = cluster.scheduler().events_processed();
+  if (use_obs) bench::capture_latency(result, obs);
   return result;
 }
 
 int block3d_main(int argc, char** argv) {
   const std::int64_t dim = bench::flag_int(argc, argv, "--dim", 600);
   const bool skip_posix = bench::flag_set(argc, argv, "--skip-posix");
+  const bool use_obs = bench::obs_enabled(argc, argv);
   const bool csv = bench::flag_set(argc, argv, "--csv");
   if (csv) std::printf("csv,rw,clients,method,agg_mbps,sim_sec\n");
+
+  obs::RunReport report;
+  report.bench = "block3d";
+  report.params["dim"] = static_cast<double>(dim);
 
   const Method methods[] = {Method::kPosix, Method::kDataSieving,
                             Method::kTwoPhase, Method::kList,
@@ -106,6 +114,9 @@ int block3d_main(int argc, char** argv) {
                     "Figure 10 (%s, %d clients): bandwidth",
                     is_write ? "write" : "read", block.num_clients());
       bench::print_figure_header(title);
+      char tag[32];
+      std::snprintf(tag, sizeof tag, "%s/%d/", is_write ? "write" : "read",
+                    block.num_clients());
       std::vector<MethodResult> results;
       for (const Method method : methods) {
         if (method == Method::kPosix && skip_posix) continue;
@@ -114,10 +125,12 @@ int block3d_main(int argc, char** argv) {
           r.method = method;
           r.supported = false;  // PVFS: no locks, no sieving writes
           results.push_back(r);
+          report.methods.push_back(bench::to_report(r, tag));
           bench::print_figure_row(r);
           continue;
         }
-        results.push_back(run_block3d(method, block, is_write));
+        results.push_back(run_block3d(method, block, is_write, use_obs));
+        report.methods.push_back(bench::to_report(results.back(), tag));
         bench::print_figure_row(results.back());
         if (csv) {
           std::printf("csv,%s,%d,%s,%.3f,%.3f\n",
@@ -138,6 +151,7 @@ int block3d_main(int argc, char** argv) {
   std::printf("\npaper shape: datatype I/O peak more than double the next "
               "best; read datatype dips as clients grow (server-side list "
               "processing); sieving reads ~4x the desired data\n");
+  bench::write_report(report, argc, argv, "BENCH_block3d.json");
   return 0;
 }
 

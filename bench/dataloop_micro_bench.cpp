@@ -8,7 +8,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "common/region.h"
@@ -168,4 +170,25 @@ BENCHMARK(BM_TypeToDataloopConversion);
 }  // namespace
 }  // namespace dtio
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): default to writing the JSON
+// results to BENCH_dataloop_micro.json (pass --benchmark_out=... to
+// override), matching the machine-readable reports of the figure benches.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_dataloop_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int nargs = static_cast<int>(args.size());
+  benchmark::Initialize(&nargs, args.data());
+  if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,11 +32,13 @@ using mpiio::Method;
 using sim::Task;
 
 MethodResult run_flash(Method method, const workloads::FlashConfig& flash,
-                       int nclients, bool utilization = false) {
+                       int nclients, bool use_obs, bool utilization = false) {
   net::ClusterConfig cfg;
   cfg.num_clients = nclients;
 
   pfs::Cluster cluster(cfg);
+  obs::Observability obs(1 << 16);
+  if (use_obs) cluster.set_observability(&obs);
   coll::Communicator comm(cluster.scheduler(), cluster.network(),
                           cluster.config(), nclients);
   std::vector<std::unique_ptr<pfs::Client>> clients;
@@ -76,6 +78,7 @@ MethodResult run_flash(Method method, const workloads::FlashConfig& flash,
       static_cast<double>(flash.bytes_per_proc()) * nclients / result.seconds;
   result.per_client = clients[0]->stats();
   result.events = cluster.scheduler().events_processed();
+  if (use_obs) bench::capture_latency(result, obs);
   if (utilization) {
     std::printf("%s", cluster.utilization_report(t0).c_str());
   }
@@ -88,8 +91,15 @@ int flash_main(int argc, char** argv) {
       static_cast<int>(bench::flag_int(argc, argv, "--max-clients", 64));
   const bool with_posix = bench::flag_set(argc, argv, "--with-posix");
   const bool utilization = bench::flag_set(argc, argv, "--utilization");
+  const bool use_obs = bench::obs_enabled(argc, argv);
   const bool csv = bench::flag_set(argc, argv, "--csv");
   if (csv) std::printf("csv,clients,method,agg_mbps,sim_sec\n");
+
+  obs::RunReport report;
+  report.bench = "flash_io";
+  report.params["max_clients"] = max_clients;
+  report.params["bytes_per_proc"] =
+      static_cast<double>(flash.bytes_per_proc());
 
   std::printf("FLASH I/O: %d blocks/proc, %d^3 interior cells (+%d guards), "
               "%d vars, %.2f MB/proc, 16 I/O servers\n",
@@ -108,7 +118,10 @@ int flash_main(int argc, char** argv) {
       // POSIX issues 983 040 requests per client; the paper calls the
       // result "nearly unusable" — run it only where tractable.
       if (m == Method::kPosix && n > 2 && !with_posix) continue;
-      MethodResult r = run_flash(m, flash, n, utilization);
+      MethodResult r = run_flash(m, flash, n, use_obs, utilization);
+      char tag[32];
+      std::snprintf(tag, sizeof tag, "%d/", n);
+      report.methods.push_back(bench::to_report(r, tag));
       std::printf("  %-8d %-18s %12.2f %12.2f\n", n,
                   std::string(mpiio::method_name(m)).c_str(),
                   bench::to_mb(r.bandwidth), r.seconds);
@@ -129,6 +142,7 @@ int flash_main(int argc, char** argv) {
   std::printf("  paper shape: two-phase leads at small n; datatype "
               "overtakes (~37%% faster by 96 procs); list never catches "
               "two-phase\n");
+  bench::write_report(report, argc, argv, "BENCH_flash_io.json");
   return 0;
 }
 

@@ -27,11 +27,14 @@ using mpiio::Method;
 using sim::Task;
 
 MethodResult run_tile(Method method, const workloads::TileConfig& tile,
-                      int frames) {
+                      int frames, bool use_obs,
+                      const std::string& trace_path) {
   net::ClusterConfig cfg;  // paper defaults: 16 servers, 64 KiB strips
   cfg.num_clients = tile.num_clients();
 
   pfs::Cluster cluster(cfg);
+  obs::Observability obs(1 << 18);
+  if (use_obs) cluster.set_observability(&obs);
   coll::Communicator comm(cluster.scheduler(), cluster.network(),
                           cluster.config(), cfg.num_clients);
   std::vector<std::unique_ptr<pfs::Client>> clients;
@@ -97,6 +100,15 @@ MethodResult run_tile(Method method, const workloads::TileConfig& tile,
   result.per_client.resent_bytes /= static_cast<std::uint64_t>(frames);
   result.per_client.request_bytes /= static_cast<std::uint64_t>(frames);
   result.events = cluster.scheduler().events_processed();
+  if (use_obs) {
+    bench::capture_latency(result, obs);
+    cluster.record_utilization_gauges();
+    if (!trace_path.empty() && cluster.write_trace(trace_path)) {
+      std::printf("chrome trace (%s run): %s\n",
+                  std::string(mpiio::method_name(method)).c_str(),
+                  trace_path.c_str());
+    }
+  }
   return result;
 }
 
@@ -104,6 +116,10 @@ int tile_main(int argc, char** argv) {
   const workloads::TileConfig tile;
   const int frames =
       static_cast<int>(bench::flag_int(argc, argv, "--frames", 100));
+  const bool use_obs = bench::obs_enabled(argc, argv);
+  // --trace=PATH exports the datatype-I/O run as a Chrome trace-event
+  // file (the paper's contribution is the most interesting timeline).
+  const std::string trace_path = bench::flag_str(argc, argv, "--trace", "");
 
   std::printf("tile reader: %dx%d tiles of %dx%d px, frame %.1f MB, "
               "%d frames, %d clients, 16 I/O servers\n",
@@ -115,7 +131,10 @@ int tile_main(int argc, char** argv) {
                             Method::kTwoPhase, Method::kList,
                             Method::kDatatype};
   std::vector<MethodResult> results;
-  for (const Method m : methods) results.push_back(run_tile(m, tile, frames));
+  for (const Method m : methods) {
+    results.push_back(run_tile(m, tile, frames, use_obs,
+                               m == Method::kDatatype ? trace_path : ""));
+  }
 
   bench::print_figure_header(
       "Figure 8: tile reader aggregate read bandwidth");
@@ -138,6 +157,14 @@ int tile_main(int argc, char** argv) {
   for (const auto& r : results) bench::print_table_row(r);
   std::printf("  paper: POSIX 768 ops; sieving 5.56 MB accessed; two-phase "
               "1 op, 1.50 MB resent; list 12 ops; datatype 1 op\n");
+
+  obs::RunReport report;
+  report.bench = "tile_reader";
+  report.params["frames"] = frames;
+  report.params["clients"] = tile.num_clients();
+  report.params["frame_bytes"] = static_cast<double>(tile.frame_bytes());
+  for (const auto& r : results) report.methods.push_back(bench::to_report(r));
+  bench::write_report(report, argc, argv, "BENCH_tile_reader.json");
   return 0;
 }
 

@@ -7,21 +7,32 @@
 // servers, how many bytes of request descriptors crossed the wire, and —
 // for two-phase — how much data was re-sent between processes.
 //
-//   $ ./method_tour
+//   $ ./method_tour                   # the tour
+//   $ ./method_tour --trace out.json  # also export the datatype-I/O read
+//                                     # as a Chrome trace (Perfetto-loadable)
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "collective/comm.h"
 #include "io/methods.h"
 #include "mpiio/file.h"
+#include "obs/observability.h"
 #include "pfs/cluster.h"
 #include "types/datatype.h"
 
 using namespace dtio;
 using sim::Task;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[i + 1];
+    }
+  }
   // Figure 1's pattern: five 4 KiB regions every 16 KiB, read by two
   // processes that interleave (process 0: even regions, 1: odd).
   constexpr std::int64_t kRegion = 4096;
@@ -45,6 +56,10 @@ int main() {
     config.num_clients = kRanks;
     config.strip_size = 8192;
     pfs::Cluster cluster(config);
+    obs::Observability obs;
+    const bool trace_this =
+        !trace_path.empty() && method == mpiio::Method::kDatatype;
+    if (trace_this) cluster.set_observability(&obs);
     coll::Communicator comm(cluster.scheduler(), cluster.network(),
                             cluster.config(), kRanks);
 
@@ -129,6 +144,17 @@ int main() {
                                    : "-",
                 unsupported ? "n/a" : (bad == 0 ? "yes" : "NO"));
     if (bad != 0) return 1;
+    if (trace_this) {
+      if (cluster.write_trace(trace_path)) {
+        std::printf("\nchrome trace of the datatype-I/O run: %s "
+                    "(load in Perfetto / chrome://tracing)\n",
+                    trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+    }
   }
   return 0;
 }

@@ -127,8 +127,14 @@ sim::Task<Status> two_phase_write(io::Context& ctx, Communicator& comm,
                                   const types::Datatype& memtype) {
   const std::int64_t total = count * memtype.size();
   ctx.client.stats().desired_bytes += static_cast<std::uint64_t>(total);
+  const obs::SpanId tp_span =
+      io::detail::begin_method_span(ctx, "two_phase_write", total);
   Plan plan = co_await make_plan(ctx, comm, rank, view, offset, total);
-  if (!plan.any_data) co_return Status::ok();
+  if (!plan.any_data) {
+    io::detail::end_method_span(ctx, tp_span);
+    co_return Status::ok();
+  }
+  io::detail::count_method_units(ctx, "tp_rounds_total", plan.ntimes);
 
   const bool transfer = ctx.client.transfer_data() && buf != nullptr;
   const bool mem_contig = memtype.is_contiguous();
@@ -156,6 +162,8 @@ sim::Task<Status> two_phase_write(io::Context& ctx, Communicator& comm,
   std::vector<std::uint8_t> cb_buf;
 
   for (std::int64_t r = 0; r < plan.ntimes; ++r) {
+    const obs::SpanId round_span =
+        io::detail::begin_child_span(ctx, "tp_round", tp_span, r);
     // ---- Phase 1: scatter my pieces to the round's aggregators.
     for (int a = 0; a < nag; ++a) {
       const Region win = plan.window(a, r, cb);
@@ -203,7 +211,10 @@ sim::Task<Status> two_phase_write(io::Context& ctx, Communicator& comm,
         received_bytes += piece.length;
       }
     }
-    if (contributions.empty()) continue;
+    if (contributions.empty()) {
+      io::detail::end_method_span(ctx, round_span);
+      continue;
+    }
 
     std::sort(contributions.begin(), contributions.end(),
               [](const Contribution& a, const Contribution& b) {
@@ -252,7 +263,12 @@ sim::Task<Status> two_phase_write(io::Context& ctx, Communicator& comm,
             handle, loop, 0, 1, 0, loop->size,
             transfer ? cb_buf.data() : nullptr);
       }
-      if (!status.is_ok()) co_return status;
+      if (!status.is_ok()) {
+        io::detail::end_method_span(ctx, round_span);
+        io::detail::end_method_span(ctx, tp_span);
+        co_return status;
+      }
+      io::detail::end_method_span(ctx, round_span);
       continue;
     }
     if (transfer) cb_buf.assign(static_cast<std::size_t>(hi - lo), 0);
@@ -260,7 +276,11 @@ sim::Task<Status> two_phase_write(io::Context& ctx, Communicator& comm,
       // Read-modify-write to preserve the bytes between contributions.
       Status status = co_await ctx.client.read_contig(
           handle, lo, transfer ? cb_buf.data() : nullptr, hi - lo);
-      if (!status.is_ok()) co_return status;
+      if (!status.is_ok()) {
+        io::detail::end_method_span(ctx, round_span);
+        io::detail::end_method_span(ctx, tp_span);
+        co_return status;
+      }
     }
     if (transfer) {
       for (const Contribution& c : contributions) {
@@ -274,8 +294,13 @@ sim::Task<Status> two_phase_write(io::Context& ctx, Communicator& comm,
                       ctx.config.client.memcpy_bandwidth_bytes_per_s));
     Status status = co_await ctx.client.write_contig(
         handle, lo, transfer ? cb_buf.data() : nullptr, hi - lo);
-    if (!status.is_ok()) co_return status;
+    io::detail::end_method_span(ctx, round_span);
+    if (!status.is_ok()) {
+      io::detail::end_method_span(ctx, tp_span);
+      co_return status;
+    }
   }
+  io::detail::end_method_span(ctx, tp_span);
   co_return Status::ok();
 }
 
@@ -286,8 +311,14 @@ sim::Task<Status> two_phase_read(io::Context& ctx, Communicator& comm,
                                  const types::Datatype& memtype) {
   const std::int64_t total = count * memtype.size();
   ctx.client.stats().desired_bytes += static_cast<std::uint64_t>(total);
+  const obs::SpanId tp_span =
+      io::detail::begin_method_span(ctx, "two_phase_read", total);
   Plan plan = co_await make_plan(ctx, comm, rank, view, offset, total);
-  if (!plan.any_data) co_return Status::ok();
+  if (!plan.any_data) {
+    io::detail::end_method_span(ctx, tp_span);
+    co_return Status::ok();
+  }
+  io::detail::count_method_units(ctx, "tp_rounds_total", plan.ntimes);
 
   const bool transfer = ctx.client.transfer_data() && buf != nullptr;
   const bool mem_contig = memtype.is_contiguous();
@@ -308,6 +339,8 @@ sim::Task<Status> two_phase_read(io::Context& ctx, Communicator& comm,
   std::vector<std::uint8_t> cb_buf;
 
   for (std::int64_t r = 0; r < plan.ntimes; ++r) {
+    const obs::SpanId round_span =
+        io::detail::begin_child_span(ctx, "tp_round", tp_span, r);
     const std::uint64_t req_tag = block + 2 * static_cast<std::uint64_t>(r);
     const std::uint64_t resp_tag = req_tag + 1;
 
@@ -343,7 +376,11 @@ sim::Task<Status> two_phase_read(io::Context& ctx, Communicator& comm,
       if (transfer) cb_buf.assign(static_cast<std::size_t>(hi - lo), 0);
       Status status = co_await ctx.client.read_contig(
           handle, lo, transfer ? cb_buf.data() : nullptr, hi - lo);
-      if (!status.is_ok()) co_return status;
+      if (!status.is_ok()) {
+        io::detail::end_method_span(ctx, round_span);
+        io::detail::end_method_span(ctx, tp_span);
+        co_return status;
+      }
     }
     std::int64_t served_bytes = 0;
     for (int src = 0; src < nag; ++src) {
@@ -393,6 +430,7 @@ sim::Task<Status> two_phase_read(io::Context& ctx, Communicator& comm,
         }
       }
     }
+    io::detail::end_method_span(ctx, round_span);
   }
 
   if (transfer && !mem_contig) {
@@ -402,6 +440,7 @@ sim::Task<Status> two_phase_read(io::Context& ctx, Communicator& comm,
     co_await io::detail::charge_mem_staging(
         ctx, memtype, count, total, ctx.config.client.flatten_cost_per_region);
   }
+  io::detail::end_method_span(ctx, tp_span);
   co_return Status::ok();
 }
 

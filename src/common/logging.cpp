@@ -3,12 +3,13 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <utility>
 
 namespace dtio {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::function<std::int64_t()> g_sim_clock;  // null = wall-clock-less lines
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,26 +32,69 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+bool parse_log_level(std::string_view name, LogLevel& out) noexcept {
+  if (name == "debug") out = LogLevel::kDebug;
+  else if (name == "info") out = LogLevel::kInfo;
+  else if (name == "warn") out = LogLevel::kWarn;
+  else if (name == "error") out = LogLevel::kError;
+  else if (name == "off") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
 void init_logging_from_env() {
   const char* env = std::getenv("DTIO_LOG");
   if (env == nullptr) return;
-  if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
-  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
-  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
-  else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
-  else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::kOff);
+  LogLevel level;
+  if (parse_log_level(env, level)) {
+    set_log_level(level);
+  } else {
+    std::fprintf(stderr,
+                 "[WARN logging] unknown DTIO_LOG value \"%s\" "
+                 "(expected debug|info|warn|error|off); level unchanged\n",
+                 env);
+  }
 }
+
+void set_log_sim_clock(std::function<std::int64_t()> now_ns) {
+  g_sim_clock = std::move(now_ns);
+}
+
+namespace {
+// DTIO_LOG takes effect in every binary that links the library, without
+// each main() having to remember to call init_logging_from_env().
+const bool g_env_initialized = [] {
+  init_logging_from_env();
+  return true;
+}();
+}  // namespace
 
 namespace detail {
 
-void emit_log(LogLevel level, std::string_view file, int line,
-              std::string_view message) {
+std::string format_log_line(LogLevel level, std::string_view file, int line,
+                            std::string_view message) {
   // Trim the path to the basename to keep lines short.
   const std::size_t slash = file.rfind('/');
   if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
-  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", level_name(level),
-               static_cast<int>(file.size()), file.data(), line,
-               static_cast<int>(message.size()), message.data());
+  char head[128];
+  if (g_sim_clock) {
+    std::snprintf(head, sizeof head, "[%s t=%.3fus %.*s:%d] ",
+                  level_name(level),
+                  static_cast<double>(g_sim_clock()) / 1000.0,
+                  static_cast<int>(file.size()), file.data(), line);
+  } else {
+    std::snprintf(head, sizeof head, "[%s %.*s:%d] ", level_name(level),
+                  static_cast<int>(file.size()), file.data(), line);
+  }
+  std::string out(head);
+  out.append(message);
+  return out;
+}
+
+void emit_log(LogLevel level, std::string_view file, int line,
+              std::string_view message) {
+  const std::string formatted = format_log_line(level, file, line, message);
+  std::fprintf(stderr, "%s\n", formatted.c_str());
 }
 
 }  // namespace detail

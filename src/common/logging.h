@@ -1,9 +1,14 @@
 // Minimal leveled logging. Off by default so benches and tests stay quiet;
 // enable with DTIO_LOG=debug (or via set_log_level) when tracing the
-// simulated protocol.
+// simulated protocol. When a sim clock is attached (set_log_sim_clock),
+// every line carries the current simulated time, so log output lines up
+// with traces and CSV dumps.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace dtio {
@@ -13,13 +18,26 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Reads DTIO_LOG from the environment ("debug"/"info"/"warn"/"error").
+/// "debug"/"info"/"warn"/"error"/"off" -> level; false on anything else.
+bool parse_log_level(std::string_view name, LogLevel& out) noexcept;
+
+/// Reads DTIO_LOG from the environment; unknown values leave the level
+/// unchanged and print a warning naming the accepted spellings.
 void init_logging_from_env();
 
+/// Attach a simulated-time source (typically the scheduler's clock);
+/// log lines gain a "t=<us>us" field. Pass nullptr to detach — required
+/// before the clock's owner dies.
+void set_log_sim_clock(std::function<std::int64_t()> now_ns);
+
 namespace detail {
+/// The exact line emit_log writes (sans trailing newline); split out so
+/// tests can check formatting without capturing stderr.
+std::string format_log_line(LogLevel level, std::string_view file, int line,
+                            std::string_view message);
 void emit_log(LogLevel level, std::string_view file, int line,
               std::string_view message);
-}
+}  // namespace detail
 
 #define DTIO_LOG(level, expr)                                            \
   do {                                                                   \

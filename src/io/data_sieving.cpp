@@ -75,6 +75,7 @@ sim::Task<Status> sieve_read(Context& ctx, std::uint64_t handle,
   const std::int64_t total = count * memtype.size();
   ctx.client.stats().desired_bytes += static_cast<std::uint64_t>(total);
   if (total == 0) co_return Status::ok();
+  const obs::SpanId span = detail::begin_method_span(ctx, "sieve_read", total);
 
   const SievePlan plan = plan_access(view, offset, total);
   co_await ctx.sched.delay(
@@ -104,12 +105,18 @@ sim::Task<Status> sieve_read(Context& ctx, std::uint64_t handle,
   std::int64_t stream_pos = 0;
   std::size_t region_idx = 0;
   std::int64_t region_done = 0;
+  std::int64_t windows = 0;
   for (std::int64_t wstart = plan.hull.offset; wstart < plan.hull.end();
        wstart += sieve) {
+    ++windows;
     const std::int64_t wlen = std::min(sieve, plan.hull.end() - wstart);
     Status status = co_await ctx.client.read_contig(
         handle, wstart, transfer ? window_buf.data() : nullptr, wlen);
-    if (!status.is_ok()) co_return status;
+    if (!status.is_ok()) {
+      detail::count_method_units(ctx, "io_sieve_windows_total", windows);
+      detail::end_method_span(ctx, span);
+      co_return status;
+    }
 
     const std::int64_t moved = exchange_window(
         plan, Region{wstart, wlen}, transfer ? window_buf.data() : nullptr,
@@ -126,6 +133,8 @@ sim::Task<Status> sieve_read(Context& ctx, std::uint64_t handle,
     co_await detail::charge_mem_staging(
         ctx, memtype, count, total, ctx.config.client.flatten_cost_per_region);
   }
+  detail::count_method_units(ctx, "io_sieve_windows_total", windows);
+  detail::end_method_span(ctx, span);
   co_return Status::ok();
 }
 
@@ -140,6 +149,8 @@ sim::Task<Status> sieve_write(Context& ctx, std::uint64_t handle,
   const std::int64_t total = count * memtype.size();
   ctx.client.stats().desired_bytes += static_cast<std::uint64_t>(total);
   if (total == 0) co_return Status::ok();
+  const obs::SpanId span = detail::begin_method_span(ctx, "sieve_write",
+                                                     total);
 
   const SievePlan plan = plan_access(view, offset, total);
   co_await ctx.sched.delay(
@@ -177,9 +188,11 @@ sim::Task<Status> sieve_write(Context& ctx, std::uint64_t handle,
   std::int64_t stream_pos = 0;
   std::size_t region_idx = 0;
   std::int64_t region_done = 0;
+  std::int64_t windows = 0;
   Status status = Status::ok();
   for (std::int64_t wstart = plan.hull.offset; wstart < plan.hull.end();
        wstart += sieve) {
+    ++windows;
     const std::int64_t wlen = std::min(sieve, plan.hull.end() - wstart);
     status = co_await ctx.client.read_contig(
         handle, wstart, transfer ? window_buf.data() : nullptr, wlen);
@@ -199,6 +212,8 @@ sim::Task<Status> sieve_write(Context& ctx, std::uint64_t handle,
   }
 
   (void)co_await ctx.client.unlock(handle);
+  detail::count_method_units(ctx, "io_sieve_windows_total", windows);
+  detail::end_method_span(ctx, span);
   co_return status;
 }
 

@@ -19,6 +19,8 @@ sim::Task<Status> datatype_rw(Context& ctx, bool is_write,
   const std::int64_t total = count * memtype.size();
   ctx.client.stats().desired_bytes += static_cast<std::uint64_t>(total);
   if (total == 0) co_return Status::ok();
+  const obs::SpanId span = detail::begin_method_span(
+      ctx, is_write ? "datatype_write" : "datatype_read", total);
   const StreamWindow window = make_window(view, offset, total);
 
   // The MPI datatypes are converted to dataloops at every operation
@@ -48,9 +50,12 @@ sim::Task<Status> datatype_rw(Context& ctx, bool is_write,
           ctx, memtype, count, total,
           ctx.config.client.dataloop_cost_per_region);
     }
-    co_return co_await ctx.client.write_datatype(
+    Status wstatus = co_await ctx.client.write_datatype(
         handle, view.filetype.dataloop(), view.displacement, window.instances,
         window.offset, window.length, stream);
+    detail::count_method_units(ctx, "io_datatype_ops_total", 1);
+    detail::end_method_span(ctx, span);
+    co_return wstatus;
   }
 
   std::uint8_t* stream = nullptr;
@@ -65,7 +70,11 @@ sim::Task<Status> datatype_rw(Context& ctx, bool is_write,
   Status status = co_await ctx.client.read_datatype(
       handle, view.filetype.dataloop(), view.displacement, window.instances,
       window.offset, window.length, stream);
-  if (!status.is_ok()) co_return status;
+  detail::count_method_units(ctx, "io_datatype_ops_total", 1);
+  if (!status.is_ok()) {
+    detail::end_method_span(ctx, span);
+    co_return status;
+  }
   if (!mem_contig) {
     if (stream != nullptr) {
       detail::unpack_memory(memtype, count, rbuf, stream_store);
@@ -73,6 +82,7 @@ sim::Task<Status> datatype_rw(Context& ctx, bool is_write,
     co_await detail::charge_mem_staging(
         ctx, memtype, count, total, ctx.config.client.dataloop_cost_per_region);
   }
+  detail::end_method_span(ctx, span);
   co_return Status::ok();
 }
 

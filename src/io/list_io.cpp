@@ -22,6 +22,9 @@ sim::Task<Status> list_rw(Context& ctx, bool is_write, std::uint64_t handle,
   const StreamWindow window = make_window(view, offset, total);
   const auto cap = static_cast<std::size_t>(ctx.config.list_io_max_regions);
   const bool transfer = ctx.client.transfer_data();
+  const obs::SpanId span = detail::begin_method_span(
+      ctx, is_write ? "list_write" : "list_read", total);
+  std::int64_t batches = 0;
 
   JointWalker walker(make_mem_cursor(memtype, count),
                      make_file_cursor(view, window));
@@ -35,6 +38,7 @@ sim::Task<Status> list_rw(Context& ctx, bool is_write, std::uint64_t handle,
   JointWalker::Piece piece;
   bool more = walker.next(piece);
   while (more) {
+    ++batches;
     file_batch.clear();
     mem_offsets.clear();
     std::int64_t batch_bytes = 0;
@@ -89,8 +93,14 @@ sim::Task<Status> list_rw(Context& ctx, bool is_write, std::uint64_t handle,
           transfer_time(static_cast<std::uint64_t>(batch_bytes),
                         ctx.config.client.memcpy_bandwidth_bytes_per_s));
     }
-    if (!status.is_ok()) co_return status;
+    if (!status.is_ok()) {
+      detail::count_method_units(ctx, "io_list_batches_total", batches);
+      detail::end_method_span(ctx, span);
+      co_return status;
+    }
   }
+  detail::count_method_units(ctx, "io_list_batches_total", batches);
+  detail::end_method_span(ctx, span);
   co_return Status::ok();
 }
 

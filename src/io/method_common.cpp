@@ -44,4 +44,41 @@ std::vector<Region> flatten_file_side(const FileView& view,
   return regions;
 }
 
+obs::SpanId begin_method_span(Context& ctx, std::string_view name,
+                              std::int64_t bytes) {
+  obs::Observability* obs = ctx.client.observability();
+  if (obs == nullptr) return 0;
+  const obs::SpanId span =
+      obs->spans.begin(name, ctx.client.node_id(), ctx.sched.now(), 0,
+                       obs->spans.new_trace());
+  obs->spans.set_value(span, bytes);
+  return span;
+}
+
+obs::SpanId begin_child_span(Context& ctx, std::string_view name,
+                             obs::SpanId parent, std::int64_t value) {
+  obs::Observability* obs = ctx.client.observability();
+  if (obs == nullptr) return 0;
+  const obs::Span* p = obs->spans.find(parent);
+  const obs::SpanId span =
+      obs->spans.begin(name, ctx.client.node_id(), ctx.sched.now(), parent,
+                       p != nullptr ? p->trace : 0);
+  if (value != 0) obs->spans.set_value(span, value);
+  return span;
+}
+
+void end_method_span(Context& ctx, obs::SpanId span) {
+  obs::Observability* obs = ctx.client.observability();
+  if (obs == nullptr) return;
+  obs->spans.end(span, ctx.sched.now());
+}
+
+void count_method_units(Context& ctx, std::string_view name, std::int64_t n) {
+  obs::Observability* obs = ctx.client.observability();
+  if (obs == nullptr || n <= 0) return;
+  obs->metrics
+      .counter(name, obs::label("node", ctx.client.node_id()))
+      .add(static_cast<std::uint64_t>(n));
+}
+
 }  // namespace dtio::io::detail

@@ -99,6 +99,23 @@ void unpack_memory(const types::Datatype& memtype, std::int64_t count,
 std::vector<Region> flatten_file_side(const FileView& view,
                                       const StreamWindow& window);
 
+/// Opens a root span (its own trace) for one method-level operation on
+/// this client's node, with the desired byte count as the span value.
+/// Returns 0 — at one pointer test of cost — when observability is
+/// detached.
+obs::SpanId begin_method_span(Context& ctx, std::string_view name,
+                              std::int64_t bytes);
+void end_method_span(Context& ctx, obs::SpanId span);
+
+/// Opens a span under `parent` (same trace), e.g. one two-phase round
+/// under the collective's method span.
+obs::SpanId begin_child_span(Context& ctx, std::string_view name,
+                             obs::SpanId parent, std::int64_t value = 0);
+
+/// Bumps counter `name` by `n` in the attached registry; no-op when
+/// observability is detached.
+void count_method_units(Context& ctx, std::string_view name, std::int64_t n);
+
 }  // namespace detail
 
 }  // namespace dtio::io

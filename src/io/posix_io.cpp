@@ -16,11 +16,15 @@ sim::Task<Status> posix_rw(Context& ctx, bool is_write, std::uint64_t handle,
   const std::int64_t total = count * memtype.size();
   ctx.client.stats().desired_bytes += static_cast<std::uint64_t>(total);
   const StreamWindow window = make_window(view, offset, total);
+  const obs::SpanId span = detail::begin_method_span(
+      ctx, is_write ? "posix_write" : "posix_read", total);
 
   JointWalker walker(make_mem_cursor(memtype, count),
                      make_file_cursor(view, window));
   JointWalker::Piece piece;
+  std::int64_t pieces = 0;
   while (walker.next(piece)) {
+    ++pieces;
     Status status;
     if (is_write) {
       const auto* src =
@@ -36,8 +40,14 @@ sim::Task<Status> posix_rw(Context& ctx, bool is_write, std::uint64_t handle,
       status = co_await ctx.client.read_contig(handle, piece.file_offset, dst,
                                                piece.length);
     }
-    if (!status.is_ok()) co_return status;
+    if (!status.is_ok()) {
+      detail::count_method_units(ctx, "io_posix_pieces_total", pieces);
+      detail::end_method_span(ctx, span);
+      co_return status;
+    }
   }
+  detail::count_method_units(ctx, "io_posix_pieces_total", pieces);
+  detail::end_method_span(ctx, span);
   co_return Status::ok();
 }
 

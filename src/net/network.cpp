@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/box.h"
+#include "obs/observability.h"
 
 namespace dtio::net {
 
@@ -18,6 +19,17 @@ Network::Network(sim::Scheduler& sched, int num_nodes, NetConfig config)
   if (config_.fabric_bandwidth_bytes_per_s > 0) {
     fabric_ = std::make_unique<sim::Resource>(sched, 1);
   }
+}
+
+void Network::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    obs_messages_ = nullptr;
+    obs_wire_bytes_ = nullptr;
+    return;
+  }
+  obs_messages_ = &obs->metrics.counter("net_messages_total");
+  obs_wire_bytes_ = &obs->metrics.counter("net_wire_bytes_total");
 }
 
 // Non-coroutine entry point: boxes the message before the coroutine frame
@@ -37,13 +49,28 @@ sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed) {
   if (tracer_ != nullptr) {
     tracer_->record({sched_->now(), "send", src, dst, msg.tag, bytes, ""});
   }
+  std::uint64_t net_span = 0;
+  if (obs_ != nullptr) {
+    obs_messages_->add(1);
+    obs_wire_bytes_->add(bytes);
+    // One span per message, covering first-byte-out to delivery; parented
+    // under whatever span the sender stamped on the message.
+    net_span = obs_->spans.begin("net_send", src, sched_->now(), msg.span,
+                                 msg.trace);
+    obs_->spans.set_value(net_span, static_cast<std::int64_t>(bytes));
+  }
 
   if (src == dst) {
     // Loopback: no link occupancy, only a small local latency.
     sim::Mailbox* box = &endpoint(dst).mailbox;
+    obs::Observability* obs = obs_;
+    sim::Scheduler* sched = sched_;
     sched_->schedule_call(
         sched_->now() + config_.loopback_latency,
-        [box, m = std::move(msg)]() mutable { box->deliver(std::move(m)); });
+        [box, obs, sched, net_span, m = std::move(msg)]() mutable {
+          if (obs != nullptr) obs->spans.end(net_span, sched->now());
+          box->deliver(std::move(m));
+        });
     co_return;
   }
 
@@ -62,13 +89,15 @@ sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed) {
     co_await sender.tx.use(wire_time);
     sched_->start(receive_packet(
         dst, wire_time,
-        last ? Box<sim::Message>(std::move(msg)) : Box<sim::Message>{}));
+        last ? Box<sim::Message>(std::move(msg)) : Box<sim::Message>{},
+        last ? net_span : 0));
     if (last) break;
   }
 }
 
 sim::Fire Network::receive_packet(int dst, SimTime rx_hold,
-                                  Box<sim::Message> boxed) {
+                                  Box<sim::Message> boxed,
+                                  std::uint64_t net_span) {
   // Pipeline stages per packet: (tx already held by the sender) ->
   // shared fabric -> wire latency -> receiver rx. Stages overlap across
   // packets, so sustained flows see min(stage bandwidths).
@@ -88,6 +117,7 @@ sim::Fire Network::receive_packet(int dst, SimTime rx_hold,
       tracer_->record({sched_->now(), "deliver", dst, msg.src, msg.tag,
                        msg.wire_bytes, ""});
     }
+    if (obs_ != nullptr) obs_->spans.end(net_span, sched_->now());
     receiver.mailbox.deliver(std::move(msg));
   }
 }

@@ -19,6 +19,11 @@
 #include "sim/task.h"
 #include "sim/tracer.h"
 
+namespace dtio::obs {
+class Counter;
+struct Observability;
+}  // namespace dtio::obs
+
 namespace dtio::net {
 
 class Network {
@@ -36,6 +41,11 @@ class Network {
 
   /// Attach an event tracer (nullptr detaches). Not owned.
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Attach the observability context (nullptr detaches). Not owned.
+  /// Resolves the message/byte counters once so the send path never pays a
+  /// registry lookup; when detached the cost is one pointer test.
+  void set_observability(obs::Observability* obs);
   [[nodiscard]] sim::Resource& tx_link(int node) { return endpoint(node).tx; }
   [[nodiscard]] sim::Resource& rx_link(int node) { return endpoint(node).rx; }
 
@@ -76,13 +86,18 @@ class Network {
 
   /// Per-packet receive side: latency, rx-link occupancy, then (for the
   /// final packet of a message, which carries the boxed payload) delivery.
-  sim::Fire receive_packet(int dst, SimTime rx_hold, Box<sim::Message> boxed);
+  /// `net_span` is the in-flight transmission span, closed at delivery.
+  sim::Fire receive_packet(int dst, SimTime rx_hold, Box<sim::Message> boxed,
+                           std::uint64_t net_span);
 
   sim::Scheduler* sched_;
   NetConfig config_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::unique_ptr<sim::Resource> fabric_;  ///< shared bisection stage (optional)
   sim::Tracer* tracer_ = nullptr;
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* obs_messages_ = nullptr;   ///< net_messages_total
+  obs::Counter* obs_wire_bytes_ = nullptr; ///< net_wire_bytes_total
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_wire_bytes_ = 0;
 };

@@ -1,0 +1,106 @@
+#include "obs/chrome_trace.h"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/observability.h"
+
+namespace dtio::obs {
+namespace {
+
+constexpr double kNsPerUs = 1000.0;
+
+std::string node_name(const ChromeTraceOptions& options, int node) {
+  if (node >= 0 && static_cast<std::size_t>(node) < options.node_names.size())
+    return options.node_names[static_cast<std::size_t>(node)];
+  return "node" + std::to_string(node);
+}
+
+void write_process_metadata(JsonWriter& w, const ChromeTraceOptions& options,
+                            const Observability& obs) {
+  // One process_name metadata event per node that appears in the data, so
+  // Perfetto shows "srv0" instead of "pid 0".
+  std::vector<int> nodes;
+  auto remember = [&nodes](int node) {
+    for (int seen : nodes)
+      if (seen == node) return;
+    nodes.push_back(node);
+  };
+  for (const Span& span : obs.spans.spans()) remember(span.node);
+  for (const CounterSample& s : obs.spans.samples()) remember(s.node);
+
+  for (int node : nodes) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", static_cast<std::int64_t>(node));
+    w.key("args").begin_object();
+    w.kv("name", node_name(options, node));
+    w.end_object();
+    w.end_object();
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(const Observability& obs, std::ostream& out,
+                        const ChromeTraceOptions& options) {
+  std::string text;
+  JsonWriter w(text);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  write_process_metadata(w, options, obs);
+
+  // Spans as complete events: pid = node (one Perfetto "process" per
+  // simulated node), tid = trace id (each request chain gets its own
+  // track, so overlapping fan-out requests don't interleave).
+  for (const Span& span : obs.spans.spans()) {
+    w.begin_object();
+    w.kv("name", std::string_view(span.name));
+    w.kv("ph", "X");
+    w.kv("ts", static_cast<double>(span.start) / kNsPerUs);
+    const SimTime end = span.end < span.start ? span.start : span.end;
+    w.kv("dur", static_cast<double>(end - span.start) / kNsPerUs);
+    w.kv("pid", static_cast<std::int64_t>(span.node));
+    w.kv("tid", static_cast<std::int64_t>(span.trace));
+    w.key("args").begin_object();
+    w.kv("span", static_cast<std::int64_t>(span.id));
+    w.kv("parent", static_cast<std::int64_t>(span.parent));
+    if (span.value != 0) w.kv("value", span.value);
+    w.end_object();
+    w.end_object();
+  }
+
+  // Counter samples as counter events; Perfetto turns each (name, pid)
+  // pair into a stepped time-series track.
+  for (const CounterSample& s : obs.spans.samples()) {
+    w.begin_object();
+    w.kv("name", std::string_view(s.name));
+    w.kv("ph", "C");
+    w.kv("ts", static_cast<double>(s.time) / kNsPerUs);
+    w.kv("pid", static_cast<std::int64_t>(s.node));
+    w.key("args").begin_object();
+    w.kv("value", s.value);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  out << text;
+}
+
+bool write_chrome_trace_file(const Observability& obs, const std::string& path,
+                             const ChromeTraceOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(obs, out, options);
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace dtio::obs

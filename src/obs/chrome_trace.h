@@ -1,0 +1,32 @@
+// Chrome trace-event exporter: renders a SpanCollector as the JSON array
+// format that Perfetto (ui.perfetto.dev) and chrome://tracing load
+// directly. Spans become complete ("ph":"X") events — pid = simulated
+// node, tid = trace id, so each request chain reads as one track under
+// its node — and counter samples become counter ("ph":"C") series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dtio::obs {
+
+struct Observability;
+
+struct ChromeTraceOptions {
+  /// Display names per node id ("srv0", "cli3", ...); nodes beyond the
+  /// vector fall back to "node<k>".
+  std::vector<std::string> node_names;
+};
+
+/// Writes the complete trace document (spans + counter tracks + process
+/// name metadata). Timestamps convert from simulated ns to trace us.
+void write_chrome_trace(const Observability& obs, std::ostream& out,
+                        const ChromeTraceOptions& options = {});
+
+/// Same, to a file. Returns false when the file cannot be opened.
+bool write_chrome_trace_file(const Observability& obs,
+                             const std::string& path,
+                             const ChromeTraceOptions& options = {});
+
+}  // namespace dtio::obs

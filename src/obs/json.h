@@ -1,0 +1,61 @@
+// Minimal JSON plumbing for the observability exporters: a stream-style
+// writer that handles commas/escaping, and a strict syntax validator used
+// by tests (and available to tooling) to check exporter output without an
+// external JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtio::obs {
+
+/// Appends escaped JSON to a caller-owned string. Scopes (object/array)
+/// are explicit; the writer inserts commas between siblings. Misuse (e.g.
+/// a value where a key is required) is a programming error, asserted in
+/// debug builds and emitted as-is otherwise.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by exactly one value/scope.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool b);
+
+  /// key + value in one call, for the common case.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void separate();
+
+  std::string* out_;
+  std::vector<bool> needs_comma_;  ///< one entry per open scope
+  bool after_key_ = false;
+};
+
+/// Appends `s` with JSON string escaping (no surrounding quotes).
+void json_escape(std::string_view s, std::string& out);
+
+/// Strict RFC-8259 syntax check of a complete JSON document. Used by the
+/// exporter tests; returns false on any trailing garbage or malformed
+/// construct.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+}  // namespace dtio::obs

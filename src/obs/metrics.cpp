@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace dtio::obs {
+
+// ---- Histogram --------------------------------------------------------------
+
+int Histogram::bucket_index(std::int64_t value) noexcept {
+  if (value <= 0) return 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  const int exp = std::bit_width(v) - 1;  // floor(log2(v))
+  if (exp == 0) return 1;                 // value == 1
+  // Linear sub-bucket within [2^exp, 2^(exp+1)).
+  const std::uint64_t low = std::uint64_t{1} << exp;
+  const auto sub = static_cast<int>(((v - low) * kSubBuckets) >> exp);
+  return 1 + (exp - 1) * kSubBuckets + std::min(sub, kSubBuckets - 1) + 1;
+}
+
+double Histogram::bucket_mid(int index) noexcept {
+  if (index <= 0) return 0.0;
+  if (index == 1) return 1.0;
+  const int rel = index - 2;
+  const int exp = 1 + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  const double low = std::ldexp(1.0, exp);
+  const double width = low / kSubBuckets;
+  return low + (sub + 0.5) * width;
+}
+
+void Histogram::record(std::int64_t value) noexcept {
+  const std::int64_t v = std::max<std::int64_t>(value, 0);
+  ++buckets_[bucket_index(v)];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++count_;
+  sum_ += static_cast<double>(v);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank on the bucketed distribution.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (cum >= std::max<std::uint64_t>(target, 1)) {
+      const double mid = bucket_mid(i);
+      return std::clamp(mid, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+// ---- Labels -----------------------------------------------------------------
+
+std::string label(std::string_view key, std::string_view value) {
+  std::string out;
+  out.reserve(key.size() + value.size() + 1);
+  out += key;
+  out += '=';
+  out += value;
+  return out;
+}
+
+std::string label(std::string_view key, std::int64_t value) {
+  return label(key, std::string_view(std::to_string(value)));
+}
+
+std::string label(std::string_view k1, std::string_view v1,
+                  std::string_view k2, std::int64_t v2) {
+  std::string out = label(k1, v1);
+  out += ',';
+  out += label(k2, v2);
+  return out;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+namespace {
+
+template <typename Map, typename T = typename Map::mapped_type::element_type>
+T& lookup(Map& map, std::string_view name, std::string_view labels) {
+  const auto it = map.find(
+      std::pair(std::string(name), std::string(labels)));
+  if (it != map.end()) return *it->second;
+  auto [pos, inserted] = map.emplace(
+      std::pair(std::string(name), std::string(labels)),
+      std::make_unique<T>());
+  return *pos->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view labels) {
+  return lookup(counters_, name, labels);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view labels) {
+  return lookup(gauges_, name, labels);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view labels) {
+  return lookup(histograms_, name, labels);
+}
+
+Histogram MetricsRegistry::merged_histogram(std::string_view name) const {
+  Histogram merged;
+  for (const auto& [key, hist] : histograms_) {
+    if (key.first == name) merged.merge(*hist);
+  }
+  return merged;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, ctr] : counters_) {
+    if (key.first == name) total += ctr->value();
+  }
+  return total;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_array();
+  for (const auto& [key, ctr] : counters_) {
+    w.begin_object();
+    w.kv("name", key.first).kv("labels", key.second).kv("value", ctr->value());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("gauges").begin_array();
+  for (const auto& [key, g] : gauges_) {
+    w.begin_object();
+    w.kv("name", key.first).kv("labels", key.second).kv("value", g->value());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("histograms").begin_array();
+  for (const auto& [key, h] : histograms_) {
+    w.begin_object();
+    w.kv("name", key.first).kv("labels", key.second);
+    w.kv("count", h->count()).kv("mean", h->mean());
+    w.kv("min", h->min()).kv("max", h->max());
+    w.kv("p50", h->percentile(50)).kv("p90", h->percentile(90));
+    w.kv("p99", h->percentile(99));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  JsonWriter w(out);
+  write_json(w);
+  return out;
+}
+
+}  // namespace dtio::obs

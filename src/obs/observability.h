@@ -1,0 +1,29 @@
+// The observability context: one object bundling the metrics registry and
+// the span/counter collector. Instrumented layers (client, server,
+// network, access methods, two-phase) hold a nullable pointer to one of
+// these; when it is null — the default — every instrumented site costs a
+// single pointer test, preserving the hot-path guarantee the Tracer
+// established.
+//
+// Lifecycle: a bench or test constructs an Observability, attaches it via
+// Cluster::set_observability() BEFORE creating clients, runs, then exports
+// (chrome_trace.h for Perfetto, run_report.h for machine-readable bench
+// output, MetricsRegistry::to_json for raw metrics).
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace dtio::obs {
+
+struct Observability {
+  Observability() = default;
+  explicit Observability(std::size_t span_capacity) : spans(span_capacity) {}
+
+  MetricsRegistry metrics;
+  SpanCollector spans;
+};
+
+}  // namespace dtio::obs

@@ -1,0 +1,93 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace dtio::obs {
+namespace {
+
+constexpr double kNsPerUs = 1000.0;
+
+void write_io_stats(JsonWriter& w, const IoStats& s) {
+  w.begin_object();
+  w.kv("desired_bytes", s.desired_bytes);
+  w.kv("accessed_bytes", s.accessed_bytes);
+  w.kv("io_ops", s.io_ops);
+  w.kv("resent_bytes", s.resent_bytes);
+  w.kv("request_bytes", s.request_bytes);
+  w.kv("regions_client", s.regions_client);
+  w.kv("regions_server", s.regions_server);
+  w.kv("requests_sent", s.requests_sent);
+  w.end_object();
+}
+
+void write_latency(JsonWriter& w, const LatencySummary& l) {
+  w.begin_object();
+  w.kv("count", l.count);
+  w.kv("mean_us", l.mean_us);
+  w.kv("p50_us", l.p50_us);
+  w.kv("p90_us", l.p90_us);
+  w.kv("p99_us", l.p99_us);
+  w.kv("max_us", l.max_us);
+  w.end_object();
+}
+
+}  // namespace
+
+LatencySummary LatencySummary::from(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  if (s.count == 0) return s;
+  s.mean_us = h.mean() / kNsPerUs;
+  s.p50_us = h.percentile(50) / kNsPerUs;
+  s.p90_us = h.percentile(90) / kNsPerUs;
+  s.p99_us = h.percentile(99) / kNsPerUs;
+  s.max_us = static_cast<double>(h.max()) / kNsPerUs;
+  return s;
+}
+
+void RunReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("schema", "dtio-bench-report-v1");
+  w.kv("bench", std::string_view(bench));
+  w.key("params").begin_object();
+  for (const auto& [key, value] : params) w.kv(key, value);
+  w.end_object();
+  w.key("methods").begin_array();
+  for (const MethodReport& m : methods) {
+    w.begin_object();
+    w.kv("method", std::string_view(m.method));
+    w.kv("supported", m.supported);
+    w.kv("sim_seconds", m.sim_seconds);
+    w.kv("bandwidth_mb_s", m.bandwidth_mb_s);
+    w.kv("events", m.events);
+    w.key("io_stats");
+    write_io_stats(w, m.per_client);
+    w.key("latency_us");
+    write_latency(w, m.latency);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("scalars").begin_object();
+  for (const auto& [key, value] : scalars) w.kv(key, value);
+  w.end_object();
+  w.end_object();
+}
+
+std::string RunReport::to_json() const {
+  std::string out;
+  JsonWriter w(out);
+  write_json(w);
+  return out;
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace dtio::obs

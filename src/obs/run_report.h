@@ -1,0 +1,60 @@
+// Machine-readable bench reports. Every figure/table bench builds a
+// RunReport — bench name, parameters, one MethodReport per access method
+// with bandwidth, IoStats counters, and a client-op latency summary — and
+// writes it as BENCH_<name>.json, so plotting and regression tooling
+// consume structured output instead of scraping stdout tables.
+//
+// Schema (see EXPERIMENTS.md):
+//   { "schema": "dtio-bench-report-v1", "bench": ..., "params": {...},
+//     "methods": [...], "scalars": {...} }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace dtio::obs {
+
+class Histogram;
+class JsonWriter;
+
+/// Latency distribution in microseconds, extracted from a nanosecond
+/// histogram (typically the merged "client_op_latency_ns" metric).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+
+  [[nodiscard]] static LatencySummary from(const Histogram& ns_histogram);
+};
+
+struct MethodReport {
+  std::string method;
+  bool supported = true;
+  double sim_seconds = 0;
+  double bandwidth_mb_s = 0;  ///< aggregate desired bytes / sim second, MB/s
+  std::uint64_t events = 0;   ///< simulator events consumed
+  IoStats per_client;         ///< rank 0's counters
+  LatencySummary latency;     ///< client op latency (empty when obs is off)
+};
+
+struct RunReport {
+  std::string bench;
+  std::map<std::string, double> params;   ///< run configuration
+  std::vector<MethodReport> methods;
+  std::map<std::string, double> scalars;  ///< bench-specific extras
+
+  void write_json(JsonWriter& writer) const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() + newline to `path`; false if the file won't open.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+};
+
+}  // namespace dtio::obs

@@ -1,0 +1,41 @@
+#include "obs/span.h"
+
+namespace dtio::obs {
+
+SpanId SpanCollector::begin(std::string_view name, int node, SimTime start,
+                            SpanId parent, std::uint64_t trace) {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return 0;
+  }
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.trace = trace;
+  span.name = name;
+  span.node = node;
+  span.start = start;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void SpanCollector::end(SpanId id, SimTime end) noexcept {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].end = end;
+}
+
+void SpanCollector::set_value(SpanId id, std::int64_t value) noexcept {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].value = value;
+}
+
+void SpanCollector::sample(std::string_view name, int node, SimTime time,
+                           double value) {
+  if (samples_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  samples_.push_back(CounterSample{std::string(name), node, time, value});
+}
+
+}  // namespace dtio::obs

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/logging.h"
 #include "dataloop/cursor.h"
 #include "dataloop/serialize.h"
 
@@ -18,6 +19,38 @@ Client::Client(sim::Scheduler& sched, net::Network& network,
       node_(config.client_node(rank)),
       layout_(config.num_servers,
               static_cast<std::int64_t>(config.strip_size)) {}
+
+// ---- Observability ----------------------------------------------------------
+
+void Client::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  for (int i = 0; i < kNumOps; ++i) {
+    op_latency_[i] =
+        obs == nullptr
+            ? nullptr
+            : &obs->metrics.histogram(
+                  "client_op_latency_ns",
+                  obs::label("op", op_name(static_cast<OpKind>(i)), "node",
+                             node_));
+  }
+}
+
+Client::OpTrace Client::begin_op(OpKind op) {
+  DTIO_DEBUG("cli" << node_ << " -> " << op_name(op));
+  OpTrace t;
+  if (obs_ == nullptr) return t;
+  t.start = sched_->now();
+  t.trace = obs_->spans.new_trace();
+  t.span = obs_->spans.begin(op_name(op), node_, t.start, 0, t.trace);
+  return t;
+}
+
+void Client::finish_op(OpKind op, const OpTrace& t) {
+  if (obs_ == nullptr) return;
+  const SimTime now = sched_->now();
+  obs_->spans.end(t.span, now);
+  op_latency_[static_cast<int>(op)]->record(now - t.start);
+}
 
 // ---- Metadata ---------------------------------------------------------------
 
@@ -35,53 +68,68 @@ sim::Task<MetaResult> Client::stat(std::string path) {
 }
 
 sim::Task<Status> Client::lock(std::uint64_t handle) {
+  const OpTrace t = begin_op(OpKind::kMetaLock);
   Request request;
   request.op = OpKind::kMetaLock;
   request.client_node = node_;
   request.reply_tag = next_reply_tag();
   request.payload = MetaPayload{"", handle};
+  request.trace_id = t.trace;
+  request.parent_span = t.span;
   const std::uint64_t tag = request.reply_tag;
-  co_await network_->send(node_, 0,
-                          sim::Message(node_, kTagRequest, 48,
-                                       std::move(request)));
+  sim::Message msg(node_, kTagRequest, 48, std::move(request));
+  msg.trace = t.trace;
+  msg.span = t.span;
+  co_await network_->send(node_, 0, std::move(msg));
   (void)co_await network_->mailbox(node_).recv(0, tag);  // grant
+  finish_op(OpKind::kMetaLock, t);
   co_return Status::ok();
 }
 
 sim::Task<Status> Client::unlock(std::uint64_t handle) {
+  const OpTrace t = begin_op(OpKind::kMetaUnlock);
   Request request;
   request.op = OpKind::kMetaUnlock;
   request.client_node = node_;
   request.reply_tag = next_reply_tag();
   request.payload = MetaPayload{"", handle};
+  request.trace_id = t.trace;
+  request.parent_span = t.span;
   const std::uint64_t tag = request.reply_tag;
-  co_await network_->send(node_, 0,
-                          sim::Message(node_, kTagRequest, 48,
-                                       std::move(request)));
+  sim::Message msg(node_, kTagRequest, 48, std::move(request));
+  msg.trace = t.trace;
+  msg.span = t.span;
+  co_await network_->send(node_, 0, std::move(msg));
   (void)co_await network_->mailbox(node_).recv(0, tag);
+  finish_op(OpKind::kMetaUnlock, t);
   co_return Status::ok();
 }
 
 sim::Task<MetaResult> Client::meta_op(OpKind op, Box<std::string> path) {
+  const OpTrace t = begin_op(op);
   Request request;
   request.op = op;
   request.client_node = node_;
   request.reply_tag = next_reply_tag();
   request.payload = MetaPayload{path.take(), 0};
+  request.trace_id = t.trace;
+  request.parent_span = t.span;
 
   const std::uint64_t descriptor = request_descriptor_bytes(
       request, config_->list_io_bytes_per_region);
   const std::uint64_t tag = request.reply_tag;
   co_await sched_->delay(config_->client.issue_overhead);
-  co_await network_->send(node_, /*metadata server*/ 0,
-                          sim::Message(node_, kTagRequest, descriptor,
-                                       std::move(request)));
+  sim::Message out(node_, kTagRequest, descriptor, std::move(request));
+  out.trace = t.trace;
+  out.span = t.span;
+  co_await network_->send(node_, /*metadata server*/ 0, std::move(out));
   sim::Message msg = co_await network_->mailbox(node_).recv(0, tag);
   Reply reply = msg.take<Reply>();
 
   MetaResult result;
   result.handle = reply.handle;
   if (!reply.ok) result.status = not_found(reply.error);
+  finish_op(op, t);
   co_return result;
 }
 
@@ -97,6 +145,7 @@ sim::Task<MetaResult> Client::stat_impl(Box<std::string> path) {
 }
 
 sim::Task<MetaResult> Client::stat_handle(std::uint64_t handle) {
+  const OpTrace t = begin_op(OpKind::kMetaStat);
   // Query every I/O server's bstream size for this handle; the logical
   // size is the highest logical byte implied by any server-local size.
   std::vector<std::uint64_t> tags(static_cast<std::size_t>(
@@ -107,12 +156,15 @@ sim::Task<MetaResult> Client::stat_handle(std::uint64_t handle) {
     request.client_node = node_;
     request.reply_tag = tags[static_cast<std::size_t>(s)] = next_reply_tag();
     request.payload = MetaPayload{"", handle};
-    co_await network_->send(
-        node_, s,
-        sim::Message(node_, kTagRequest,
+    request.trace_id = t.trace;
+    request.parent_span = t.span;
+    sim::Message out(node_, kTagRequest,
                      request_descriptor_bytes(
                          request, config_->list_io_bytes_per_region),
-                     std::move(request)));
+                     std::move(request));
+    out.trace = t.trace;
+    out.span = t.span;
+    co_await network_->send(node_, s, std::move(out));
   }
   MetaResult result;
   result.handle = handle;
@@ -126,6 +178,7 @@ sim::Task<MetaResult> Client::stat_handle(std::uint64_t handle) {
     }
   }
   result.size = size;
+  finish_op(OpKind::kMetaStat, t);
   co_return result;
 }
 
@@ -327,6 +380,12 @@ sim::Task<Status> Client::run_requests(
   std::int64_t total_bytes = 0;
   for (const ServerAccess& acc : access) total_bytes += acc.total_bytes;
 
+  // Root span + latency histogram for the whole operation; one rpc child
+  // span per involved server, which the network and server layers parent
+  // their own spans under (via the request's trace fields).
+  const OpTrace op_trace = begin_op(prototype.op);
+  if (obs_ != nullptr) obs_->spans.set_value(op_trace.span, total_bytes);
+
   // Client-side processing: building the per-server job/access lists plus
   // one buffer copy to segment (write) or reassemble (read) the stream.
   co_await sched_->delay(
@@ -337,6 +396,7 @@ sim::Task<Status> Client::run_requests(
   struct Outstanding {
     int server;
     std::uint64_t tag;
+    obs::SpanId rpc_span;
   };
   std::vector<Outstanding> outstanding;
 
@@ -353,6 +413,15 @@ sim::Task<Status> Client::run_requests(
     Request request = prototype;
     request.client_node = node_;
     request.reply_tag = next_reply_tag();
+
+    obs::SpanId rpc_span = 0;
+    if (obs_ != nullptr) {
+      rpc_span = obs_->spans.begin("rpc", node_, sched_->now(), op_trace.span,
+                                   op_trace.trace);
+      obs_->spans.set_value(rpc_span, acc.total_bytes);
+      request.trace_id = op_trace.trace;
+      request.parent_span = rpc_span;
+    }
 
     // Segment outgoing data for this server, in its stream order.
     if (is_write && transfer_data_ && write_stream != nullptr) {
@@ -378,22 +447,28 @@ sim::Task<Status> Client::run_requests(
     stats_.request_bytes += descriptor;
     stats_.accessed_bytes += static_cast<std::uint64_t>(acc.total_bytes);
 
-    outstanding.push_back({s, request.reply_tag});
+    outstanding.push_back({s, request.reply_tag, rpc_span});
     // Requests to all involved servers stream CONCURRENTLY: the tx link
     // serializes at packet granularity, so flows interleave like PVFS's
     // parallel per-server sockets instead of convoying server by server.
-    sched_->start(send_fire(
-        s, Box<sim::Message>(sim::Message(node_, kTagRequest, wire,
-                                          std::move(request)))));
+    sim::Message out(node_, kTagRequest, wire, std::move(request));
+    out.trace = op_trace.trace;
+    out.span = rpc_span;
+    sched_->start(send_fire(s, Box<sim::Message>(std::move(out))));
   }
 
   for (const Outstanding& o : outstanding) {
     sim::Message msg = co_await network_->mailbox(node_).recv(o.server, o.tag);
     Reply reply = msg.take<Reply>();
-    if (!reply.ok) co_return internal_error(reply.error);
+    if (obs_ != nullptr) obs_->spans.end(o.rpc_span, sched_->now());
+    if (!reply.ok) {
+      finish_op(prototype.op, op_trace);
+      co_return internal_error(reply.error);
+    }
 
     const ServerAccess& acc = access[static_cast<std::size_t>(o.server)];
     if (reply.bytes != acc.total_bytes) {
+      finish_op(prototype.op, op_trace);
       co_return internal_error("server byte count mismatch");
     }
     if (!is_write && read_stream != nullptr && transfer_data_ && reply.data) {
@@ -407,6 +482,7 @@ sim::Task<Status> Client::run_requests(
       }
     }
   }
+  finish_op(prototype.op, op_trace);
   co_return Status::ok();
 }
 

@@ -25,6 +25,7 @@
 #include "dataloop/dataloop.h"
 #include "net/cost_model.h"
 #include "net/network.h"
+#include "obs/observability.h"
 #include "pfs/layout.h"
 #include "pfs/protocol.h"
 #include "sim/scheduler.h"
@@ -53,6 +54,14 @@ class Client {
   /// are carried or stored (large sweeps). Default: real data moves.
   void set_transfer_data(bool transfer) noexcept { transfer_data_ = transfer; }
   [[nodiscard]] bool transfer_data() const noexcept { return transfer_data_; }
+
+  /// Attach the observability context (nullptr detaches). Not owned.
+  /// Per-op latency histograms are resolved here, once, so the op path
+  /// pays no registry lookups; when detached, one pointer test.
+  void set_observability(obs::Observability* obs);
+  [[nodiscard]] obs::Observability* observability() const noexcept {
+    return obs_;
+  }
 
   // ---- Metadata ------------------------------------------------------------
   sim::Task<MetaResult> create(std::string path);
@@ -127,6 +136,17 @@ class Client {
   sim::Task<MetaResult> stat_impl(Box<std::string> path);
   sim::Fire send_fire(int dst, Box<sim::Message> message);
 
+  /// One client operation's trace context. begin_op is a no-op returning
+  /// zeroes when observability is detached; finish_op closes the root span
+  /// and records the op's latency histogram.
+  struct OpTrace {
+    std::uint64_t trace = 0;
+    obs::SpanId span = 0;
+    SimTime start = 0;
+  };
+  OpTrace begin_op(OpKind op);
+  void finish_op(OpKind op, const OpTrace& t);
+
   /// Issue one data request per involved server (per the access lists) and
   /// await all replies. For writes, segments `write_stream` per server;
   /// for reads, scatters reply data back into `read_stream`.
@@ -151,6 +171,11 @@ class Client {
   IoStats stats_;
   bool transfer_data_ = true;
   std::uint64_t reply_seq_ = 0;
+
+  static constexpr int kNumOps = 12;  ///< OpKind enumerator count
+  obs::Observability* obs_ = nullptr;
+  /// client_op_latency_ns{op=...,node=...}, resolved in set_observability.
+  obs::Histogram* op_latency_[kNumOps] = {};
 };
 
 }  // namespace dtio::pfs

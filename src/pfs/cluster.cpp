@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/chrome_trace.h"
+
 namespace dtio::pfs {
 
 namespace {
@@ -12,6 +14,48 @@ double fraction(double busy, SimTime elapsed) {
 }
 
 }  // namespace
+
+std::vector<std::string> Cluster::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(config_.total_nodes()));
+  for (int s = 0; s < config_.num_servers; ++s) {
+    names.push_back("srv" + std::to_string(s));
+  }
+  for (int c = 0; c < config_.num_clients; ++c) {
+    names.push_back("cli" + std::to_string(c));
+  }
+  return names;
+}
+
+void Cluster::record_utilization_gauges() {
+  if (obs_ == nullptr) return;
+  const SimTime elapsed = scheduler_.now();
+  for (int s = 0; s < config_.num_servers; ++s) {
+    obs_->metrics
+        .gauge("server_disk_utilization", obs::label("node", s))
+        .set(fraction(server(s).disk().busy_integral(), elapsed));
+    obs_->metrics
+        .gauge("server_cpu_utilization", obs::label("node", s))
+        .set(fraction(server(s).cpu().busy_integral(), elapsed));
+    obs_->metrics
+        .gauge("server_tx_utilization", obs::label("node", s))
+        .set(fraction(network_.tx_link(s).busy_integral(), elapsed));
+    obs_->metrics
+        .gauge("server_rx_utilization", obs::label("node", s))
+        .set(fraction(network_.rx_link(s).busy_integral(), elapsed));
+  }
+  if (network_.fabric() != nullptr) {
+    obs_->metrics.gauge("fabric_utilization")
+        .set(fraction(network_.fabric()->busy_integral(), elapsed));
+  }
+}
+
+bool Cluster::write_trace(const std::string& path) {
+  if (obs_ == nullptr) return false;
+  obs::ChromeTraceOptions options;
+  options.node_names = node_names();
+  return obs::write_chrome_trace_file(*obs_, path, options);
+}
 
 std::string Cluster::utilization_report(SimTime t0) {
   const SimTime elapsed = scheduler_.now() - t0;

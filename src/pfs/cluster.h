@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "net/cost_model.h"
 #include "net/network.h"
+#include "obs/observability.h"
 #include "pfs/client.h"
 #include "pfs/server.h"
 #include "sim/scheduler.h"
@@ -29,7 +31,14 @@ class Cluster {
                                                     config_, s));
       servers_.back()->start();
     }
+    // Log lines produced during the run carry the simulated clock; the
+    // last-constructed cluster wins if several coexist.
+    set_log_sim_clock([this] { return scheduler_.now(); });
   }
+
+  ~Cluster() { set_log_sim_clock(nullptr); }
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   [[nodiscard]] const net::ClusterConfig& config() const noexcept {
     return config_;
@@ -41,8 +50,12 @@ class Cluster {
   }
 
   /// A client for application rank `rank` (node num_servers + rank).
+  /// Inherits the cluster's observability context, if attached.
   [[nodiscard]] std::unique_ptr<Client> make_client(int rank) {
-    return std::make_unique<Client>(scheduler_, network_, config_, rank);
+    auto client = std::make_unique<Client>(scheduler_, network_, config_,
+                                           rank);
+    if (obs_ != nullptr) client->set_observability(obs_);
+    return client;
   }
 
   /// Run the simulation to completion (servers stay parked on their
@@ -56,6 +69,28 @@ class Cluster {
     for (auto& server : servers_) server->set_tracer(tracer);
   }
 
+  /// Attach the observability context (metrics + spans) to the network,
+  /// every server, and every client created afterwards. Call before
+  /// make_client; nullptr detaches. Not owned — must outlive the run.
+  void set_observability(obs::Observability* obs) {
+    obs_ = obs;
+    network_.set_observability(obs);
+    for (auto& server : servers_) server->set_observability(obs);
+  }
+  [[nodiscard]] obs::Observability* observability() noexcept { return obs_; }
+
+  /// Display names for the trace exporter: "srv<k>" for I/O servers,
+  /// "cli<k>" for client nodes.
+  [[nodiscard]] std::vector<std::string> node_names() const;
+
+  /// Final utilization gauges (disk/cpu/link busy fractions over [0, now])
+  /// into the attached metrics registry; no-op when detached.
+  void record_utilization_gauges();
+
+  /// Export the attached observability context as a Chrome trace-event
+  /// file (Perfetto-loadable). False when detached or the file won't open.
+  bool write_trace(const std::string& path);
+
   /// Resource-utilization summary over [t0, now] — where the simulated
   /// time went: server disks, CPUs, links, and the shared fabric.
   /// Fractions of busy time; the bottleneck resource reads near 1.0.
@@ -66,6 +101,7 @@ class Cluster {
   sim::Scheduler scheduler_;
   net::Network network_;
   std::vector<std::unique_ptr<IOServer>> servers_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace dtio::pfs

@@ -2,6 +2,24 @@
 
 namespace dtio::pfs {
 
+const char* op_name(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::kContigRead: return "contig_read";
+    case OpKind::kContigWrite: return "contig_write";
+    case OpKind::kListRead: return "list_read";
+    case OpKind::kListWrite: return "list_write";
+    case OpKind::kDatatypeRead: return "datatype_read";
+    case OpKind::kDatatypeWrite: return "datatype_write";
+    case OpKind::kMetaCreate: return "meta_create";
+    case OpKind::kMetaOpen: return "meta_open";
+    case OpKind::kMetaRemove: return "meta_remove";
+    case OpKind::kMetaStat: return "meta_stat";
+    case OpKind::kMetaLock: return "meta_lock";
+    case OpKind::kMetaUnlock: return "meta_unlock";
+  }
+  return "?";
+}
+
 std::uint64_t request_descriptor_bytes(const Request& request,
                                        std::uint64_t list_bytes_per_region) {
   constexpr std::uint64_t kHeader = 32;  // op, handle, tags, client id

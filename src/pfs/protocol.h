@@ -89,6 +89,11 @@ struct Request {
   /// false = timing-only mode: sizes and wire costs are simulated exactly,
   /// but no real bytes are stored or returned (large benchmark sweeps).
   bool carry_data = true;
+  /// Observability context (0 = untraced): the trace id of the client op
+  /// this request belongs to and the client-side span to parent server
+  /// work under. Pure annotations — no effect on simulated behavior.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
   std::variant<ContigPayload, ListPayload, DatatypePayload, MetaPayload>
       payload;
 };
@@ -101,6 +106,10 @@ struct Reply {
   std::uint64_t handle = 0;     ///< metadata create/open
   std::int64_t local_size = 0;  ///< metadata stat: this server's bstream size
 };
+
+/// Human-readable operation name ("contig_read", "meta_stat", ...), used
+/// by logging, tracing, and metric labels.
+[[nodiscard]] const char* op_name(OpKind op) noexcept;
 
 /// Wire-size accounting for the request descriptor (excludes bulk data,
 /// which is added separately). These sizes drive the cost model: list I/O

@@ -71,6 +71,43 @@ IOServer::IOServer(sim::Scheduler& sched, net::Network& network,
 
 void IOServer::start() { sched_->spawn(run()); }
 
+void IOServer::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    obs_requests_ = nullptr;
+    obs_disk_bytes_ = nullptr;
+    return;
+  }
+  obs_requests_ = &obs->metrics.counter(
+      "server_requests_total", obs::label("node", server_index_));
+  obs_disk_bytes_ = &obs->metrics.counter(
+      "server_disk_bytes_total", obs::label("node", server_index_));
+}
+
+void IOServer::sample_counters() {
+  // At most one sample per millisecond of simulated time: enough
+  // resolution for Perfetto counter tracks, bounded volume on big runs.
+  constexpr SimTime kMinInterval = 1'000'000;
+  const SimTime now = sched_->now();
+  if (last_sample_ >= 0 && now - last_sample_ < kMinInterval) return;
+
+  obs_->spans.sample("queue_depth", server_index_, now,
+                     static_cast<double>(
+                         network_->mailbox(server_index_).queued()));
+  const double disk_busy = disk_.busy_integral();
+  const double cpu_busy = cpu_.busy_integral();
+  if (last_sample_ >= 0 && now > last_sample_) {
+    const auto window = static_cast<double>(now - last_sample_);
+    obs_->spans.sample("disk_util", server_index_, now,
+                       (disk_busy - last_disk_busy_) / window);
+    obs_->spans.sample("cpu_util", server_index_, now,
+                       (cpu_busy - last_cpu_busy_) / window);
+  }
+  last_sample_ = now;
+  last_disk_busy_ = disk_busy;
+  last_cpu_busy_ = cpu_busy;
+}
+
 const Bstream* IOServer::find_bstream(std::uint64_t handle) const {
   const auto it = store_.find(handle);
   return it == store_.end() ? nullptr : &it->second;
@@ -85,35 +122,24 @@ sim::Task<void> IOServer::run() {
   }
 }
 
-namespace {
-
-std::string_view op_name(OpKind op) {
-  switch (op) {
-    case OpKind::kContigRead: return "contig_read";
-    case OpKind::kContigWrite: return "contig_write";
-    case OpKind::kListRead: return "list_read";
-    case OpKind::kListWrite: return "list_write";
-    case OpKind::kDatatypeRead: return "datatype_read";
-    case OpKind::kDatatypeWrite: return "datatype_write";
-    case OpKind::kMetaCreate: return "meta_create";
-    case OpKind::kMetaOpen: return "meta_open";
-    case OpKind::kMetaRemove: return "meta_remove";
-    case OpKind::kMetaStat: return "meta_stat";
-    case OpKind::kMetaLock: return "meta_lock";
-    case OpKind::kMetaUnlock: return "meta_unlock";
-  }
-  return "?";
-}
-
-}  // namespace
-
 sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
   Request request = boxed.take();
   ++stats_.requests;
+  DTIO_DEBUG("srv" << server_index_ << " <- " << op_name(request.op)
+                   << " from node " << request.client_node);
   if (tracer_ != nullptr) {
     tracer_->record({sched_->now(), "request", server_index_,
                      request.client_node, request.reply_tag, 0,
                      op_name(request.op)});
+  }
+  req_trace_ = request.trace_id;
+  req_span_ = 0;
+  if (obs_ != nullptr) {
+    obs_requests_->add(1);
+    req_span_ = obs_->spans.begin("server_handle", server_index_,
+                                  sched_->now(), request.parent_span,
+                                  req_trace_);
+    sample_counters();
   }
   co_await sched_->delay(config_->server.request_overhead);
 
@@ -161,6 +187,7 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
       break;
     }
   }
+  if (obs_ != nullptr) obs_->spans.end(req_span_, sched_->now());
 }
 
 sim::Task<void> IOServer::handle_contig(Request& request) {
@@ -261,8 +288,15 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
       co_return;
     }
     ++stats_.dataloops_decoded;
+    obs::SpanId decode_span = 0;
+    if (obs_ != nullptr) {
+      decode_span = obs_->spans.begin("dataloop_decode", server_index_,
+                                      sched_->now(), req_span_, req_trace_);
+      obs_->spans.set_value(decode_span, p.loop_node_count);
+    }
     co_await sched_->delay(config_->server.dataloop_decode_cost_per_node *
                            p.loop_node_count);
+    if (obs_ != nullptr) obs_->spans.end(decode_span, sched_->now());
     if (config_->server.dataloop_cache) {
       loop_cache_.emplace(cache_key, loop);
       loop_cache_order_.push_back(cache_key);
@@ -382,6 +416,13 @@ void IOServer::handle_meta(Request& request, Reply& reply) {
 
 sim::Task<void> IOServer::charge_disk(std::int64_t bytes) {
   if (bytes <= 0) co_return;
+  obs::SpanId disk_span = 0;
+  if (obs_ != nullptr) {
+    obs_disk_bytes_->add(static_cast<std::uint64_t>(bytes));
+    disk_span = obs_->spans.begin("disk", server_index_, sched_->now(),
+                                  req_span_, req_trace_);
+    obs_->spans.set_value(disk_span, bytes);
+  }
   // The iod streams between disk and network: the request handler blocks
   // only until the pipeline is primed (setup + first chunk); the rest of
   // the disk time drains concurrently with the reply's transmission,
@@ -397,6 +438,7 @@ sim::Task<void> IOServer::charge_disk(std::int64_t bytes) {
         static_cast<std::uint64_t>(rest),
         config_->server.disk_bandwidth_bytes_per_s)));
   }
+  if (obs_ != nullptr) obs_->spans.end(disk_span, sched_->now());
 }
 
 sim::Fire IOServer::disk_drain(SimTime hold) { co_await disk_.use(hold); }
@@ -404,12 +446,19 @@ sim::Fire IOServer::disk_drain(SimTime hold) { co_await disk_.use(hold); }
 sim::Task<void> IOServer::charge_regions(std::int64_t pieces,
                                          SimTime per_region) {
   if (pieces <= 0) co_return;
+  obs::SpanId regions_span = 0;
+  if (obs_ != nullptr) {
+    regions_span = obs_->spans.begin("regions", server_index_, sched_->now(),
+                                     req_span_, req_trace_);
+    obs_->spans.set_value(regions_span, pieces);
+  }
   constexpr std::int64_t kPrimeBatch = 64;  // regions walked before data flows
   const std::int64_t prime = std::min(pieces, kPrimeBatch);
   co_await cpu_.use(per_region * prime);
   if (pieces > prime) {
     sched_->start(cpu_drain(per_region * (pieces - prime)));
   }
+  if (obs_ != nullptr) obs_->spans.end(regions_span, sched_->now());
 }
 
 sim::Fire IOServer::cpu_drain(SimTime hold) { co_await cpu_.use(hold); }
@@ -417,6 +466,10 @@ sim::Fire IOServer::cpu_drain(SimTime hold) { co_await cpu_.use(hold); }
 void IOServer::send_reply(int dst, std::uint64_t tag, Reply reply,
                           std::uint64_t wire_data_bytes) {
   sim::Message msg(server_index_, tag, 64 + wire_data_bytes, std::move(reply));
+  // Stamp the current request's trace so the reply's transmission span
+  // parents under this server's handling span.
+  msg.trace = req_trace_;
+  msg.span = req_span_;
   // Replies stream in the background so the server can start the next
   // request while its tx link drains (PVFS iod overlapped I/O behaviour).
   sched_->start(send_reply_fire(dst, Box<sim::Message>(std::move(msg))));

@@ -20,6 +20,7 @@
 #include "common/box.h"
 #include "net/cost_model.h"
 #include "net/network.h"
+#include "obs/observability.h"
 #include "pfs/bstream.h"
 #include "pfs/layout.h"
 #include "dataloop/dataloop.h"
@@ -58,6 +59,11 @@ class IOServer {
   [[nodiscard]] sim::Resource& cpu() noexcept { return cpu_; }
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach the observability context (nullptr detaches). Not owned.
+  /// Request counters are resolved once here; the request loop then pays
+  /// one pointer test when detached.
+  void set_observability(obs::Observability* obs);
+
  private:
   sim::Task<void> run();
   sim::Task<void> handle_request(Box<Request> boxed);
@@ -81,6 +87,10 @@ class IOServer {
                   std::uint64_t wire_data_bytes);
   sim::Fire send_reply_fire(int dst, Box<sim::Message> message);
 
+  /// Rate-limited counter-series sampling (queue depth, disk/CPU
+  /// utilization from busy_integral deltas), taken at request entry.
+  void sample_counters();
+
   sim::Scheduler* sched_;
   net::Network* network_;
   const net::ClusterConfig* config_;
@@ -90,6 +100,18 @@ class IOServer {
   sim::Resource cpu_;
   sim::Tracer* tracer_ = nullptr;
   ServerStats stats_;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* obs_requests_ = nullptr;    ///< server_requests_total
+  obs::Counter* obs_disk_bytes_ = nullptr;  ///< server_disk_bytes_total
+  // Trace context of the request currently being handled (requests are
+  // handled sequentially, so plain members suffice).
+  std::uint64_t req_trace_ = 0;
+  obs::SpanId req_span_ = 0;  ///< the "server_handle" span
+  // Counter-series sampling state.
+  SimTime last_sample_ = -1;
+  double last_disk_busy_ = 0;
+  double last_cpu_busy_ = 0;
 
   std::unordered_map<std::uint64_t, Bstream> store_;
 

@@ -28,6 +28,11 @@ struct Message {
   int src = kAnySource;
   std::uint64_t tag = 0;
   std::uint64_t wire_bytes = 0;
+  /// Observability annotations (0 = untraced): the trace this message
+  /// belongs to and the sender-side span it continues. Carried so the
+  /// network layer can parent its transmission spans; no semantic effect.
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
   std::any body;
 
   Message() = default;
@@ -43,11 +48,15 @@ struct Message {
       : src(other.src),
         tag(other.tag),
         wire_bytes(other.wire_bytes),
+        trace(other.trace),
+        span(other.span),
         body(std::move(other.body)) {}
   Message& operator=(Message&& other) noexcept {
     src = other.src;
     tag = other.tag;
     wire_bytes = other.wire_bytes;
+    trace = other.trace;
+    span = other.span;
     body = std::move(other.body);
     return *this;
   }

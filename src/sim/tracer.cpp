@@ -1,15 +1,40 @@
 #include "sim/tracer.h"
 
+#include <string_view>
+
 namespace dtio::sim {
+
+namespace {
+
+// RFC 4180: fields containing commas, quotes, or line breaks are wrapped
+// in double quotes with embedded quotes doubled; plain fields stay bare
+// so the common case remains grep-able.
+void emit_field(std::ostream& out, std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (const char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
 
 void Tracer::dump_csv(std::ostream& out) const {
   out << "time_us,kind,node,peer,tag,bytes,detail\n";
   // The ring keeps [next_slot_, end) + [0, next_slot_) in age order once
   // wrapped; before wrapping, insertion order is age order.
   const auto emit = [&](const TraceEvent& e) {
-    out << static_cast<double>(e.time) / 1000.0 << ',' << e.kind << ','
-        << e.node << ',' << e.peer << ',' << e.tag << ',' << e.bytes << ','
-        << e.detail << '\n';
+    out << static_cast<double>(e.time) / 1000.0 << ',';
+    emit_field(out, e.kind);
+    out << ',' << e.node << ',' << e.peer << ',' << e.tag << ',' << e.bytes
+        << ',';
+    emit_field(out, e.detail);
+    out << '\n';
   };
   if (truncated()) {
     for (std::size_t i = next_slot_; i < events_.size(); ++i) emit(events_[i]);

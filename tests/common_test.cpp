@@ -6,6 +6,7 @@
 
 #include "common/box.h"
 #include "common/crc32.h"
+#include "common/logging.h"
 #include "common/region.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -193,6 +194,54 @@ TEST(IoStats, AccumulatesAcrossClients) {
   EXPECT_EQ(a.resent_bytes, 8u);
   a.reset();
   EXPECT_EQ(a.io_ops, 0u);
+}
+
+TEST(IoStats, ToStringRendersEveryReportedCounter) {
+  IoStats s{.desired_bytes = 100,
+            .accessed_bytes = 64 * 1024,
+            .io_ops = 768,
+            .resent_bytes = 0,
+            .request_bytes = 2048};
+  const std::string line = s.to_string();
+  EXPECT_EQ(line,
+            "desired=100 B accessed=64.00 KiB io_ops=768 resent=0 B "
+            "req_bytes=2.00 KiB");
+}
+
+TEST(IoStats, ToStringOfDefaultIsAllZero) {
+  const std::string line = IoStats{}.to_string();
+  EXPECT_EQ(line,
+            "desired=0 B accessed=0 B io_ops=0 resent=0 B req_bytes=0 B");
+}
+
+TEST(Logging, ParseLevelAcceptsKnownNamesOnly) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_TRUE(parse_log_level("debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("off", level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  level = LogLevel::kError;
+  EXPECT_FALSE(parse_log_level("verbose", level));
+  EXPECT_FALSE(parse_log_level("", level));
+  EXPECT_FALSE(parse_log_level("DEBUG", level));  // case-sensitive
+  EXPECT_EQ(level, LogLevel::kError);  // unchanged on failure
+}
+
+TEST(Logging, FormatLineCarriesLevelFileAndMessage) {
+  const std::string line = detail::format_log_line(
+      LogLevel::kInfo, "/long/path/to/file.cpp", 42, "hello");
+  EXPECT_EQ(line, "[INFO file.cpp:42] hello");
+}
+
+TEST(Logging, FormatLinePrefixesSimTimeWhenClockAttached) {
+  set_log_sim_clock([] { return std::int64_t{1'234'500}; });  // 1234.5 us
+  const std::string line =
+      detail::format_log_line(LogLevel::kWarn, "a.cpp", 7, "msg");
+  set_log_sim_clock(nullptr);
+  EXPECT_EQ(line, "[WARN t=1234.500us a.cpp:7] msg");
+  // Detached again: back to the clockless format.
+  EXPECT_EQ(detail::format_log_line(LogLevel::kWarn, "a.cpp", 7, "msg"),
+            "[WARN a.cpp:7] msg");
 }
 
 TEST(Box, TransfersOwnershipExactlyOnce) {

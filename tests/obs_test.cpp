@@ -1,0 +1,325 @@
+// Tests for the observability layer: metrics registry semantics, histogram
+// percentile accuracy, span collection and cross-layer parenting through a
+// live cluster run, and both exporters (Chrome trace JSON, run report).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/run_report.h"
+#include "obs/span.h"
+#include "pfs/cluster.h"
+
+namespace dtio::obs {
+namespace {
+
+using sim::Task;
+
+// ---- Metrics registry --------------------------------------------------------
+
+TEST(MetricsRegistry, SameKeyYieldsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("reqs", "node=1");
+  Counter& b = reg.counter("reqs", "node=1");
+  EXPECT_EQ(&a, &b);
+  Counter& c = reg.counter("reqs", "node=2");
+  EXPECT_NE(&a, &c);
+  a.add(3);
+  c.add(4);
+  EXPECT_EQ(reg.counter_total("reqs"), 7u);
+  EXPECT_EQ(reg.counter_total("absent"), 0u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, LabelHelpersFormat) {
+  EXPECT_EQ(label("op", "read"), "op=read");
+  EXPECT_EQ(label("node", std::int64_t{7}), "node=7");
+  EXPECT_EQ(label("op", "read", "node", 3), "op=read,node=3");
+}
+
+TEST(MetricsRegistry, MergedHistogramSpansLabelSets) {
+  MetricsRegistry reg;
+  reg.histogram("lat", "node=0").record(100);
+  reg.histogram("lat", "node=1").record(300);
+  reg.histogram("other", "").record(999);
+  const Histogram merged = reg.merged_histogram("lat");
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.min(), 100);
+  EXPECT_EQ(merged.max(), 300);
+  EXPECT_DOUBLE_EQ(merged.mean(), 200.0);
+}
+
+TEST(MetricsRegistry, ExportIsValidJson) {
+  MetricsRegistry reg;
+  reg.counter("c", "k=\"quoted\"").add(1);
+  reg.gauge("g").set(0.5);
+  reg.histogram("h").record(42);
+  const std::string doc = reg.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+}
+
+// ---- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, ExactStatsAndBoundedPercentileError) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+  // Log-linear buckets with 8 sub-buckets bound relative error at 1/8.
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const double exact = p * 10.0;  // nearest-rank on 1..1000
+    const double got = h.percentile(p);
+    EXPECT_NEAR(got, exact, exact / 8.0) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  // p100 lands in the max's bucket; its representative value stays within
+  // the 1/8 relative bound and inside the [min, max] envelope.
+  EXPECT_NEAR(h.percentile(100), 1000.0, 1000.0 / 8.0);
+  EXPECT_LE(h.percentile(100), 1000.0);
+}
+
+TEST(Histogram, SingleValueIsEveryPercentile) {
+  Histogram h;
+  h.record(777);
+  for (const double p : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 777.0);
+  }
+}
+
+TEST(Histogram, EmptyAndNegative) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  h.record(-5);  // clamps to zero
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a, b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+// ---- Span collector ----------------------------------------------------------
+
+TEST(SpanCollector, ParentingAndLookup) {
+  SpanCollector spans;
+  const std::uint64_t trace = spans.new_trace();
+  const SpanId root = spans.begin("op", 0, 100, 0, trace);
+  const SpanId child = spans.begin("rpc", 0, 150, root, trace);
+  spans.set_value(child, 4096);
+  spans.end(child, 300);
+  spans.end(root, 400);
+
+  const Span* r = spans.find(root);
+  const Span* c = spans.find(child);
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(r->parent, 0u);
+  EXPECT_EQ(c->parent, root);
+  EXPECT_EQ(c->trace, trace);
+  EXPECT_EQ(c->value, 4096);
+  EXPECT_EQ(c->end, 300);
+  EXPECT_EQ(r->end, 400);
+  EXPECT_EQ(spans.find(0), nullptr);
+}
+
+TEST(SpanCollector, KeepFirstCapacity) {
+  SpanCollector spans(/*capacity=*/2);
+  EXPECT_NE(spans.begin("a", 0, 0), 0u);
+  EXPECT_NE(spans.begin("b", 0, 0), 0u);
+  EXPECT_EQ(spans.begin("c", 0, 0), 0u);  // dropped
+  EXPECT_EQ(spans.dropped(), 1u);
+  spans.end(0, 10);           // null id: ignored
+  spans.set_value(0, 1);      // null id: ignored
+  EXPECT_EQ(spans.spans().size(), 2u);
+}
+
+// ---- Cross-layer span propagation through a live cluster ---------------------
+
+const Span* find_span(const Observability& obs, std::string_view name) {
+  for (const Span& s : obs.spans.spans()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Observability, ClusterRunLinksSpansAcrossLayers) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 2;
+  cfg.num_clients = 1;
+  pfs::Cluster cluster(cfg);
+  Observability obs;
+  cluster.set_observability(&obs);
+
+  auto client = cluster.make_client(0);
+  cluster.scheduler().spawn([](pfs::Client& c) -> Task<void> {
+    pfs::MetaResult f = co_await c.create("/obs");
+    std::vector<std::uint8_t> data(200'000, 1);
+    (void)co_await c.write_contig(f.handle, 0, data.data(),
+                                  static_cast<std::int64_t>(data.size()));
+  }(*client));
+  cluster.run();
+
+  // Client op root span for the write, with its own trace.
+  const Span* op = find_span(obs, "contig_write");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->parent, 0u);
+  EXPECT_NE(op->trace, 0u);
+  EXPECT_GE(op->end, op->start);
+  EXPECT_EQ(op->value, 200'000);
+
+  // rpc child under the op; server_handle under the rpc; disk under the
+  // server_handle — all on the op's trace.
+  const Span* rpc = find_span(obs, "rpc");
+  ASSERT_NE(rpc, nullptr);
+  bool rpc_under_op = false;
+  for (const Span& s : obs.spans.spans()) {
+    if (s.name == "rpc" && s.parent == op->id && s.trace == op->trace) {
+      rpc_under_op = true;
+    }
+  }
+  EXPECT_TRUE(rpc_under_op);
+
+  bool handle_under_rpc = false, disk_under_handle = false, net_on_trace = false;
+  for (const Span& s : obs.spans.spans()) {
+    if (s.name == "server_handle" && s.trace == op->trace) {
+      const Span* parent = obs.spans.find(s.parent);
+      if (parent != nullptr && parent->name == "rpc") handle_under_rpc = true;
+      for (const Span& d : obs.spans.spans()) {
+        if (d.name == "disk" && d.parent == s.id) disk_under_handle = true;
+      }
+    }
+    if (s.name == "net_send" && s.trace == op->trace) net_on_trace = true;
+  }
+  EXPECT_TRUE(handle_under_rpc);
+  EXPECT_TRUE(disk_under_handle);
+  EXPECT_TRUE(net_on_trace);
+
+  // Every span opened by the run was closed, and the client latency
+  // histogram saw every op (create + write, plus any meta traffic).
+  for (const Span& s : obs.spans.spans()) {
+    EXPECT_GE(s.end, s.start) << s.name;
+  }
+  const Histogram lat = obs.metrics.merged_histogram("client_op_latency_ns");
+  EXPECT_GE(lat.count(), 2u);
+  EXPECT_EQ(obs.metrics.counter_total("server_requests_total"),
+            obs.metrics.counter_total("net_messages_total") / 2);
+}
+
+TEST(Observability, DisabledRunMatchesEnabledTiming) {
+  const auto run = [](Observability* obs) {
+    net::ClusterConfig cfg;
+    cfg.num_servers = 2;
+    cfg.num_clients = 1;
+    pfs::Cluster cluster(cfg);
+    if (obs != nullptr) cluster.set_observability(obs);
+    auto client = cluster.make_client(0);
+    cluster.scheduler().spawn([](pfs::Client& c) -> Task<void> {
+      pfs::MetaResult f = co_await c.create("/same");
+      (void)co_await c.write_contig(f.handle, 0, nullptr, 1 << 20);
+      (void)co_await c.read_contig(f.handle, 4096, nullptr, 1 << 18);
+    }(*client));
+    cluster.run();
+    return cluster.scheduler().now();
+  };
+  Observability obs;
+  // Instrumentation records but never perturbs the simulation.
+  EXPECT_EQ(run(nullptr), run(&obs));
+  EXPECT_FALSE(obs.spans.spans().empty());
+}
+
+// ---- Exporters ---------------------------------------------------------------
+
+TEST(ChromeTrace, ExportsValidLoadableJson) {
+  Observability obs;
+  const std::uint64_t trace = obs.spans.new_trace();
+  const SpanId root = obs.spans.begin("op \"x\"", 1, 1000, 0, trace);
+  const SpanId child = obs.spans.begin("disk", 0, 2000, root, trace);
+  obs.spans.set_value(child, 4096);
+  obs.spans.end(child, 5000);
+  obs.spans.end(root, 9000);
+  obs.spans.sample("queue_depth", 0, 1500, 3.0);
+
+  ChromeTraceOptions opts;
+  opts.node_names = {"srv0", "cli0"};
+  std::ostringstream out;
+  write_chrome_trace(obs, out, opts);
+  const std::string doc = out.str();
+
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"srv0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);   // spans
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);   // counter track
+  EXPECT_NE(doc.find("\"queue_depth\""), std::string::npos);
+  // ts/dur are microseconds: the root span is ts=1, dur=8.
+  EXPECT_NE(doc.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":8"), std::string::npos);
+}
+
+TEST(ChromeTrace, OpenSpanGetsNonNegativeDuration) {
+  Observability obs;
+  obs.spans.begin("never_closed", 0, 500);  // end stays -1
+  std::ostringstream out;
+  write_chrome_trace(obs, out);
+  EXPECT_TRUE(json_valid(out.str()));
+  EXPECT_EQ(out.str().find("-"), std::string::npos);  // no negative numbers
+}
+
+TEST(RunReport, ToJsonMatchesSchema) {
+  RunReport report;
+  report.bench = "unit";
+  report.params["clients"] = 6;
+  MethodReport m;
+  m.method = "Datatype I/O";
+  m.sim_seconds = 1.5;
+  m.bandwidth_mb_s = 43.5;
+  m.events = 1234;
+  m.per_client.desired_bytes = 100;
+  Histogram h;
+  h.record(2'000'000);  // 2 ms in ns
+  m.latency = LatencySummary::from(h);
+  report.methods.push_back(m);
+  report.scalars["extra"] = 0.25;
+
+  const std::string doc = report.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"schema\":\"dtio-bench-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"bench\":\"unit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"Datatype I/O\""), std::string::npos);
+  EXPECT_NE(doc.find("\"scalars\""), std::string::npos);
+  // Nanoseconds became microseconds in the latency summary.
+  EXPECT_DOUBLE_EQ(m.latency.p50_us, 2000.0);
+  EXPECT_EQ(m.latency.count, 1u);
+}
+
+TEST(JsonValidator, AcceptsAndRejects) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[1,2.5,-3e2,\"s\",true,null]"));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{} trailing"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+}
+
+}  // namespace
+}  // namespace dtio::obs

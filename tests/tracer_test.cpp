@@ -32,6 +32,50 @@ TEST(Tracer, RecordsInOrderAndDumpsCsv) {
   EXPECT_NE(csv.find("300,request,1,16,7,0,contig_read"), std::string::npos);
 }
 
+TEST(Tracer, CsvQuotesFieldsWithSpecials) {
+  Tracer tracer;
+  // detail/kind are string_views that must outlive the tracer: literals.
+  tracer.record({1 * kMicrosecond, "send", 0, 1, 0, 0, "plain_detail"});
+  tracer.record({2 * kMicrosecond, "send", 0, 1, 0, 0, "a,b"});
+  tracer.record({3 * kMicrosecond, "od,d", 0, 1, 0, 0, "say \"hi\""});
+  tracer.record({4 * kMicrosecond, "send", 0, 1, 0, 0, "line\nbreak"});
+
+  std::ostringstream out;
+  tracer.dump_csv(out);
+  const std::string csv = out.str();
+  // Plain fields stay bare.
+  EXPECT_NE(csv.find("1,send,0,1,0,0,plain_detail\n"), std::string::npos);
+  // Commas force quoting; embedded quotes double (RFC 4180).
+  EXPECT_NE(csv.find("2,send,0,1,0,0,\"a,b\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("3,\"od,d\",0,1,0,0,\"say \"\"hi\"\"\"\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("4,send,0,1,0,0,\"line\nbreak\"\n"), std::string::npos);
+}
+
+TEST(Tracer, CsvQuotingSurvivesRingWrap) {
+  Tracer tracer(/*capacity=*/3);
+  static const char* const kDetails[] = {"d,0", "d,1", "d,2", "d,3", "d,4"};
+  for (int i = 0; i < 5; ++i) {
+    tracer.record({i * kMillisecond, "send", i, 0, 0, 0, kDetails[i]});
+  }
+  EXPECT_TRUE(tracer.truncated());
+
+  std::ostringstream out;
+  tracer.dump_csv(out);
+  const std::string csv = out.str();
+  // Survivors are 2..4, oldest first, each detail quoted.
+  EXPECT_EQ(csv.find("\"d,0\""), std::string::npos);
+  EXPECT_EQ(csv.find("\"d,1\""), std::string::npos);
+  const auto p2 = csv.find("2000,send,2,0,0,0,\"d,2\"");
+  const auto p3 = csv.find("3000,send,3,0,0,0,\"d,3\"");
+  const auto p4 = csv.find("4000,send,4,0,0,0,\"d,4\"");
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  ASSERT_NE(p4, std::string::npos);
+  EXPECT_LT(p2, p3);
+  EXPECT_LT(p3, p4);
+}
+
 TEST(Tracer, RingTruncatesOldestFirst) {
   Tracer tracer(/*capacity=*/4);
   for (int i = 0; i < 10; ++i) {
