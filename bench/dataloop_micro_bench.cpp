@@ -19,6 +19,7 @@
 #include "dataloop/dataloop.h"
 #include "dataloop/pack.h"
 #include "dataloop/serialize.h"
+#include "pfs/layout.h"
 #include "types/datatype.h"
 #include "workloads/flash.h"
 
@@ -127,6 +128,74 @@ void BM_SkipByProcessing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SkipByProcessing);
+
+void BM_CursorSeek(benchmark::State& state) {
+  // Raw seek() cost over a deep nested pattern, cycling through positions
+  // so each iteration rebuilds the frame stack (no warm-path shortcut).
+  auto level1 = dl::make_vector(32, 2, 256, dl::make_leaf(8));
+  auto level2 = dl::make_vector(64, 1, level1->extent + 128, level1);
+  auto level3 = dl::make_vector(128, 1, level2->extent + 512, level2);
+  const std::int64_t total = 4 * level3->size;
+  std::int64_t target = 0;
+  dl::Cursor cursor(level3, 0, 4);
+  for (auto _ : state) {
+    cursor.seek(target);
+    benchmark::DoNotOptimize(cursor.position());
+    target = (target + total / 7 + 13) % total;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CursorSeek);
+
+// Pruned vs full expansion of the tile-reader row pattern (768 rows of
+// 3072 bytes, stride 7596) striped over 16 servers / 64 KiB strips, from
+// server 0's point of view. Full expansion walks every row; pruned
+// expansion probes each row's span against the stripe map and only emits
+// the rows that land on this server. Counters report pieces walked and
+// subtrees skipped per iteration.
+void BM_ExpandFull(benchmark::State& state) {
+  auto loop = dl::make_vector(768, 3072, 7596, dl::make_leaf(1));
+  std::int64_t pieces = 0;
+  for (auto _ : state) {
+    dl::Cursor cursor(loop, 0, 16);
+    auto r = cursor.process(kUnlimited, kUnlimited,
+                            [](std::int64_t, std::int64_t) {});
+    pieces = r.regions;
+    benchmark::DoNotOptimize(pieces);
+  }
+  state.counters["pieces_walked"] = static_cast<double>(pieces);
+  state.SetItemsProcessed(state.iterations() * pieces);
+}
+BENCHMARK(BM_ExpandFull);
+
+void BM_ExpandPruned(benchmark::State& state) {
+  auto loop = dl::make_vector(768, 3072, 7596, dl::make_leaf(1));
+  const pfs::FileLayout layout(16, 64 * 1024);
+  struct Ctx {
+    const pfs::FileLayout* layout;
+    int server;
+  } ctx{&layout, 0};
+  std::int64_t pieces = 0;
+  std::int64_t skipped = 0;
+  for (auto _ : state) {
+    dl::Cursor cursor(loop, 0, 16);
+    cursor.set_filter(
+        [](const void* c, std::int64_t lo, std::int64_t hi) {
+          const auto* x = static_cast<const Ctx*>(c);
+          return x->layout->intersects_server(Region{lo, hi - lo}, x->server);
+        },
+        &ctx);
+    auto r = cursor.process(kUnlimited, kUnlimited,
+                            [](std::int64_t, std::int64_t) {});
+    pieces = r.regions;
+    skipped = cursor.subtrees_skipped();
+    benchmark::DoNotOptimize(pieces);
+  }
+  state.counters["pieces_walked"] = static_cast<double>(pieces);
+  state.counters["subtrees_skipped"] = static_cast<double>(skipped);
+  state.SetItemsProcessed(state.iterations() * (pieces + skipped));
+}
+BENCHMARK(BM_ExpandPruned);
 
 void BM_EncodeDecodeDataloop(benchmark::State& state) {
   workloads::FlashConfig cfg;

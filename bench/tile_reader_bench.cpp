@@ -26,11 +26,22 @@ using bench::MethodResult;
 using mpiio::Method;
 using sim::Task;
 
+/// Server-side counters summed over the fleet (pruned-expansion ablation).
+struct ServerAgg {
+  std::uint64_t regions_walked = 0;
+  std::uint64_t my_pieces = 0;
+  std::uint64_t subtrees_skipped = 0;
+  std::uint64_t pieces_pruned = 0;
+};
+
 MethodResult run_tile(Method method, const workloads::TileConfig& tile,
                       int frames, bool use_obs,
-                      const std::string& trace_path) {
+                      const std::string& trace_path,
+                      bool pruned_expansion = true,
+                      ServerAgg* agg = nullptr) {
   net::ClusterConfig cfg;  // paper defaults: 16 servers, 64 KiB strips
   cfg.num_clients = tile.num_clients();
+  cfg.server.pruned_expansion = pruned_expansion;
 
   pfs::Cluster cluster(cfg);
   obs::Observability obs(1 << 18);
@@ -100,6 +111,15 @@ MethodResult run_tile(Method method, const workloads::TileConfig& tile,
   result.per_client.resent_bytes /= static_cast<std::uint64_t>(frames);
   result.per_client.request_bytes /= static_cast<std::uint64_t>(frames);
   result.events = cluster.scheduler().events_processed();
+  if (agg != nullptr) {
+    for (int s = 0; s < cfg.num_servers; ++s) {
+      const pfs::ServerStats& st = cluster.server(s).stats();
+      agg->regions_walked += st.regions_walked;
+      agg->my_pieces += st.my_pieces;
+      agg->subtrees_skipped += st.subtrees_skipped;
+      agg->pieces_pruned += st.pieces_pruned;
+    }
+  }
   if (use_obs) {
     bench::capture_latency(result, obs);
     cluster.record_utilization_gauges();
@@ -158,12 +178,52 @@ int tile_main(int argc, char** argv) {
   std::printf("  paper: POSIX 768 ops; sieving 5.56 MB accessed; two-phase "
               "1 op, 1.50 MB resent; list 12 ops; datatype 1 op\n");
 
+  // Pruned-expansion ablation at the paper configuration (16 servers,
+  // 64 KiB strips): the same datatype run with server-side subtree pruning
+  // on (default) and off (legacy full expansion). Fleet-aggregate
+  // regions_walked is the cost the pruning removes: with the flag off
+  // every server walks every piece of the access.
+  ServerAgg pruned_on;
+  ServerAgg pruned_off;
+  const MethodResult on_result =
+      run_tile(Method::kDatatype, tile, frames, false, "", true, &pruned_on);
+  const MethodResult off_result =
+      run_tile(Method::kDatatype, tile, frames, false, "", false, &pruned_off);
+  const double walk_ratio =
+      pruned_on.regions_walked == 0
+          ? 0.0
+          : static_cast<double>(pruned_off.regions_walked) /
+                static_cast<double>(pruned_on.regions_walked);
+  std::printf("\nablation: server.pruned_expansion (datatype method)\n");
+  std::printf("  on : regions_walked=%llu subtrees_skipped=%llu "
+              "pieces_pruned=%llu sim=%.3fs\n",
+              static_cast<unsigned long long>(pruned_on.regions_walked),
+              static_cast<unsigned long long>(pruned_on.subtrees_skipped),
+              static_cast<unsigned long long>(pruned_on.pieces_pruned),
+              on_result.seconds);
+  std::printf("  off: regions_walked=%llu sim=%.3fs  (walk ratio %.1fx)\n",
+              static_cast<unsigned long long>(pruned_off.regions_walked),
+              off_result.seconds, walk_ratio);
+
   obs::RunReport report;
   report.bench = "tile_reader";
   report.params["frames"] = frames;
   report.params["clients"] = tile.num_clients();
   report.params["frame_bytes"] = static_cast<double>(tile.frame_bytes());
   for (const auto& r : results) report.methods.push_back(bench::to_report(r));
+  report.scalars["pruned_on_regions_walked"] =
+      static_cast<double>(pruned_on.regions_walked);
+  report.scalars["pruned_off_regions_walked"] =
+      static_cast<double>(pruned_off.regions_walked);
+  report.scalars["pruned_regions_walked_ratio"] = walk_ratio;
+  report.scalars["pruned_on_my_pieces"] =
+      static_cast<double>(pruned_on.my_pieces);
+  report.scalars["pruned_on_subtrees_skipped"] =
+      static_cast<double>(pruned_on.subtrees_skipped);
+  report.scalars["pruned_on_pieces_pruned"] =
+      static_cast<double>(pruned_on.pieces_pruned);
+  report.scalars["pruned_on_sim_seconds"] = on_result.seconds;
+  report.scalars["pruned_off_sim_seconds"] = off_result.seconds;
   bench::write_report(report, argc, argv, "BENCH_tile_reader.json");
   return 0;
 }

@@ -36,14 +36,67 @@ bool Cursor::block_atomic(const Dataloop& loop) noexcept {
   }
 }
 
+bool Cursor::prune_subtree(const Dataloop& sub, std::int64_t origin) {
+  if (filter_ == nullptr ||
+      filter_(filter_ctx_, origin + sub.data_lb, origin + sub.data_ub)) {
+    return false;
+  }
+  pos_ += sub.size;
+  ++subtrees_skipped_;
+  regions_pruned_ += sub.regions;
+  bytes_pruned_ += sub.size;
+  return true;
+}
+
+bool Cursor::prune_block(const Dataloop& child, std::int64_t start,
+                         std::int64_t blocklen) {
+  if (filter_ == nullptr) return false;
+  // Instances sit at start + j*extent, j in [0, blocklen); extent may be
+  // negative, so take the span over both ends.
+  const std::int64_t span = (blocklen - 1) * child.extent;
+  const std::int64_t lo = start + std::min<std::int64_t>(span, 0) + child.data_lb;
+  const std::int64_t hi = start + std::max<std::int64_t>(span, 0) + child.data_ub;
+  if (filter_(filter_ctx_, lo, hi)) return false;
+  const std::int64_t bytes = blocklen * child.size;
+  pos_ += bytes;
+  ++subtrees_skipped_;
+  regions_pruned_ += packed(child) ? 1 : blocklen * child.regions;
+  bytes_pruned_ += bytes;
+  return true;
+}
+
+bool Cursor::prune_atomic(std::int64_t region_lo, std::int64_t region_len) {
+  if (filter_ == nullptr) return false;
+  // A sub-span of a rejected span is also rejected, so skipping the
+  // remainder of a partially-consumed block region is sound.
+  const std::int64_t lo = region_lo + region_consumed_;
+  const std::int64_t len = region_len - region_consumed_;
+  if (filter_(filter_ctx_, lo, lo + len)) return false;
+  pos_ += len;
+  region_consumed_ = 0;
+  ++subtrees_skipped_;
+  ++regions_pruned_;
+  bytes_pruned_ += len;
+  return true;
+}
+
 void Cursor::settle() {
   while (!done_) {
+    if (pos_ >= limit_) {
+      done_ = true;
+      return;
+    }
     if (stack_.empty()) {
       if (inst_ == count_) {
         done_ = true;
         return;
       }
-      stack_.push_back(Frame{loop_.get(), base_ + inst_ * loop_->extent});
+      const std::int64_t origin = base_ + inst_ * loop_->extent;
+      if (prune_subtree(*loop_, origin)) {
+        ++inst_;
+        continue;
+      }
+      stack_.push_back(Frame{loop_.get(), origin});
       continue;
     }
     Frame& f = stack_.back();
@@ -57,8 +110,12 @@ void Cursor::settle() {
           pop_and_advance();
           break;
         }
-        stack_.push_back(
-            Frame{L.child.get(), f.origin + f.block * L.child->extent});
+        const std::int64_t origin = f.origin + f.block * L.child->extent;
+        if (prune_subtree(*L.child, origin)) {
+          ++f.block;
+          break;
+        }
+        stack_.push_back(Frame{L.child.get(), origin});
         break;
       }
       case Kind::kVector:
@@ -67,7 +124,6 @@ void Cursor::settle() {
           pop_and_advance();
           break;
         }
-        if (block_atomic(L)) return;  // atomic block
         if (f.elem == L.blocklen) {
           f.elem = 0;
           ++f.block;
@@ -77,8 +133,25 @@ void Cursor::settle() {
             f.origin + (L.kind == Kind::kVector
                             ? f.block * L.stride
                             : L.offsets[static_cast<std::size_t>(f.block)]);
-        stack_.push_back(
-            Frame{L.child.get(), start + f.elem * L.child->extent});
+        if (block_atomic(L)) {
+          if (prune_atomic(start + L.child->data_lb,
+                           L.blocklen * L.child->size)) {
+            f.elem = 0;
+            ++f.block;
+            break;
+          }
+          return;  // atomic block
+        }
+        if (f.elem == 0 && prune_block(*L.child, start, L.blocklen)) {
+          ++f.block;
+          break;
+        }
+        const std::int64_t elem_origin = start + f.elem * L.child->extent;
+        if (prune_subtree(*L.child, elem_origin)) {
+          ++f.elem;
+          break;
+        }
+        stack_.push_back(Frame{L.child.get(), elem_origin});
         break;
       }
       case Kind::kIndexed: {
@@ -92,11 +165,26 @@ void Cursor::settle() {
           ++f.block;
           break;
         }
-        if (block_atomic(L)) return;  // atomic block
         const std::int64_t start =
             f.origin + L.offsets[static_cast<std::size_t>(f.block)];
-        stack_.push_back(
-            Frame{L.child.get(), start + f.elem * L.child->extent});
+        if (block_atomic(L)) {
+          if (prune_atomic(start + L.child->data_lb, bl * L.child->size)) {
+            f.elem = 0;
+            ++f.block;
+            break;
+          }
+          return;  // atomic block
+        }
+        if (f.elem == 0 && prune_block(*L.child, start, bl)) {
+          ++f.block;
+          break;
+        }
+        const std::int64_t elem_origin = start + f.elem * L.child->extent;
+        if (prune_subtree(*L.child, elem_origin)) {
+          ++f.elem;
+          break;
+        }
+        stack_.push_back(Frame{L.child.get(), elem_origin});
         break;
       }
       case Kind::kStruct: {
@@ -112,9 +200,25 @@ void Cursor::settle() {
           ++f.block;
           break;
         }
-        if (packed(child)) return;  // atomic block
-        stack_.push_back(Frame{&child, f.origin + L.offsets[bi] +
-                                           f.elem * child.extent});
+        const std::int64_t start = f.origin + L.offsets[bi];
+        if (packed(child)) {
+          if (prune_atomic(start + child.data_lb, bl * child.size)) {
+            f.elem = 0;
+            ++f.block;
+            break;
+          }
+          return;  // atomic block
+        }
+        if (f.elem == 0 && prune_block(child, start, bl)) {
+          ++f.block;
+          break;
+        }
+        const std::int64_t elem_origin = start + f.elem * child.extent;
+        if (prune_subtree(child, elem_origin)) {
+          ++f.elem;
+          break;
+        }
+        stack_.push_back(Frame{&child, elem_origin});
         break;
       }
       case Kind::kLeaf:
@@ -187,6 +291,8 @@ bool Cursor::peek(Region& out) {
   settle();
   if (done_) return false;
   out = current_region();
+  // A stream limit may cut the final region short.
+  if (out.length > limit_ - pos_) out.length = limit_ - pos_;
   return true;
 }
 

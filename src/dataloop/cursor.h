@@ -23,6 +23,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/region.h"
@@ -50,6 +51,44 @@ class Cursor {
 
   /// Reposition at an absolute stream byte (0 <= pos <= total_bytes()).
   void seek(std::int64_t stream_pos);
+
+  /// Span filter for pruned traversal. Before descending into a subtree
+  /// (a whole instance, a block, or a child instance) whose data bytes all
+  /// lie within file offsets [lo, hi), traversal asks the filter whether
+  /// that interval is interesting; a `false` answer skips the subtree
+  /// without expanding it — the stream position still advances past its
+  /// bytes, so seek/resume and window accounting stay exact. This is what
+  /// lets an I/O server stay sublinear in other servers' data: combined
+  /// with FileLayout::intersects_server, whole rows/tiles that miss this
+  /// server's strips cost one probe instead of a walk. The filter must be
+  /// conservative: it may keep a span it does not need, but must never
+  /// reject a span that contains wanted bytes.
+  using FilterFn = bool (*)(const void* ctx, std::int64_t lo, std::int64_t hi);
+  void set_filter(FilterFn fn, const void* ctx) noexcept {
+    filter_ = fn;
+    filter_ctx_ = ctx;
+  }
+
+  /// Hard stream end: the cursor reports done at `stream_end` even when
+  /// more instances remain, and peek() clips the last region to it. This
+  /// bounds a request's stream window independently of process() byte
+  /// budgets — required under a filter, where skipped subtrees consume
+  /// stream bytes that never reach the sink.
+  void set_stream_limit(std::int64_t stream_end) noexcept {
+    limit_ = stream_end;
+    if (pos_ >= limit_) done_ = true;
+  }
+
+  /// Pruning telemetry (cumulative across process() calls).
+  [[nodiscard]] std::int64_t subtrees_skipped() const noexcept {
+    return subtrees_skipped_;
+  }
+  [[nodiscard]] std::int64_t regions_pruned() const noexcept {
+    return regions_pruned_;
+  }
+  [[nodiscard]] std::int64_t bytes_pruned() const noexcept {
+    return bytes_pruned_;
+  }
 
   /// Emit regions to `sink(offset, length)` until `max_regions` regions or
   /// `max_bytes` stream bytes have been produced, or the stream ends.
@@ -108,6 +147,17 @@ class Cursor {
   static bool block_atomic(const Dataloop& loop) noexcept;
   [[nodiscard]] Region current_region() const;
 
+  /// Skip a fresh subtree instance anchored at `origin` if its file span
+  /// misses the filter; true means skipped (stream advanced past it).
+  bool prune_subtree(const Dataloop& sub, std::int64_t origin);
+  /// Same for a whole block of `blocklen` child instances starting at
+  /// `start` (child spacing = extent).
+  bool prune_block(const Dataloop& child, std::int64_t start,
+                   std::int64_t blocklen);
+  /// Same for a block-atomic block whose (remaining) contiguous region is
+  /// region_consumed_ bytes into {region_lo, region_len}.
+  bool prune_atomic(std::int64_t region_lo, std::int64_t region_len);
+
   DataloopPtr loop_;
   std::int64_t base_;
   std::int64_t count_;
@@ -116,6 +166,13 @@ class Cursor {
   std::int64_t region_consumed_ = 0;
   bool done_ = false;
   std::vector<Frame> stack_;
+
+  FilterFn filter_ = nullptr;
+  const void* filter_ctx_ = nullptr;
+  std::int64_t limit_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t subtrees_skipped_ = 0;
+  std::int64_t regions_pruned_ = 0;
+  std::int64_t bytes_pruned_ = 0;
 };
 
 /// Convenience: fully flatten `count` instances into a region list.

@@ -58,37 +58,7 @@ int Dataloop::depth() const noexcept {
   return d + 1;
 }
 
-std::int64_t Dataloop::region_count() const noexcept {
-  if (size == 0) return 0;
-  if (solid) return 1;
-  switch (kind) {
-    case Kind::kLeaf:
-      return 1;
-    case Kind::kContig:
-      return count * child->region_count();
-    case Kind::kVector:
-    case Kind::kBlockIndexed:
-      return count * (packed(*child) ? 1 : blocklen * child->region_count());
-    case Kind::kIndexed: {
-      std::int64_t total = 0;
-      for (std::size_t b = 0; b < blocklens.size(); ++b) {
-        if (blocklens[b] == 0) continue;
-        total += packed(*child) ? 1 : blocklens[b] * child->region_count();
-      }
-      return total;
-    }
-    case Kind::kStruct: {
-      std::int64_t total = 0;
-      for (std::size_t b = 0; b < children.size(); ++b) {
-        if (blocklens[b] == 0 || children[b]->size == 0) continue;
-        total += packed(*children[b]) ? 1
-                                      : blocklens[b] * children[b]->region_count();
-      }
-      return total;
-    }
-  }
-  return 0;
-}
+std::int64_t Dataloop::region_count() const noexcept { return regions; }
 
 namespace {
 
@@ -124,7 +94,9 @@ DataloopPtr make_leaf(std::int64_t el_size) {
   loop->extent = el_size;
   loop->lb = 0;
   loop->data_lb = 0;
+  loop->data_ub = el_size;
   loop->solid = true;
+  loop->regions = 1;
   return loop;
 }
 
@@ -153,8 +125,13 @@ DataloopPtr make_contig(std::int64_t count, DataloopPtr child) {
   loop->extent = count * child->extent;
   loop->lb = count == 0 ? 0 : child->lb;
   loop->data_lb = count == 0 ? 0 : child->data_lb;
+  loop->data_ub = loop->size == 0
+                      ? loop->data_lb
+                      : (count - 1) * child->extent + child->data_ub;
   loop->solid = count == 0 || packed(*child) ||
                 (count == 1 && child->solid);
+  loop->regions =
+      loop->size == 0 ? 0 : (loop->solid ? 1 : count * child->regions);
   loop->child = std::move(child);
   return loop;
 }
@@ -184,9 +161,17 @@ DataloopPtr make_vector(std::int64_t count, std::int64_t blocklen,
   const std::int64_t last = (count - 1) * stride_bytes;
   loop->lb = child->lb + std::min<std::int64_t>(0, last);
   loop->data_lb = child->data_lb + std::min<std::int64_t>(0, last);
+  loop->data_ub = loop->size == 0
+                      ? loop->data_lb
+                      : std::max<std::int64_t>(0, last) +
+                            (blocklen - 1) * child->extent + child->data_ub;
   loop->extent = std::max<std::int64_t>(0, last) + block_extent -
                  std::min<std::int64_t>(0, last);
   loop->solid = false;  // seamless tiling was normalised to contig above
+  loop->regions =
+      loop->size == 0
+          ? 0
+          : count * (packed(*child) ? 1 : blocklen * child->regions);
   loop->child = std::move(child);
   return loop;
 }
@@ -233,8 +218,17 @@ DataloopPtr make_blockindexed(std::int64_t count, std::int64_t blocklen,
   }
   loop->lb = lo + child->lb;
   loop->data_lb = lo + child->data_lb;
+  loop->data_ub = loop->size == 0
+                      ? loop->data_lb
+                      : hi + (blocklen - 1) * child->extent + child->data_ub;
   loop->extent = (hi + block_extent + child->lb) - loop->lb;
   loop->solid = count == 1 && child->solid && blocklen == 1;
+  loop->regions =
+      loop->size == 0
+          ? 0
+          : (loop->solid
+                 ? 1
+                 : count * (packed(*child) ? 1 : blocklen * child->regions));
   loop->child = std::move(child);
   return loop;
 }
@@ -272,6 +266,8 @@ DataloopPtr make_indexed(std::span<const std::int64_t> blocklens,
   bool first = true;
   std::int64_t lo = 0;
   std::int64_t hi = 0;
+  std::int64_t data_hi = 0;
+  std::int64_t regions = 0;
   loop->block_bytes_prefix.reserve(static_cast<std::size_t>(count) + 1);
   loop->block_bytes_prefix.push_back(0);
   for (std::int64_t b = 0; b < count; ++b) {
@@ -279,23 +275,30 @@ DataloopPtr make_indexed(std::span<const std::int64_t> blocklens,
     size += blocklens[bi] * child->size;
     loop->block_bytes_prefix.push_back(size);
     if (blocklens[bi] == 0) continue;
+    regions += packed(*child) ? 1 : blocklens[bi] * child->regions;
     const std::int64_t begin = offsets_bytes[bi] + child->lb;
     const std::int64_t end =
         offsets_bytes[bi] + blocklens[bi] * child->extent + child->lb;
+    const std::int64_t data_end =
+        offsets_bytes[bi] + (blocklens[bi] - 1) * child->extent + child->data_ub;
     if (first) {
       lo = begin;
       hi = end;
+      data_hi = data_end;
       first = false;
     } else {
       lo = std::min(lo, begin);
       hi = std::max(hi, end);
+      data_hi = std::max(data_hi, data_end);
     }
   }
   loop->size = size;
   loop->lb = lo;
   loop->data_lb = lo - child->lb + child->data_lb;
+  loop->data_ub = size == 0 ? loop->data_lb : data_hi;
   loop->extent = hi - lo;
   loop->solid = false;
+  loop->regions = size == 0 ? 0 : regions;
   loop->child = std::move(child);
   return loop;
 }
@@ -336,6 +339,8 @@ DataloopPtr make_struct(std::span<const std::int64_t> blocklens,
   std::int64_t lo = 0;
   std::int64_t hi = 0;
   std::int64_t data_lo = 0;
+  std::int64_t data_hi = 0;
+  std::int64_t regions = 0;
   loop->block_bytes_prefix.reserve(static_cast<std::size_t>(count) + 1);
   loop->block_bytes_prefix.push_back(0);
   for (std::int64_t b = 0; b < count; ++b) {
@@ -344,25 +349,32 @@ DataloopPtr make_struct(std::span<const std::int64_t> blocklens,
     size += blocklens[bi] * c.size;
     loop->block_bytes_prefix.push_back(size);
     if (blocklens[bi] == 0 || c.size == 0) continue;
+    regions += packed(c) ? 1 : blocklens[bi] * c.regions;
     const std::int64_t begin = offsets_bytes[bi] + c.lb;
     const std::int64_t end = offsets_bytes[bi] + blocklens[bi] * c.extent + c.lb;
     const std::int64_t data_begin = offsets_bytes[bi] + c.data_lb;
+    const std::int64_t data_end =
+        offsets_bytes[bi] + (blocklens[bi] - 1) * c.extent + c.data_ub;
     if (first) {
       lo = begin;
       hi = end;
       data_lo = data_begin;
+      data_hi = data_end;
       first = false;
     } else {
       lo = std::min(lo, begin);
       hi = std::max(hi, end);
       data_lo = std::min(data_lo, data_begin);
+      data_hi = std::max(data_hi, data_end);
     }
   }
   loop->size = size;
   loop->lb = lo;
   loop->data_lb = data_lo;
+  loop->data_ub = size == 0 ? data_lo : data_hi;
   loop->extent = hi - lo;
   loop->solid = false;
+  loop->regions = size == 0 ? 0 : regions;
   return loop;
 }
 

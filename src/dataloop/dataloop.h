@@ -68,6 +68,13 @@ class Dataloop {
   std::int64_t data_lb = 0; ///< displacement of the first data byte; unlike
                             ///< lb this is never changed by make_resized and
                             ///< is what traversal uses for solid-run starts
+  std::int64_t data_ub = 0; ///< one past the last data byte of one instance
+                            ///< (origin-relative); with data_lb this bounds
+                            ///< the file-offset span a subtree can touch,
+                            ///< which is what lets traversal prune whole
+                            ///< subtrees against a stripe set
+  std::int64_t regions = 0; ///< cached region_count(): atomic regions one
+                            ///< instance expands to (pruning accounting)
   bool solid = false;       ///< one instance is a single contiguous run of
                             ///< `size` bytes at base (and extent may still
                             ///< exceed size, leaving a trailing gap)

@@ -196,6 +196,7 @@ bool deep_equal(const Dataloop& a, const Dataloop& b) noexcept {
   if (a.kind != b.kind || a.count != b.count || a.blocklen != b.blocklen ||
       a.stride != b.stride || a.el_size != b.el_size || a.size != b.size ||
       a.extent != b.extent || a.lb != b.lb || a.data_lb != b.data_lb ||
+      a.data_ub != b.data_ub || a.regions != b.regions ||
       a.offsets != b.offsets || a.blocklens != b.blocklens) {
     return false;
   }

@@ -85,6 +85,19 @@ struct ServerConfig {
   /// tile reader ships the same filetype 100 frames in a row.
   bool dataloop_cache = false;
   std::size_t dataloop_cache_entries = 64;
+
+  /// Stripe-aware pruned dataloop expansion: while walking a shipped
+  /// datatype, the server skips whole subtrees whose file-offset span
+  /// misses its own strips (Cursor::set_filter +
+  /// FileLayout::intersects_server) instead of generating and discarding
+  /// every other server's regions. Turns per-server expansion cost from
+  /// O(total regions) into O(own regions + subtrees probed). Off = legacy
+  /// full-expansion behaviour, kept for ablation.
+  bool pruned_expansion = true;
+
+  /// CPU cost per pruned subtree: one span/stripe intersection probe
+  /// (a handful of integer ops) charged for each subtree skipped.
+  dtio::SimTime subtree_probe_cost = 50;  // ns
 };
 
 struct ClientConfig {

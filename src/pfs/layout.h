@@ -7,6 +7,7 @@
 // (access clipping) sides, so the two ends always agree.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -79,6 +80,33 @@ class FileLayout {
 
   /// Number of distinct servers a logical range touches.
   [[nodiscard]] int servers_touched(Region region) const noexcept;
+
+  /// Does any byte of logical range [region.offset, region.end()) land on
+  /// `server`? O(1): find the first strip of `server` at or after the
+  /// range start and test it against the range end. This is the pruning
+  /// predicate servers hand to Cursor::set_filter — a subtree whose file
+  /// span fails it holds no bytes of this server's strips, so the server
+  /// need not expand it at all.
+  [[nodiscard]] bool intersects_server(Region region, int server) const noexcept {
+    if (region.length <= 0) return false;
+    const std::int64_t S = stripe_size();
+    // Floor-divide (offset may be negative for exotic resized types).
+    const std::int64_t off = region.offset;
+    const std::int64_t k = off >= 0 ? off / S : -((-off + S - 1) / S);
+    std::int64_t start = k * S + server * strip_size_;
+    if (start + strip_size_ <= off) start += S;  // strip k ends before range
+    return start < region.end();
+  }
+
+  /// Upper bound on the bytes of a logical window of `window_bytes` that
+  /// can land on any one server: full strips per stripe plus partial
+  /// strips at both ends. A cheap sizing hint for reply buffers.
+  [[nodiscard]] std::int64_t max_server_bytes(
+      std::int64_t window_bytes) const noexcept {
+    if (window_bytes <= 0) return 0;
+    return std::min(window_bytes,
+                    (window_bytes / stripe_size() + 2) * strip_size_);
+  }
 
  private:
   int num_servers_;

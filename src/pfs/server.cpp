@@ -76,12 +76,18 @@ void IOServer::set_observability(obs::Observability* obs) {
   if (obs == nullptr) {
     obs_requests_ = nullptr;
     obs_disk_bytes_ = nullptr;
+    obs_subtrees_skipped_ = nullptr;
+    obs_pieces_pruned_ = nullptr;
     return;
   }
   obs_requests_ = &obs->metrics.counter(
       "server_requests_total", obs::label("node", server_index_));
   obs_disk_bytes_ = &obs->metrics.counter(
       "server_disk_bytes_total", obs::label("node", server_index_));
+  obs_subtrees_skipped_ = &obs->metrics.counter(
+      "server_subtrees_skipped_total", obs::label("node", server_index_));
+  obs_pieces_pruned_ = &obs->metrics.counter(
+      "server_pieces_pruned_total", obs::label("node", server_index_));
 }
 
 void IOServer::sample_counters() {
@@ -202,6 +208,10 @@ sim::Task<void> IOServer::handle_contig(Request& request) {
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
                       : nullptr};
+  if (applier.reply_data) {
+    applier.reply_data->reserve(
+        static_cast<std::size_t>(layout_.max_server_bytes(p.length)));
+  }
   applier.apply(Region{p.offset, p.length});
 
   stats_.regions_walked += static_cast<std::uint64_t>(applier.pieces);
@@ -226,6 +236,12 @@ sim::Task<void> IOServer::handle_list(Request& request) {
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
                       : nullptr};
+  if (applier.reply_data) {
+    std::int64_t window = 0;
+    for (const Region& r : p.regions) window += r.length;
+    applier.reply_data->reserve(
+        static_cast<std::size_t>(layout_.max_server_bytes(window)));
+  }
   for (const Region& r : p.regions) applier.apply(r);
 
   stats_.regions_walked += static_cast<std::uint64_t>(applier.pieces);
@@ -276,7 +292,10 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
     cache_key = fnv1a(*p.encoded_loop);
     const auto it = loop_cache_.find(cache_key);
     if (it != loop_cache_.end()) {
-      loop = it->second;
+      loop = it->second.loop;
+      // LRU touch: move to the back of the recency list.
+      loop_cache_order_.splice(loop_cache_order_.end(), loop_cache_order_,
+                               it->second.pos);
       ++stats_.dataloop_cache_hits;
     }
   }
@@ -298,8 +317,9 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
                            p.loop_node_count);
     if (obs_ != nullptr) obs_->spans.end(decode_span, sched_->now());
     if (config_->server.dataloop_cache) {
-      loop_cache_.emplace(cache_key, loop);
       loop_cache_order_.push_back(cache_key);
+      loop_cache_.emplace(cache_key,
+                          CachedLoop{loop, std::prev(loop_cache_order_.end())});
       if (loop_cache_order_.size() > config_->server.dataloop_cache_entries) {
         loop_cache_.erase(loop_cache_order_.front());
         loop_cache_order_.pop_front();
@@ -321,22 +341,61 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
                       : nullptr};
+  if (applier.reply_data) {
+    // One allocation up front instead of per-piece regrowth: the stream
+    // window bounds this server's share of the reply.
+    applier.reply_data->reserve(static_cast<std::size_t>(
+        layout_.max_server_bytes(p.stream_length)));
+  }
 
   // Expand the dataloop over the requested stream window. The sink feeds
   // regions straight into job/access application — partial processing
-  // keeps intermediate storage bounded (here: zero).
+  // keeps intermediate storage bounded (here: zero). With pruned
+  // expansion (default), a span filter makes the cursor skip whole
+  // subtrees whose file span misses this server's strips, so the walk is
+  // proportional to this server's data, not the full access; the
+  // Applier's own clipping remains as the correctness backstop. The
+  // stream limit bounds the window either way (pruned bytes never reach
+  // process()'s byte budget).
   dl::Cursor cursor(loop, p.displacement, p.count);
   cursor.seek(p.stream_offset);
-  cursor.process(std::numeric_limits<std::int64_t>::max(), p.stream_length,
+  cursor.set_stream_limit(p.stream_offset + p.stream_length);
+  struct PruneCtx {
+    const FileLayout* layout;
+    int server;
+  };
+  PruneCtx prune_ctx{&layout_, server_index_};
+  if (config_->server.pruned_expansion) {
+    cursor.set_filter(
+        [](const void* ctx, std::int64_t lo, std::int64_t hi) {
+          const auto* c = static_cast<const PruneCtx*>(ctx);
+          return c->layout->intersects_server(Region{lo, hi - lo}, c->server);
+        },
+        &prune_ctx);
+  }
+  cursor.process(std::numeric_limits<std::int64_t>::max(),
+                 std::numeric_limits<std::int64_t>::max(),
                  [&](std::int64_t off, std::int64_t len) {
                    applier.apply(Region{off, len});
                  });
 
+  const std::int64_t skipped = cursor.subtrees_skipped();
   stats_.regions_walked += static_cast<std::uint64_t>(applier.pieces);
   stats_.my_pieces += static_cast<std::uint64_t>(applier.my_pieces);
+  stats_.subtrees_skipped += static_cast<std::uint64_t>(skipped);
+  stats_.pieces_pruned += static_cast<std::uint64_t>(cursor.regions_pruned());
+  if (obs_ != nullptr && skipped > 0) {
+    obs_subtrees_skipped_->add(static_cast<std::uint64_t>(skipped));
+    obs_pieces_pruned_->add(
+        static_cast<std::uint64_t>(cursor.regions_pruned()));
+  }
   co_await charge_regions(
       applier.pieces, is_write ? config_->server.per_dataloop_region_cost_write
                                : config_->server.per_dataloop_region_cost);
+  if (skipped > 0) {
+    // Each pruned subtree still costs one span/stripe intersection probe.
+    co_await cpu_.use(config_->server.subtree_probe_cost * skipped);
+  }
   co_await charge_disk(applier.my_bytes);
   finish_data_reply(request, is_write, applier.my_bytes,
                     std::move(applier.reply_data));

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,6 +42,10 @@ struct ServerStats {
   std::uint64_t dataloops_decoded = 0;
   std::uint64_t dataloop_cache_hits = 0;
   std::uint64_t bad_requests = 0;     ///< malformed requests answered with errors
+  std::uint64_t subtrees_skipped = 0; ///< dataloop subtrees pruned (span missed
+                                      ///< this server's strips; one probe each)
+  std::uint64_t pieces_pruned = 0;    ///< atomic regions never generated
+                                      ///< because their subtree was pruned
 };
 
 class IOServer {
@@ -104,6 +109,8 @@ class IOServer {
   obs::Observability* obs_ = nullptr;
   obs::Counter* obs_requests_ = nullptr;    ///< server_requests_total
   obs::Counter* obs_disk_bytes_ = nullptr;  ///< server_disk_bytes_total
+  obs::Counter* obs_subtrees_skipped_ = nullptr;  ///< server_subtrees_skipped_total
+  obs::Counter* obs_pieces_pruned_ = nullptr;     ///< server_pieces_pruned_total
   // Trace context of the request currently being handled (requests are
   // handled sequentially, so plain members suffice).
   std::uint64_t req_trace_ = 0;
@@ -116,9 +123,15 @@ class IOServer {
   std::unordered_map<std::uint64_t, Bstream> store_;
 
   // Decoded-dataloop cache (enabled by ServerConfig::dataloop_cache),
-  // keyed by a hash of the encoded bytes; bounded FIFO eviction.
-  std::unordered_map<std::uint64_t, dl::DataloopPtr> loop_cache_;
-  std::deque<std::uint64_t> loop_cache_order_;
+  // keyed by a hash of the encoded bytes; bounded true-LRU eviction (a
+  // cache hit moves the entry to the back of the recency list, so a hot
+  // datatype survives a stream of one-shot ones).
+  struct CachedLoop {
+    dl::DataloopPtr loop;
+    std::list<std::uint64_t>::iterator pos;  ///< entry in loop_cache_order_
+  };
+  std::unordered_map<std::uint64_t, CachedLoop> loop_cache_;
+  std::list<std::uint64_t> loop_cache_order_;  ///< LRU at front, MRU at back
 
   // Metadata state (server 0 only).
   std::unordered_map<std::string, std::uint64_t> namespace_;

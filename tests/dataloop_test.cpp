@@ -391,6 +391,154 @@ TEST(Seek, DeepNestedSeek) {
   }
 }
 
+// ---- Pruned traversal: span filter + stream limit --------------------------
+
+struct Window {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+bool window_filter(const void* ctx, std::int64_t lo, std::int64_t hi) {
+  const auto* w = static_cast<const Window*>(ctx);
+  return lo < w->hi && hi > w->lo;
+}
+
+TEST(Filter, KeepAllMatchesUnfiltered) {
+  auto inner = make_vector(3, 1, 10, make_leaf(2));
+  auto type = make_contig(4, inner);
+  Cursor plain(type, 5, 2);
+  auto all = collect(plain, kUnlimited, kUnlimited, /*coalesce=*/false);
+
+  Cursor filtered(type, 5, 2);
+  Window w{std::numeric_limits<std::int64_t>::min() / 2,
+           std::numeric_limits<std::int64_t>::max() / 2};
+  filtered.set_filter(window_filter, &w);
+  auto same = collect(filtered, kUnlimited, kUnlimited, /*coalesce=*/false);
+  EXPECT_EQ(same, all);
+  EXPECT_EQ(filtered.subtrees_skipped(), 0);
+  EXPECT_EQ(filtered.bytes_pruned(), 0);
+}
+
+TEST(Filter, RejectAllSkipsEverythingButAdvancesStream) {
+  auto type = make_vector(6, 2, 24, make_leaf(4));
+  Cursor c(type, 0, 3);
+  Window w{-100, -50};  // nothing intersects
+  c.set_filter(window_filter, &w);
+  auto regions = collect(c);
+  EXPECT_TRUE(regions.empty());
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.position(), c.total_bytes());
+  // Whole instances are rejected at the root: one probe per instance.
+  EXPECT_EQ(c.subtrees_skipped(), 3);
+  EXPECT_EQ(c.regions_pruned(), 3 * type->region_count());
+  EXPECT_EQ(c.bytes_pruned(), c.total_bytes());
+}
+
+TEST(Filter, WindowFilterKeepsEveryIntersectingRegion) {
+  // Mixed-kind tree exercising every prune point: a struct whose blocks
+  // are a block-atomic vector, a gappy (non-packed) child under indexed,
+  // and a contig — walked for two instances so root pruning fires too.
+  auto gappy = make_vector(2, 1, 12, make_leaf(4));  // solid=false
+  auto atomic_v = make_vector(3, 2, 20, make_leaf(4));
+  const std::int64_t ilens[] = {2, 1};
+  const std::int64_t ioffs[] = {0, 60};
+  auto idx = make_indexed(ilens, ioffs, gappy);
+  auto ctg = make_contig(2, atomic_v);
+  const std::int64_t slens[] = {1, 1, 1};
+  const std::int64_t soffs[] = {0, 200, 500};
+  const DataloopPtr kids[] = {atomic_v, idx, ctg};
+  auto type = make_struct(slens, soffs, kids);
+
+  Cursor whole(type, 0, 2);
+  const auto all = collect(whole, kUnlimited, kUnlimited, /*coalesce=*/false);
+  ASSERT_FALSE(all.empty());
+
+  const Window windows[] = {{0, 40},   {40, 230},  {230, 520},
+                            {500, 700}, {700, 5000}, {0, 5000}};
+  for (const Window& w : windows) {
+    Cursor c(type, 0, 2);
+    Window win = w;
+    c.set_filter(window_filter, &win);
+    const auto got = collect(c, kUnlimited, kUnlimited, /*coalesce=*/false);
+
+    // `got` must be an in-order subsequence of the full expansion, and
+    // every omitted region must miss the window (the filter may keep
+    // extra regions — it is conservative — but must never drop a wanted
+    // one).
+    std::size_t j = 0;
+    std::int64_t got_bytes = 0;
+    for (const Region& r : all) {
+      if (j < got.size() && got[j].offset == r.offset &&
+          got[j].length == r.length) {
+        ++j;
+        got_bytes += r.length;
+        continue;
+      }
+      EXPECT_FALSE(r.offset < win.hi && r.end() > win.lo)
+          << "dropped region {" << r.offset << "," << r.length
+          << "} intersects window [" << win.lo << "," << win.hi << ")";
+    }
+    EXPECT_EQ(j, got.size()) << "emitted a region the full walk never did";
+    EXPECT_TRUE(c.done());
+    EXPECT_EQ(c.position(), c.total_bytes());
+    EXPECT_EQ(got_bytes + c.bytes_pruned(), c.total_bytes());
+  }
+}
+
+TEST(Filter, MidBlockSeekThenFilteredProcess) {
+  // Block-atomic vector: each block is one 8-byte contiguous region at
+  // offset 32*b. Seek lands 3 bytes into block 0, then a filter that only
+  // keeps blocks 2 and 3 must prune the partially-consumed remainder.
+  auto type = make_vector(4, 2, 32, make_leaf(4));
+  Cursor c(type, 0, 1);
+  c.seek(3);
+  Window w{64, 200};
+  c.set_filter(window_filter, &w);
+  auto got = collect(c);
+  EXPECT_EQ(got, (std::vector<Region>{{64, 8}, {96, 8}}));
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.position(), c.total_bytes());
+}
+
+TEST(StreamLimit, ClipsFinalRegionAndStops) {
+  auto type = make_vector(5, 1, 10, make_leaf(4));
+  Cursor c(type, 0, 1);
+  c.set_stream_limit(6);  // mid second region
+  auto got = collect(c);
+  EXPECT_EQ(got, (std::vector<Region>{{0, 4}, {10, 2}}));
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.position(), 6);
+}
+
+TEST(StreamLimit, AtSeekPositionIsImmediatelyDone) {
+  auto type = make_vector(5, 1, 10, make_leaf(4));
+  Cursor c(type, 0, 1);
+  c.seek(8);
+  c.set_stream_limit(8);
+  EXPECT_TRUE(c.done());
+  auto got = collect(c);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(StreamLimit, BoundsWindowIndependentlyOfFilter) {
+  // Under a filter, pruned bytes never reach process()'s byte budget, so
+  // the window must be enforced by the stream limit. Stream window [4, 14)
+  // with a filter that rejects the first two file regions: region 1
+  // (stream [4,8)) is pruned — consuming window bytes without emitting —
+  // region 2 (stream [8,12)) is emitted whole, and region 3 is clipped to
+  // the 2 window bytes left.
+  auto type = make_vector(5, 1, 10, make_leaf(4));  // regions at 0,10,20,30,40
+  Cursor c(type, 0, 1);
+  c.seek(4);
+  c.set_stream_limit(14);
+  Window w{20, 1000};  // rejects file regions {0,4} and {10,4}
+  c.set_filter(window_filter, &w);
+  auto got = collect(c);
+  EXPECT_EQ(got, (std::vector<Region>{{20, 4}, {30, 2}}));
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.position(), 14);
+}
+
 // ---- Pack / unpack --------------------------------------------------------
 
 TEST(Pack, GatherScatterRoundTrip) {

@@ -4,9 +4,12 @@
 // write-with-one/read-with-another oracles.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/crc32.h"
@@ -74,6 +77,74 @@ TEST(Layout, ServersTouched) {
   EXPECT_EQ(layout.servers_touched({0, 11}), 2);
   EXPECT_EQ(layout.servers_touched({0, 1000}), 4);  // capped at server count
   EXPECT_EQ(layout.servers_touched({0, 0}), 0);
+}
+
+TEST(Layout, IntersectsServerEdges) {
+  FileLayout layout(4, 10);  // stripe 40; server 1 owns [10,20), [50,60), ...
+  EXPECT_TRUE(layout.intersects_server({10, 1}, 1));
+  EXPECT_TRUE(layout.intersects_server({19, 1}, 1));
+  EXPECT_FALSE(layout.intersects_server({20, 1}, 1));   // first byte after
+  EXPECT_FALSE(layout.intersects_server({0, 10}, 1));   // ends exactly at strip
+  EXPECT_TRUE(layout.intersects_server({0, 11}, 1));    // one byte inside
+  EXPECT_TRUE(layout.intersects_server({15, 100}, 1));  // starts mid-strip
+  EXPECT_FALSE(layout.intersects_server({10, 0}, 1));   // empty region
+  EXPECT_TRUE(layout.intersects_server({20, 31}, 1));   // reaches next stripe
+  EXPECT_FALSE(layout.intersects_server({20, 30}, 1));  // stops one short
+  // Negative offsets (exotic resized types): floor-division stripe math.
+  EXPECT_TRUE(layout.intersects_server({-25, 10}, 1));   // [-25,-15) in [-30,-20)
+  EXPECT_FALSE(layout.intersects_server({-20, 10}, 1));  // [-20,-10) is server 2
+  EXPECT_TRUE(layout.intersects_server({-5, 20}, 1));    // crosses into [10,20)
+}
+
+TEST(Layout, IntersectsServerMatchesBruteForce) {
+  Rng rng(17);
+  for (const auto& [servers, strip] :
+       {std::pair{3, std::int64_t{7}}, {16, std::int64_t{64}},
+        {1, std::int64_t{10}}}) {
+    FileLayout layout(servers, strip);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto offset =
+          static_cast<std::int64_t>(rng.next_below(4096)) - 2048;
+      const auto length = static_cast<std::int64_t>(rng.next_below(300));
+      for (int s = 0; s < servers; ++s) {
+        bool expected = false;
+        for (std::int64_t b = offset; b < offset + length; ++b) {
+          // place() uses truncating division; derive the owner via
+          // explicit floor math so negative offsets are handled too.
+          const std::int64_t S = layout.stripe_size();
+          std::int64_t within = b % S;
+          if (within < 0) within += S;
+          if (static_cast<int>(within / strip) == s) {
+            expected = true;
+            break;
+          }
+        }
+        EXPECT_EQ(layout.intersects_server({offset, length}, s), expected)
+            << "servers=" << servers << " strip=" << strip
+            << " region=[" << offset << "," << offset + length << ") s=" << s;
+      }
+    }
+  }
+}
+
+TEST(Layout, MaxServerBytesBoundsAnyWindow) {
+  FileLayout layout(4, 10);
+  EXPECT_EQ(layout.max_server_bytes(0), 0);
+  EXPECT_EQ(layout.max_server_bytes(5), 5);     // clipped to the window
+  EXPECT_EQ(layout.max_server_bytes(400), 120); // 10 full stripes + 2 strips
+  // Property: no placement of a window can put more than the bound on one
+  // server — worst case is a window aligned to maximise partial strips.
+  for (std::int64_t window : {1, 9, 10, 11, 39, 40, 41, 100, 399}) {
+    std::int64_t worst = 0;
+    for (std::int64_t start = 0; start < layout.stripe_size(); ++start) {
+      std::int64_t per_server[4] = {0, 0, 0, 0};
+      layout.map_region({start, window}, [&](int s, Region r, std::int64_t) {
+        per_server[s] += r.length;
+      });
+      for (const std::int64_t b : per_server) worst = std::max(worst, b);
+    }
+    EXPECT_GE(layout.max_server_bytes(window), worst) << "window " << window;
+  }
 }
 
 // ---- Bstream -------------------------------------------------------------------
@@ -452,6 +523,155 @@ TEST(EndToEnd, ServerStatsTrackProcessing) {
   EXPECT_EQ(cluster.server(2).stats().bytes_written, 0u);
   // Metadata + its data request.
   EXPECT_GE(cluster.server(0).stats().requests, 2u);
+}
+
+// ---- Pruned dataloop expansion ------------------------------------------------
+
+/// Round-trip a datatype write+read on a fresh cluster with the given
+/// pruned_expansion setting; returns the read-back payload and the
+/// server-side counters the pruning must (and must not) change.
+struct DatatypeRunResult {
+  std::vector<std::uint8_t> back;
+  std::uint64_t regions_walked = 0;
+  std::uint64_t subtrees_skipped = 0;
+  std::uint64_t pieces_pruned = 0;
+  /// Per-server (my_pieces, bytes_read, bytes_written): identical with
+  /// pruning on and off — pruning may only skip work, never data.
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>
+      per_server;
+};
+
+DatatypeRunResult run_datatype_roundtrip(dl::DataloopPtr filetype,
+                                         std::int64_t displacement,
+                                         std::int64_t count,
+                                         const std::vector<std::uint8_t>& stream,
+                                         bool pruned) {
+  net::ClusterConfig cfg = small_config();
+  cfg.server.pruned_expansion = pruned;
+  Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+  DatatypeRunResult result;
+  result.back.assign(stream.size(), 0);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, dl::DataloopPtr type, std::int64_t disp, std::int64_t n,
+         const std::vector<std::uint8_t>& src, std::vector<std::uint8_t>& back,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/pruned");
+        EXPECT_TRUE(f.status.is_ok());
+        const auto len = static_cast<std::int64_t>(src.size());
+        EXPECT_TRUE((co_await c.write_datatype(f.handle, type, disp, n, 0, len,
+                                               src.data())).is_ok());
+        EXPECT_TRUE((co_await c.read_datatype(f.handle, type, disp, n, 0, len,
+                                              back.data())).is_ok());
+        done = true;
+      }(*client, filetype, displacement, count, stream, result.back, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  for (int s = 0; s < cfg.num_servers; ++s) {
+    const ServerStats& st = cluster.server(s).stats();
+    result.regions_walked += st.regions_walked;
+    result.subtrees_skipped += st.subtrees_skipped;
+    result.pieces_pruned += st.pieces_pruned;
+    result.per_server.emplace_back(st.my_pieces, st.bytes_read,
+                                   st.bytes_written);
+  }
+  return result;
+}
+
+TEST(EndToEnd, PrunedExpansionMatchesFullExpansionRandomized) {
+  // Property: for random strided/indexed file patterns, servers with
+  // subtree pruning on must produce byte-identical payloads and identical
+  // per-server piece/byte counts as full expansion — only the number of
+  // regions walked may shrink.
+  Rng rng(29);
+  for (int trial = 0; trial < 8; ++trial) {
+    dl::DataloopPtr filetype;
+    if (rng.next_below(2) == 0) {
+      const std::int64_t bl = rng.next_range(1, 200);
+      filetype = dl::make_vector(rng.next_range(4, 40), bl,
+                                 bl + rng.next_range(1, 700),
+                                 dl::make_leaf(1));
+    } else {
+      const std::int64_t nblocks = rng.next_range(3, 12);
+      std::vector<std::int64_t> lens;
+      std::vector<std::int64_t> offs;
+      std::int64_t at = 0;
+      for (std::int64_t b = 0; b < nblocks; ++b) {
+        const std::int64_t bl = rng.next_range(1, 64);
+        lens.push_back(bl);
+        offs.push_back(at);
+        at += bl * 4 + rng.next_range(1, 900);
+      }
+      filetype = dl::make_indexed(lens, offs, dl::make_leaf(4));
+    }
+    const std::int64_t count = rng.next_range(1, 3);
+    const std::int64_t displacement = rng.next_range(0, 2000);
+    const auto stream = pattern_bytes(
+        static_cast<std::size_t>(filetype->size * count), 100 + trial);
+
+    const auto pruned =
+        run_datatype_roundtrip(filetype, displacement, count, stream, true);
+    const auto full =
+        run_datatype_roundtrip(filetype, displacement, count, stream, false);
+
+    EXPECT_EQ(pruned.back, stream) << "trial " << trial;
+    EXPECT_EQ(full.back, stream) << "trial " << trial;
+    EXPECT_EQ(pruned.per_server, full.per_server) << "trial " << trial;
+    EXPECT_LE(pruned.regions_walked, full.regions_walked) << "trial " << trial;
+    EXPECT_EQ(full.subtrees_skipped, 0u);
+    EXPECT_EQ(full.pieces_pruned, 0u);
+  }
+}
+
+TEST(EndToEnd, PrunedExpansionSkipsOtherServersSubtrees) {
+  // Deterministic shape: 64 strip-sized rows, each landing wholly in one
+  // strip, with stride 5 strips — row k lands on server k mod 4, so each
+  // server owns exactly 16 rows and must probe (not walk) the other 48
+  // per request.
+  auto filetype = dl::make_vector(64, 1024, 5 * 1024, dl::make_leaf(1));
+  const auto stream = pattern_bytes(static_cast<std::size_t>(filetype->size), 5);
+  const auto pruned = run_datatype_roundtrip(filetype, 0, 1, stream, true);
+  const auto full = run_datatype_roundtrip(filetype, 0, 1, stream, false);
+  EXPECT_EQ(pruned.back, stream);
+  EXPECT_GT(pruned.subtrees_skipped, 0u);
+  EXPECT_GT(pruned.pieces_pruned, 0u);
+  // Full expansion walks all 64 pieces on each of the 4 servers (touched
+  // by both the write and the read); pruning cuts the aggregate walk at
+  // least 2x even counting the unprunable own pieces.
+  EXPECT_GE(full.regions_walked, 2 * pruned.regions_walked);
+}
+
+TEST(EndToEnd, DataloopCacheEvictsLeastRecentlyUsed) {
+  net::ClusterConfig cfg = small_config(1, 1);
+  cfg.server.dataloop_cache = true;
+  cfg.server.dataloop_cache_entries = 2;
+  Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+  // Request pattern A B A C A with room for 2 entries. True LRU keeps A
+  // hot (B is the eviction victim when C arrives): 3 decodes, 2 hits.
+  // FIFO would evict A on C's arrival and re-decode it: 4 decodes, 1 hit.
+  auto type_a = dl::make_vector(4, 8, 32, dl::make_leaf(1));
+  auto type_b = dl::make_vector(2, 16, 64, dl::make_leaf(1));
+  auto type_c = dl::make_vector(8, 4, 16, dl::make_leaf(1));
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, dl::DataloopPtr a, dl::DataloopPtr b, dl::DataloopPtr cc,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/lru");
+        EXPECT_TRUE(f.status.is_ok());
+        std::vector<std::uint8_t> buf(64, 0);
+        for (const dl::DataloopPtr& type : {a, b, a, cc, a}) {
+          EXPECT_TRUE((co_await c.read_datatype(f.handle, type, 0, 1, 0,
+                                                type->size, buf.data()))
+                          .is_ok());
+        }
+        done = true;
+      }(*client, type_a, type_b, type_c, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.server(0).stats().dataloops_decoded, 3u);
+  EXPECT_EQ(cluster.server(0).stats().dataloop_cache_hits, 2u);
 }
 
 }  // namespace

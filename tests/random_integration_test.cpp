@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -203,6 +204,93 @@ TEST_P(RandomIntegration, AllMethodsAgreeWithOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, RandomIntegration, ::testing::Range(0, 25));
+
+// ---- Pruned-expansion equivalence -----------------------------------------
+//
+// Stripe-aware pruned expansion is a server-side work optimisation: with
+// the flag on, servers skip dataloop subtrees that miss their strips; with
+// it off they walk everything and discard. The two must be externally
+// indistinguishable — same payload bytes, same per-server piece and byte
+// counts — for arbitrary (memtype, filetype, displacement, window)
+// combinations.
+
+struct PrunedRun {
+  std::vector<std::uint8_t> back;
+  std::uint64_t regions_walked = 0;
+  std::uint64_t subtrees_skipped = 0;
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>
+      per_server;  ///< (my_pieces, bytes_read, bytes_written)
+};
+
+PrunedRun run_datatype_io(const Scenario& sc,
+                          const std::vector<std::uint8_t>& mem_image,
+                          bool pruned_expansion) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.num_clients = 1;
+  cfg.strip_size = 256;
+  cfg.server.pruned_expansion = pruned_expansion;
+  pfs::Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+  io::Context ctx{cluster.scheduler(), *client, cluster.config()};
+  mpiio::File file(ctx);
+
+  PrunedRun run;
+  run.back.assign(mem_image.size(), 0);
+  bool ok = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, const Scenario& s,
+         const std::vector<std::uint8_t>& image,
+         std::vector<std::uint8_t>& out, bool& done) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/pruned", true)).is_ok());
+        f.set_view(s.displacement, types::byte_t(), s.filetype);
+        Status w = co_await f.write_at(s.offset_etypes, image.data(),
+                                       s.mem_count, s.memtype,
+                                       Method::kDatatype);
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        Status r = co_await f.read_at(s.offset_etypes, out.data(), s.mem_count,
+                                      s.memtype, Method::kDatatype);
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        done = w.is_ok() && r.is_ok();
+      }(file, sc, mem_image, run.back, ok));
+  cluster.run();
+  EXPECT_TRUE(ok);
+  for (int s = 0; s < cfg.num_servers; ++s) {
+    const pfs::ServerStats& st = cluster.server(s).stats();
+    run.regions_walked += st.regions_walked;
+    run.subtrees_skipped += st.subtrees_skipped;
+    run.per_server.emplace_back(st.my_pieces, st.bytes_read, st.bytes_written);
+  }
+  return run;
+}
+
+class PrunedEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrunedEquivalence, DatatypeIOIsUnchangedByPruning) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 69621 + 7);
+  const Scenario sc = random_scenario(rng);
+  const std::int64_t mem_span = sc.memtype.extent() * sc.mem_count + 64;
+  std::vector<std::uint8_t> mem_image(static_cast<std::size_t>(mem_span));
+  for (auto& b : mem_image) b = static_cast<std::uint8_t>(rng.next());
+
+  const PrunedRun pruned = run_datatype_io(sc, mem_image, true);
+  const PrunedRun full = run_datatype_io(sc, mem_image, false);
+
+  EXPECT_EQ(pruned.back, full.back);
+  // Every memory byte the access touches must round-trip.
+  for (const Region& r : sc.memtype.flatten(0, sc.mem_count)) {
+    for (std::int64_t i = r.offset; i < r.end(); ++i) {
+      ASSERT_EQ(pruned.back[static_cast<std::size_t>(i)],
+                mem_image[static_cast<std::size_t>(i)])
+          << "mem byte " << i;
+    }
+  }
+  EXPECT_EQ(pruned.per_server, full.per_server);
+  EXPECT_LE(pruned.regions_walked, full.regions_walked);
+  EXPECT_EQ(full.subtrees_skipped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, PrunedEquivalence, ::testing::Range(0, 15));
 
 }  // namespace
 }  // namespace dtio
