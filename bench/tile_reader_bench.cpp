@@ -7,15 +7,19 @@
 // Configuration mirrors §4.1/§4.2: 16 I/O servers, 64 KiB strips, 6
 // clients (one process per node), 4 MiB sieve/collective buffers.
 //
-// Flags: --frames=N (default 100), --clients-per... (fixed 6 by geometry)
+// Flags: --frames=N (default 100), --clients-per... (fixed 6 by geometry),
+// --chaos (fault-injection ablation; off by default so the report JSON is
+// byte-identical to a chaos-free build).
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "collective/comm.h"
+#include "common/rng.h"
 #include "io/methods.h"
 #include "mpiio/file.h"
+#include "net/fault.h"
 #include "pfs/cluster.h"
 #include "workloads/tile.h"
 
@@ -132,6 +136,98 @@ MethodResult run_tile(Method method, const workloads::TileConfig& tile,
   return result;
 }
 
+/// One chaos-ablation run (--chaos): independent datatype-I/O tile reads
+/// under the reliability layer. Independent (not collective) reads keep a
+/// client that exhausts its retries from wedging everyone else's barrier,
+/// so the retries-off arm can count failures instead of deadlocking.
+struct ChaosRun {
+  double seconds = 0;
+  int failures = 0;
+  std::uint64_t client_retries = 0;
+  std::uint64_t client_timeouts = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t crc_rejects = 0;
+  std::uint64_t crashes = 0;
+  net::FaultCounters faults;
+};
+
+ChaosRun run_tile_chaos(const workloads::TileConfig& tile, int frames,
+                        bool with_faults, int max_attempts) {
+  net::ClusterConfig cfg;  // paper defaults: 16 servers, 64 KiB strips
+  cfg.num_clients = tile.num_clients();
+  // Reliability layer armed in every arm (including fault-free, so the
+  // slowdown ratio isolates the faults, not the retry machinery).
+  cfg.client.rpc_timeout = 200 * kMillisecond;
+  cfg.client.rpc_max_attempts = max_attempts;
+  cfg.client.rpc_backoff_base = 10 * kMillisecond;
+
+  pfs::Cluster cluster(cfg);
+  // Fixed plan: 5% drop + 2% duplicate + 1% corrupt on client<->server
+  // links, plus one mid-run crash of server 3 (caches come back cold).
+  net::FaultPlan plan(mix_seed(cluster.config().seed, 0xC4A05));
+  if (with_faults) {
+    net::FaultSpec spec;
+    spec.drop = 0.05;
+    spec.duplicate = 0.02;
+    spec.corrupt = 0.01;
+    plan.set_default_spec(spec);
+    plan.set_scope_max_node(cluster.config().num_servers);
+    cluster.set_fault_plan(&plan);
+  }
+
+  std::vector<std::unique_ptr<pfs::Client>> clients;
+  std::vector<std::unique_ptr<io::Context>> contexts;
+  std::vector<std::unique_ptr<mpiio::File>> files;
+  for (int r = 0; r < cfg.num_clients; ++r) {
+    clients.push_back(cluster.make_client(r));
+    clients.back()->set_transfer_data(false);  // timing-only at this scale
+    contexts.push_back(std::make_unique<io::Context>(
+        io::Context{cluster.scheduler(), *clients.back(), cluster.config()}));
+    files.push_back(std::make_unique<mpiio::File>(*contexts.back()));
+  }
+  cluster.scheduler().spawn([](mpiio::File& f) -> Task<void> {
+    (void)co_await f.open("/frames", true);
+  }(*files[0]));
+  cluster.run();
+
+  const SimTime t0 = cluster.scheduler().now();
+  if (with_faults) {
+    cluster.schedule_server_crash(3, t0 + 2 * kMillisecond,
+                                  40 * kMillisecond);
+  }
+  ChaosRun out;
+  for (int r = 0; r < cfg.num_clients; ++r) {
+    cluster.scheduler().spawn(
+        [](mpiio::File& f, const workloads::TileConfig& t, int rank,
+           int nframes, int& fail) -> Task<void> {
+          if (rank != 0) (void)co_await f.open("/frames", false);
+          f.set_view(0, types::byte_t(), t.tile_filetype(rank));
+          auto memtype = t.memtype();
+          for (int frame = 0; frame < nframes; ++frame) {
+            Status s = co_await f.read_at(
+                static_cast<std::int64_t>(frame) * t.tile_bytes(), nullptr, 1,
+                memtype, Method::kDatatype);
+            if (!s.is_ok()) ++fail;
+          }
+        }(*files[r], tile, r, frames, out.failures));
+  }
+  cluster.run();
+
+  out.seconds = to_seconds(cluster.scheduler().now() - t0);
+  for (const auto& c : clients) {
+    out.client_retries += c->rpc_retries();
+    out.client_timeouts += c->rpc_timeouts();
+  }
+  for (int s = 0; s < cfg.num_servers; ++s) {
+    const pfs::ServerStats& st = cluster.server(s).stats();
+    out.replays += st.replays_suppressed;
+    out.crc_rejects += st.crc_rejects;
+    out.crashes += st.crashes;
+  }
+  out.faults = plan.counters();
+  return out;
+}
+
 int tile_main(int argc, char** argv) {
   const workloads::TileConfig tile;
   const int frames =
@@ -224,6 +320,51 @@ int tile_main(int argc, char** argv) {
       static_cast<double>(pruned_on.pieces_pruned);
   report.scalars["pruned_on_sim_seconds"] = on_result.seconds;
   report.scalars["pruned_off_sim_seconds"] = off_result.seconds;
+
+  // Fault-injection ablation (--chaos): datatype reads under 5% drop + 2%
+  // duplicate + 1% corrupt + one server crash, with retries on vs off.
+  // Gated so the default report stays byte-identical.
+  if (bench::flag_set(argc, argv, "--chaos")) {
+    const int reads_total = frames * tile.num_clients();
+    const ChaosRun clean = run_tile_chaos(tile, frames, false, 6);
+    const ChaosRun faulty = run_tile_chaos(tile, frames, true, 6);
+    const ChaosRun noretry = run_tile_chaos(tile, frames, true, 1);
+    const double slowdown =
+        clean.seconds == 0 ? 0.0 : faulty.seconds / clean.seconds;
+    std::printf("\nchaos ablation: datatype reads, %d frames x %d clients, "
+                "5%% drop + 2%% dup + 1%% corrupt + server 3 crash\n",
+                frames, tile.num_clients());
+    std::printf("  fault-free : sim=%.3fs\n", clean.seconds);
+    std::printf("  retries on : sim=%.3fs (%.2fx) failures=%d/%d "
+                "retries=%llu timeouts=%llu replays=%llu crc_rejects=%llu "
+                "crashes=%llu faults=%llu\n",
+                faulty.seconds, slowdown, faulty.failures, reads_total,
+                static_cast<unsigned long long>(faulty.client_retries),
+                static_cast<unsigned long long>(faulty.client_timeouts),
+                static_cast<unsigned long long>(faulty.replays),
+                static_cast<unsigned long long>(faulty.crc_rejects),
+                static_cast<unsigned long long>(faulty.crashes),
+                static_cast<unsigned long long>(faulty.faults.total()));
+    std::printf("  retries off: sim=%.3fs failures=%d/%d (every fault that "
+                "hits a request is terminal)\n",
+                noretry.seconds, noretry.failures, reads_total);
+    report.scalars["chaos_clean_sim_seconds"] = clean.seconds;
+    report.scalars["chaos_sim_seconds"] = faulty.seconds;
+    report.scalars["chaos_slowdown"] = slowdown;
+    report.scalars["chaos_failures"] = faulty.failures;
+    report.scalars["chaos_retries"] =
+        static_cast<double>(faulty.client_retries);
+    report.scalars["chaos_timeouts"] =
+        static_cast<double>(faulty.client_timeouts);
+    report.scalars["chaos_replays"] = static_cast<double>(faulty.replays);
+    report.scalars["chaos_crc_rejects"] =
+        static_cast<double>(faulty.crc_rejects);
+    report.scalars["chaos_crashes"] = static_cast<double>(faulty.crashes);
+    report.scalars["chaos_faults_injected"] =
+        static_cast<double>(faulty.faults.total());
+    report.scalars["chaos_noretry_failures"] = noretry.failures;
+  }
+
   bench::write_report(report, argc, argv, "BENCH_tile_reader.json");
   return 0;
 }

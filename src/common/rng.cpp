@@ -1,0 +1,16 @@
+#include "common/rng.h"
+
+#include <cstdlib>
+
+namespace dtio {
+
+std::uint64_t run_seed(std::uint64_t fallback) noexcept {
+  const char* env = std::getenv("DTIO_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace dtio

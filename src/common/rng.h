@@ -58,4 +58,21 @@ class Rng {
   std::uint64_t state_[4]{};
 };
 
+/// Derive a per-component seed from the single run seed: splitmix-style
+/// finalizer so (seed, salt) pairs give unrelated streams. Use this instead
+/// of `seed + salt` so nearby salts (e.g. consecutive ranks) decorrelate.
+constexpr std::uint64_t mix_seed(std::uint64_t seed,
+                                 std::uint64_t salt) noexcept {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// The single run seed: `DTIO_SEED` from the environment if set and
+/// parseable, otherwise `fallback`. Chaos runs and randomized tests derive
+/// all their streams from this one number (via mix_seed) so a whole run
+/// reproduces from one knob.
+std::uint64_t run_seed(std::uint64_t fallback = 1) noexcept;
+
 }  // namespace dtio

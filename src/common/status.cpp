@@ -20,6 +20,12 @@ std::string_view status_code_name(StatusCode code) noexcept {
       return "INTERNAL";
     case StatusCode::kPermissionDenied:
       return "PERMISSION_DENIED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kTimedOut:
+      return "TIMED_OUT";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

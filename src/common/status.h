@@ -23,7 +23,14 @@ enum class StatusCode {
   kUnsupported,   // e.g. data-sieving writes on a lock-free file system
   kInternal,
   kPermissionDenied,
+  kUnavailable,  // server unreachable after retry exhaustion
+  kTimedOut,     // single request deadline expired (no retries attempted)
+  kDataLoss,     // payload failed integrity verification (CRC mismatch)
 };
+
+/// Number of StatusCode enumerators; keep in sync with the enum so the
+/// name-coverage test can sweep every value.
+inline constexpr int kNumStatusCodes = 11;
 
 /// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
 std::string_view status_code_name(StatusCode code) noexcept;
@@ -72,6 +79,15 @@ inline Status unsupported(std::string msg) {
 }
 inline Status internal_error(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status timed_out_error(std::string msg) {
+  return {StatusCode::kTimedOut, std::move(msg)};
+}
+inline Status data_loss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
 }
 
 /// Value-or-Status. Use `value()` only after checking `is_ok()`.

@@ -33,9 +33,8 @@ sim::Task<Status> File::open_impl(Box<std::string> path, bool create) {
     result = co_await ctx_.client.open(name);
   }
   if (!result.status.is_ok() && create &&
-      result.status.code() == StatusCode::kNotFound) {
-    // create() reports kNotFound-style errors as ALREADY_EXISTS text; fall
-    // back to plain open for create-or-open semantics.
+      result.status.code() == StatusCode::kAlreadyExists) {
+    // Create-or-open semantics: the file is already there, open it.
     result = co_await ctx_.client.open(name);
   }
   if (!result.status.is_ok()) co_return result.status;

@@ -98,6 +98,11 @@ struct ServerConfig {
   /// CPU cost per pruned subtree: one span/stripe intersection probe
   /// (a handful of integer ops) charged for each subtree skipped.
   dtio::SimTime subtree_probe_cost = 50;  // ns
+
+  /// Idempotent-replay window: how many recent write/create acks the
+  /// server remembers per (client, sequence) key. A retried request whose
+  /// ack is still in the window is re-acknowledged without re-applying.
+  std::size_t replay_window_entries = 1024;
 };
 
 struct ClientConfig {
@@ -124,6 +129,25 @@ struct ClientConfig {
 
   /// Fixed CPU cost to issue one file-system operation.
   dtio::SimTime issue_overhead = 100 * dtio::kMicrosecond;
+
+  /// Per-request reply deadline in simulated time. 0 (the default)
+  /// disables the reliability layer entirely: requests wait forever,
+  /// exactly the pre-fault-injection behaviour (and the behaviour PVFS
+  /// offers — a lost reply hangs the client). Set nonzero to arm
+  /// timeout + retry; it must comfortably exceed the worst-case service
+  /// time or false timeouts will inflate traffic (retries stay correct
+  /// either way, via fresh reply tags and the server replay window).
+  dtio::SimTime rpc_timeout = 0;
+
+  /// Total attempts per request (1 = no retries) when rpc_timeout > 0.
+  int rpc_max_attempts = 5;
+
+  /// Backoff before attempt n+1: base * multiplier^(n-1), plus a
+  /// deterministic jitter drawn from the client's seeded RNG, uniform in
+  /// [0, jitter * backoff).
+  dtio::SimTime rpc_backoff_base = 2 * dtio::kMillisecond;
+  double rpc_backoff_multiplier = 2.0;
+  double rpc_backoff_jitter = 0.25;
 };
 
 /// How two-phase aggregators write back rounds whose merged contributions
@@ -141,6 +165,13 @@ struct ClusterConfig {
   int num_servers = 16;       ///< I/O servers (one doubles as metadata server)
   int num_clients = 8;
   std::uint64_t strip_size = 64 * dtio::kKiB;  ///< PVFS striping unit
+
+  /// The single run seed. Every seeded component (client RPC jitter,
+  /// fault plans, randomized workloads) derives its stream from this via
+  /// mix_seed(seed, salt). Overridden by the DTIO_SEED environment
+  /// variable when the Cluster is constructed, and logged at startup, so
+  /// one number reproduces a whole chaos run.
+  std::uint64_t seed = 1;
 
   NetConfig net;
   ServerConfig server;

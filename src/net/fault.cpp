@@ -1,0 +1,114 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "obs/observability.h"
+
+namespace dtio::net {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kOutage:
+      return "outage";
+  }
+  return "unknown";
+}
+
+void FaultPlan::set_observability(obs::Observability* obs) {
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    obs_kind_[k] =
+        obs == nullptr
+            ? nullptr
+            : &obs->metrics.counter(
+                  "faults_injected_total",
+                  obs::label("kind",
+                             fault_kind_name(static_cast<FaultKind>(k))));
+  }
+}
+
+void FaultPlan::record(FaultKind kind, int src, int dst, SimTime now,
+                       std::uint64_t tag) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      ++counters_.dropped;
+      break;
+    case FaultKind::kDuplicate:
+      ++counters_.duplicated;
+      break;
+    case FaultKind::kCorrupt:
+      ++counters_.corrupted;
+      break;
+    case FaultKind::kDelay:
+      ++counters_.delayed;
+      break;
+    case FaultKind::kOutage:
+      ++counters_.outage_dropped;
+      break;
+  }
+  if (obs_kind_[static_cast<int>(kind)] != nullptr) {
+    obs_kind_[static_cast<int>(kind)]->add(1);
+  }
+  if (log_events_) events_.push_back(FaultEvent{now, kind, src, dst, tag});
+}
+
+FaultPlan::Decision FaultPlan::apply(int src, int dst, SimTime now,
+                                     sim::Message& msg) {
+  Decision decision;
+  if (src >= scope_max_node_ && dst >= scope_max_node_) return decision;
+
+  // Effective spec: max-combine the default with every matching window.
+  // Outage windows short-circuit without consuming an RNG draw, so a
+  // scheduled crash does not perturb the probabilistic fault stream.
+  FaultSpec spec = default_;
+  for (const Window& w : windows_) {
+    if (w.node != src && w.node != dst) continue;
+    if (now < w.from || now >= w.until) continue;
+    if (w.outage) {
+      decision.deliver = false;
+      record(FaultKind::kOutage, src, dst, now, msg.tag);
+      return decision;
+    }
+    spec.drop = std::max(spec.drop, w.spec.drop);
+    spec.duplicate = std::max(spec.duplicate, w.spec.duplicate);
+    spec.corrupt = std::max(spec.corrupt, w.spec.corrupt);
+    if (w.spec.delay > spec.delay) {
+      spec.delay = w.spec.delay;
+      spec.delay_min = w.spec.delay_min;
+      spec.delay_max = w.spec.delay_max;
+    }
+  }
+  if (!spec.active()) return decision;
+
+  if (spec.drop > 0 && rng_.next_double() < spec.drop) {
+    decision.deliver = false;
+    record(FaultKind::kDrop, src, dst, now, msg.tag);
+    return decision;
+  }
+  if (spec.duplicate > 0 && rng_.next_double() < spec.duplicate) {
+    decision.duplicate_copy = msg;  // copied before any corruption below
+    record(FaultKind::kDuplicate, src, dst, now, msg.tag);
+  }
+  if (corruptor_ && spec.corrupt > 0 && rng_.next_double() < spec.corrupt &&
+      corruptor_(msg, rng_)) {
+    record(FaultKind::kCorrupt, src, dst, now, msg.tag);
+  }
+  if (spec.delay > 0 && rng_.next_double() < spec.delay) {
+    const SimTime span = std::max<SimTime>(spec.delay_max - spec.delay_min, 0);
+    decision.extra_delay =
+        spec.delay_min +
+        static_cast<SimTime>(rng_.next_below(
+            static_cast<std::uint64_t>(span) + 1));
+    record(FaultKind::kDelay, src, dst, now, msg.tag);
+  }
+  return decision;
+}
+
+}  // namespace dtio::net

@@ -1,0 +1,171 @@
+// Deterministic fault injection for the simulated interconnect.
+//
+// A FaultPlan sits on Network::send and decides, per message, whether to
+// drop, duplicate, corrupt, or delay it. Decisions are driven by a single
+// seeded Rng plus declarative scheduled windows ("server 3 unreachable
+// from t=50ms to t=120ms"), so a chaos run replays bit-for-bit from one
+// seed. The plan is payload-agnostic: bit-flips are delegated to a
+// corruptor callback installed by the protocol layer, which keeps net/
+// free of pfs/ dependencies and lets the corruptor copy-on-write shared
+// buffers (retries must resend clean data).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/mailbox.h"
+
+namespace dtio::obs {
+class Counter;
+struct Observability;
+}  // namespace dtio::obs
+
+namespace dtio::net {
+
+enum class FaultKind : std::uint8_t {
+  kDrop = 0,   ///< message vanishes after transmission (lost on the wire)
+  kDuplicate,  ///< a second full copy of the message is transmitted
+  kCorrupt,    ///< payload bit-flip (via the installed corruptor)
+  kDelay,      ///< extra delivery latency; doubles as reordering
+  kOutage,     ///< dropped by a scheduled unreachability window
+};
+inline constexpr int kNumFaultKinds = 5;
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// Per-link fault probabilities. All default to zero (clean link).
+struct FaultSpec {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double corrupt = 0.0;
+  double delay = 0.0;
+  /// Extra latency range for kDelay, uniform in [delay_min, delay_max].
+  SimTime delay_min = 500 * kMicrosecond;
+  SimTime delay_max = 5 * kMillisecond;
+
+  [[nodiscard]] bool active() const noexcept {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || delay > 0;
+  }
+};
+
+/// One recorded injection, for determinism assertions and debugging.
+struct FaultEvent {
+  SimTime time = 0;
+  FaultKind kind = FaultKind::kDrop;
+  int src = 0;
+  int dst = 0;
+  std::uint64_t tag = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Injection totals by kind (always maintained, even without obs attached).
+struct FaultCounters {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t outage_dropped = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return dropped + duplicated + corrupted + delayed + outage_dropped;
+  }
+  friend bool operator==(const FaultCounters&, const FaultCounters&) = default;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Baseline probabilities applied to every in-scope message.
+  void set_default_spec(const FaultSpec& spec) { default_ = spec; }
+
+  /// Additional probabilities while `now` is in [from, until) on any link
+  /// touching `node` (as source or destination). Probabilities combine
+  /// with the default by taking the maximum per kind.
+  void add_window(int node, SimTime from, SimTime until,
+                  const FaultSpec& spec) {
+    windows_.push_back(Window{node, from, until, spec, /*outage=*/false});
+  }
+
+  /// `node` is unreachable during [from, until): every message to or from
+  /// it is dropped, deterministically (no RNG draw consumed).
+  void add_outage(int node, SimTime from, SimTime until) {
+    windows_.push_back(Window{node, from, until, FaultSpec{}, /*outage=*/true});
+  }
+
+  /// Restrict injection to links with at least one endpoint below
+  /// `max_node`. Lets chaos runs fault only client<->server links (nodes
+  /// [0, num_servers)) while collective client<->client exchanges, which
+  /// have no retry layer, stay clean.
+  void set_scope_max_node(int max_node) noexcept { scope_max_node_ = max_node; }
+
+  /// Payload mutator installed by the protocol layer: flip bits in `msg`'s
+  /// body using `rng`, returning false when the message carries nothing
+  /// corruptible (the corruption then does not count as injected).
+  using Corruptor = std::function<bool(sim::Message&, Rng&)>;
+  void set_corruptor(Corruptor corruptor) { corruptor_ = std::move(corruptor); }
+
+  /// Record every injection in events() (off by default; chaos tests use
+  /// it to assert identical sequences across same-seed runs).
+  void set_log_events(bool on) noexcept { log_events_ = on; }
+
+  /// Attach the observability context (nullptr detaches): resolves one
+  /// faults_injected_total{kind=...} counter per kind.
+  void set_observability(obs::Observability* obs);
+
+  /// The verdict for one message. `deliver == false` means the message is
+  /// transmitted but never delivered; `duplicate_copy`, when present, is a
+  /// second copy for the network to transmit (taken before any corruption,
+  /// so a duplicated-then-corrupted message still gets one clean copy
+  /// through — the case that exercises rejection + idempotent replay);
+  /// `extra_delay` is added before delivery.
+  struct Decision {
+    bool deliver = true;
+    SimTime extra_delay = 0;
+    std::optional<sim::Message> duplicate_copy;
+  };
+
+  /// Decide the fate of `msg` (may corrupt it in place via the corruptor).
+  /// Called by Network::send for every non-loopback message when a plan is
+  /// attached.
+  Decision apply(int src, int dst, SimTime now, sim::Message& msg);
+
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  struct Window {
+    int node;
+    SimTime from;
+    SimTime until;
+    FaultSpec spec;
+    bool outage;
+  };
+
+  void record(FaultKind kind, int src, int dst, SimTime now,
+              std::uint64_t tag);
+
+  Rng rng_;
+  FaultSpec default_;
+  std::vector<Window> windows_;
+  int scope_max_node_ = std::numeric_limits<int>::max();
+  Corruptor corruptor_;
+  bool log_events_ = false;
+  std::vector<FaultEvent> events_;
+  FaultCounters counters_;
+  obs::Counter* obs_kind_[kNumFaultKinds] = {};
+};
+
+}  // namespace dtio::net

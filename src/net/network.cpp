@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/box.h"
+#include "net/fault.h"
 #include "obs/observability.h"
 
 namespace dtio::net {
@@ -37,10 +38,27 @@ void Network::set_observability(obs::Observability* obs) {
 // this compiler — see common/box.h).
 sim::Task<void> Network::send(int src, int dst, sim::Message msg) {
   msg.src = src;
-  return send_impl(src, dst, Box<sim::Message>(std::move(msg)));
+  SimTime extra_delay = 0;
+  bool deliver = true;
+  if (fault_ != nullptr && src != dst) {
+    FaultPlan::Decision d = fault_->apply(src, dst, sched_->now(), msg);
+    extra_delay = d.extra_delay;
+    deliver = d.deliver;
+    if (d.duplicate_copy.has_value()) {
+      sched_->start(duplicate_send(
+          src, dst, Box<sim::Message>(std::move(*d.duplicate_copy))));
+    }
+  }
+  return send_impl(src, dst, Box<sim::Message>(std::move(msg)), extra_delay,
+                   deliver);
 }
 
-sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed) {
+sim::Fire Network::duplicate_send(int src, int dst, Box<sim::Message> boxed) {
+  co_await send_impl(src, dst, std::move(boxed), 0, true);
+}
+
+sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed,
+                                   SimTime extra_delay, bool deliver) {
   sim::Message msg = boxed.take();
   const std::uint64_t bytes =
       msg.wire_bytes + config_.per_message_overhead_bytes;
@@ -61,7 +79,8 @@ sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed) {
   }
 
   if (src == dst) {
-    // Loopback: no link occupancy, only a small local latency.
+    // Loopback: no link occupancy, only a small local latency. Fault
+    // injection never targets loopback, so extra_delay/deliver are moot.
     sim::Mailbox* box = &endpoint(dst).mailbox;
     obs::Observability* obs = obs_;
     sim::Scheduler* sched = sched_;
@@ -90,14 +109,15 @@ sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed) {
     sched_->start(receive_packet(
         dst, wire_time,
         last ? Box<sim::Message>(std::move(msg)) : Box<sim::Message>{},
-        last ? net_span : 0));
+        last ? net_span : 0, last ? extra_delay : 0, deliver));
     if (last) break;
   }
 }
 
 sim::Fire Network::receive_packet(int dst, SimTime rx_hold,
                                   Box<sim::Message> boxed,
-                                  std::uint64_t net_span) {
+                                  std::uint64_t net_span, SimTime extra_delay,
+                                  bool deliver) {
   // Pipeline stages per packet: (tx already held by the sender) ->
   // shared fabric -> wire latency -> receiver rx. Stages overlap across
   // packets, so sustained flows see min(stage bandwidths).
@@ -113,6 +133,18 @@ sim::Fire Network::receive_packet(int dst, SimTime rx_hold,
   co_await receiver.rx.use(rx_hold);
   if (boxed.has_value()) {
     sim::Message msg = boxed.take();
+    if (!deliver) {
+      // Fault-injected loss: the bytes crossed the wire but the message
+      // never reaches the mailbox. Close the span here so traces show
+      // where the loss happened.
+      if (tracer_ != nullptr) {
+        tracer_->record({sched_->now(), "lost", dst, msg.src, msg.tag,
+                         msg.wire_bytes, ""});
+      }
+      if (obs_ != nullptr) obs_->spans.end(net_span, sched_->now());
+      co_return;
+    }
+    if (extra_delay > 0) co_await sched_->delay(extra_delay);
     if (tracer_ != nullptr) {
       tracer_->record({sched_->now(), "deliver", dst, msg.src, msg.tag,
                        msg.wire_bytes, ""});

@@ -26,6 +26,8 @@ struct Observability;
 
 namespace dtio::net {
 
+class FaultPlan;
+
 class Network {
  public:
   Network(sim::Scheduler& sched, int num_nodes, NetConfig config);
@@ -41,6 +43,11 @@ class Network {
 
   /// Attach an event tracer (nullptr detaches). Not owned.
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Attach a fault-injection plan (nullptr detaches). Not owned. When
+  /// detached — the default — the send path pays exactly one pointer test.
+  void set_fault_plan(FaultPlan* plan) noexcept { fault_ = plan; }
+  [[nodiscard]] FaultPlan* fault_plan() const noexcept { return fault_; }
 
   /// Attach the observability context (nullptr detaches). Not owned.
   /// Resolves the message/byte counters once so the send path never pays a
@@ -82,19 +89,29 @@ class Network {
     return *endpoints_.at(static_cast<std::size_t>(node));
   }
 
-  sim::Task<void> send_impl(int src, int dst, Box<sim::Message> boxed);
+  /// `extra_delay` postpones delivery of the final packet (fault
+  /// injection: delay/reorder); `deliver == false` transmits the message
+  /// normally but discards it at the receiver (drop/outage — the sender
+  /// still pays for the bytes, as with a real lost datagram).
+  sim::Task<void> send_impl(int src, int dst, Box<sim::Message> boxed,
+                            SimTime extra_delay, bool deliver);
+
+  /// Detached transmission of a fault-injected duplicate copy.
+  sim::Fire duplicate_send(int src, int dst, Box<sim::Message> boxed);
 
   /// Per-packet receive side: latency, rx-link occupancy, then (for the
   /// final packet of a message, which carries the boxed payload) delivery.
   /// `net_span` is the in-flight transmission span, closed at delivery.
   sim::Fire receive_packet(int dst, SimTime rx_hold, Box<sim::Message> boxed,
-                           std::uint64_t net_span);
+                           std::uint64_t net_span, SimTime extra_delay,
+                           bool deliver);
 
   sim::Scheduler* sched_;
   NetConfig config_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::unique_ptr<sim::Resource> fabric_;  ///< shared bisection stage (optional)
   sim::Tracer* tracer_ = nullptr;
+  FaultPlan* fault_ = nullptr;
   obs::Observability* obs_ = nullptr;
   obs::Counter* obs_messages_ = nullptr;   ///< net_messages_total
   obs::Counter* obs_wire_bytes_ = nullptr; ///< net_wire_bytes_total

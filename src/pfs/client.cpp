@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "dataloop/cursor.h"
 #include "dataloop/serialize.h"
@@ -18,7 +19,8 @@ Client::Client(sim::Scheduler& sched, net::Network& network,
       rank_(rank),
       node_(config.client_node(rank)),
       layout_(config.num_servers,
-              static_cast<std::int64_t>(config.strip_size)) {}
+              static_cast<std::int64_t>(config.strip_size)),
+      rng_(mix_seed(config.seed, static_cast<std::uint64_t>(rank))) {}
 
 // ---- Observability ----------------------------------------------------------
 
@@ -33,6 +35,21 @@ void Client::set_observability(obs::Observability* obs) {
                   obs::label("op", op_name(static_cast<OpKind>(i)), "node",
                              node_));
   }
+  if (obs == nullptr) {
+    obs_retries_ = nullptr;
+    obs_timeouts_ = nullptr;
+    attempt_latency_ = nullptr;
+    retry_backoff_ = nullptr;
+    return;
+  }
+  obs_retries_ =
+      &obs->metrics.counter("client_retries_total", obs::label("node", node_));
+  obs_timeouts_ = &obs->metrics.counter("client_rpc_timeouts_total",
+                                        obs::label("node", node_));
+  attempt_latency_ = &obs->metrics.histogram("client_rpc_attempt_latency_ns",
+                                             obs::label("node", node_));
+  retry_backoff_ = &obs->metrics.histogram("client_retry_backoff_ns",
+                                           obs::label("node", node_));
 }
 
 Client::OpTrace Client::begin_op(OpKind op) {
@@ -107,34 +124,159 @@ sim::Task<Status> Client::unlock(std::uint64_t handle) {
 
 sim::Task<MetaResult> Client::meta_op(OpKind op, Box<std::string> path) {
   const OpTrace t = begin_op(op);
-  Request request;
-  request.op = op;
-  request.client_node = node_;
-  request.reply_tag = next_reply_tag();
-  request.payload = MetaPayload{path.take(), 0};
-  request.trace_id = t.trace;
-  request.parent_span = t.span;
-
-  const std::uint64_t descriptor = request_descriptor_bytes(
-      request, config_->list_io_bytes_per_region);
-  const std::uint64_t tag = request.reply_tag;
+  RpcSlot slot;
+  slot.server = 0;  // metadata server
+  slot.request.op = op;
+  slot.request.client_node = node_;
+  slot.request.payload = MetaPayload{path.take(), 0};
+  slot.request.trace_id = t.trace;
+  slot.request.parent_span = t.span;
+  if (op == OpKind::kMetaCreate || op == OpKind::kMetaRemove) {
+    // Namespace mutations are replay-protected: a retried create must be
+    // re-acknowledged, not answered "already exists".
+    slot.request.op_seq = ++op_seq_;
+  }
+  slot.wire_bytes = request_descriptor_bytes(slot.request,
+                                             config_->list_io_bytes_per_region);
   co_await sched_->delay(config_->client.issue_overhead);
-  sim::Message out(node_, kTagRequest, descriptor, std::move(request));
-  out.trace = t.trace;
-  out.span = t.span;
-  co_await network_->send(node_, /*metadata server*/ 0, std::move(out));
-  sim::Message msg = co_await network_->mailbox(node_).recv(0, tag);
-  Reply reply = msg.take<Reply>();
+  co_await rpc_attempts(&slot);
 
   MetaResult result;
-  result.handle = reply.handle;
-  if (!reply.ok) result.status = not_found(reply.error);
+  result.handle = slot.reply.handle;
+  result.status = slot.status;
   finish_op(op, t);
   co_return result;
 }
 
 sim::Fire Client::send_fire(int dst, Box<sim::Message> message) {
   co_await network_->send(node_, dst, message.take());
+}
+
+// ---- RPC reliability core ---------------------------------------------------
+
+sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
+  const net::ClientConfig& cc = config_->client;
+  const bool reliable = cc.rpc_timeout > 0;
+  const int max_attempts = reliable ? std::max(1, cc.rpc_max_attempts) : 1;
+  Status last = internal_error("rpc: no attempt ran");
+  bool all_timeouts = true;
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Exponential backoff with deterministic jitter before each retry.
+      SimTime backoff = cc.rpc_backoff_base;
+      for (int i = 2; i < attempt; ++i) {
+        backoff = static_cast<SimTime>(static_cast<double>(backoff) *
+                                       cc.rpc_backoff_multiplier);
+      }
+      if (cc.rpc_backoff_jitter > 0) {
+        backoff += static_cast<SimTime>(rng_.next_double() *
+                                        cc.rpc_backoff_jitter *
+                                        static_cast<double>(backoff));
+      }
+      ++rpc_retries_;
+      ++stats_.requests_sent;
+      if (obs_retries_ != nullptr) {
+        obs_retries_->add(1);
+        retry_backoff_->record(backoff);
+      }
+      DTIO_DEBUG("cli" << node_ << " rpc retry " << attempt << "/"
+                       << max_attempts << " to srv" << slot->server);
+      co_await sched_->delay(backoff);
+    }
+
+    // Fresh reply tag per attempt: a delayed duplicate reply to an earlier
+    // attempt can never satisfy this one (reusing tags across attempts is
+    // the classic stale-reply hazard).
+    Request request = slot->request;
+    request.reply_tag = next_reply_tag();
+    const std::uint64_t tag = request.reply_tag;
+    const SimTime attempt_start = sched_->now();
+    obs::SpanId attempt_span = 0;
+    if (obs_ != nullptr && reliable) {
+      attempt_span = obs_->spans.begin(
+          "rpc_attempt", node_, attempt_start,
+          slot->rpc_span != 0 ? slot->rpc_span : slot->request.parent_span,
+          request.trace_id);
+      request.parent_span = attempt_span;
+    }
+    ++slot->attempts;
+
+    sim::Message out(node_, kTagRequest, slot->wire_bytes, std::move(request));
+    out.trace = slot->request.trace_id;
+    out.span = attempt_span != 0
+                   ? attempt_span
+                   : (slot->rpc_span != 0 ? slot->rpc_span
+                                          : slot->request.parent_span);
+    co_await network_->send(node_, slot->server, std::move(out));
+
+    sim::Message msg;
+    if (!reliable) {
+      msg = co_await network_->mailbox(node_).recv(slot->server, tag);
+    } else {
+      std::optional<sim::Message> maybe =
+          co_await network_->mailbox(node_).recv_for(slot->server, tag,
+                                                     cc.rpc_timeout);
+      if (!maybe.has_value()) {
+        ++rpc_timeouts_;
+        last = timed_out_error("rpc to server " +
+                               std::to_string(slot->server) +
+                               " timed out (attempt " +
+                               std::to_string(attempt) + ")");
+        if (obs_ != nullptr) {
+          obs_timeouts_->add(1);
+          attempt_latency_->record(sched_->now() - attempt_start);
+          obs_->spans.end(attempt_span, sched_->now());
+        }
+        continue;
+      }
+      msg = std::move(*maybe);
+    }
+    Reply reply = msg.take<Reply>();
+    if (obs_ != nullptr && reliable) {
+      attempt_latency_->record(sched_->now() - attempt_start);
+      obs_->spans.end(attempt_span, sched_->now());
+    }
+    // Read-data integrity: corrupted reply payloads must not reach the
+    // caller's buffer; treat like a lost reply and retry.
+    if (reply.has_payload_crc && reply.data &&
+        crc32(*reply.data) != reply.payload_crc) {
+      all_timeouts = false;
+      last = data_loss("read reply payload CRC mismatch from server " +
+                       std::to_string(slot->server));
+      continue;
+    }
+    if (!reply.ok) {
+      all_timeouts = false;
+      const StatusCode code =
+          reply.code == StatusCode::kOk ? StatusCode::kInternal : reply.code;
+      last = Status(code, reply.error);
+      // kDataLoss marks a transient corruption rejection — retry; every
+      // other error class is definitive.
+      if (code == StatusCode::kDataLoss && reliable) continue;
+      slot->status = last;
+      slot->reply = std::move(reply);
+      co_return;
+    }
+    slot->status = Status::ok();
+    slot->reply = std::move(reply);
+    co_return;
+  }
+
+  // Retries exhausted. All-timeouts after multiple attempts means the
+  // server is effectively unreachable; a single timeout stays kTimedOut.
+  if (all_timeouts && max_attempts > 1) {
+    slot->status = unavailable("server " + std::to_string(slot->server) +
+                               " unreachable after " +
+                               std::to_string(max_attempts) + " attempts");
+  } else {
+    slot->status = last;
+  }
+}
+
+sim::Fire Client::rpc_fire(RpcSlot* slot, sim::WaitGroup* wg) {
+  co_await rpc_attempts(slot);
+  wg->done();
 }
 
 sim::Task<MetaResult> Client::stat_impl(Box<std::string> path) {
@@ -148,33 +290,56 @@ sim::Task<MetaResult> Client::stat_handle(std::uint64_t handle) {
   const OpTrace t = begin_op(OpKind::kMetaStat);
   // Query every I/O server's bstream size for this handle; the logical
   // size is the highest logical byte implied by any server-local size.
-  std::vector<std::uint64_t> tags(static_cast<std::size_t>(
-      config_->num_servers));
+  auto slots = std::make_unique<std::vector<RpcSlot>>(
+      static_cast<std::size_t>(config_->num_servers));
   for (int s = 0; s < config_->num_servers; ++s) {
-    Request request;
-    request.op = OpKind::kMetaStat;
-    request.client_node = node_;
-    request.reply_tag = tags[static_cast<std::size_t>(s)] = next_reply_tag();
-    request.payload = MetaPayload{"", handle};
-    request.trace_id = t.trace;
-    request.parent_span = t.span;
-    sim::Message out(node_, kTagRequest,
-                     request_descriptor_bytes(
-                         request, config_->list_io_bytes_per_region),
-                     std::move(request));
-    out.trace = t.trace;
-    out.span = t.span;
-    co_await network_->send(node_, s, std::move(out));
+    RpcSlot& slot = (*slots)[static_cast<std::size_t>(s)];
+    slot.server = s;
+    slot.request.op = OpKind::kMetaStat;
+    slot.request.client_node = node_;
+    slot.request.payload = MetaPayload{"", handle};
+    slot.request.trace_id = t.trace;
+    slot.request.parent_span = t.span;
+    slot.wire_bytes = request_descriptor_bytes(
+        slot.request, config_->list_io_bytes_per_region);
+  }
+  if (config_->client.rpc_timeout <= 0) {
+    // Legacy shape (reliability off): sends awaited inline in server
+    // order, then replies collected in the same order.
+    for (RpcSlot& slot : *slots) {
+      slot.request.reply_tag = next_reply_tag();
+      Request request = slot.request;
+      sim::Message out(node_, kTagRequest, slot.wire_bytes,
+                       std::move(request));
+      out.trace = t.trace;
+      out.span = t.span;
+      co_await network_->send(node_, slot.server, std::move(out));
+    }
+    for (RpcSlot& slot : *slots) {
+      sim::Message msg = co_await network_->mailbox(node_).recv(
+          slot.server, slot.request.reply_tag);
+      slot.reply = msg.take<Reply>();
+    }
+  } else {
+    // Concurrent per-server RPCs, each with its own timeout/retry driver.
+    sim::WaitGroup wg(*sched_);
+    for (RpcSlot& slot : *slots) {
+      wg.add(1);
+      sched_->start(rpc_fire(&slot, &wg));
+    }
+    co_await wg.wait();
   }
   MetaResult result;
   result.handle = handle;
   std::int64_t size = 0;
-  for (int s = 0; s < config_->num_servers; ++s) {
-    sim::Message msg = co_await network_->mailbox(node_).recv(
-        s, tags[static_cast<std::size_t>(s)]);
-    Reply reply = msg.take<Reply>();
-    if (reply.local_size > 0) {
-      size = std::max(size, layout_.logical(s, reply.local_size - 1) + 1);
+  for (RpcSlot& slot : *slots) {
+    if (!slot.status.is_ok()) {
+      result.status = slot.status;
+      continue;
+    }
+    if (slot.reply.local_size > 0) {
+      size = std::max(
+          size, layout_.logical(slot.server, slot.reply.local_size - 1) + 1);
     }
   }
   result.size = size;
@@ -313,10 +478,14 @@ DatatypePayload make_datatype_payload(const dl::DataloopPtr& filetype,
                                       std::int64_t stream_length) {
   auto encoded = std::make_shared<std::vector<std::uint8_t>>();
   dl::encode(*filetype, *encoded);
-  return DatatypePayload{std::move(encoded), filetype->node_count(),
-                         displacement,       count,
-                         stream_offset,      stream_length,
-                         nullptr};
+  DatatypePayload payload{std::move(encoded), filetype->node_count(),
+                          displacement,       count,
+                          stream_offset,      stream_length,
+                          nullptr};
+  // Descriptor integrity: the server verifies this before decoding, so a
+  // corrupted-in-flight dataloop is rejected instead of decoded.
+  payload.loop_crc = crc32(*payload.encoded_loop);
+  return payload;
 }
 
 }  // namespace
@@ -393,37 +562,37 @@ sim::Task<Status> Client::run_requests(
       transfer_time(static_cast<std::uint64_t>(total_bytes),
                     config_->client.memcpy_bandwidth_bytes_per_s));
 
-  struct Outstanding {
-    int server;
-    std::uint64_t tag;
-    obs::SpanId rpc_span;
-  };
-  std::vector<Outstanding> outstanding;
-
-  // Start at this rank's "home" server and walk the ring: staggering the
-  // per-client server order spreads first-request load and prevents every
-  // server serving clients in the same order (which would convoy client
-  // flows through the shared links).
+  // Build one RpcSlot per involved server. Start at this rank's "home"
+  // server and walk the ring: staggering the per-client server order
+  // spreads first-request load and prevents every server serving clients
+  // in the same order (which would convoy client flows through the shared
+  // links).
   const int nservers = config_->num_servers;
+  auto slots = std::make_unique<std::vector<RpcSlot>>();
+  slots->reserve(static_cast<std::size_t>(nservers));
   for (int i = 0; i < nservers; ++i) {
     const int s = (rank_ + i) % nservers;
     const ServerAccess& acc = access[static_cast<std::size_t>(s)];
     if (acc.total_bytes == 0) continue;
 
-    Request request = prototype;
-    request.client_node = node_;
-    request.reply_tag = next_reply_tag();
+    RpcSlot slot;
+    slot.server = s;
+    slot.request = prototype;
+    slot.request.client_node = node_;
+    // Each per-server request is its own replay-protected logical op:
+    // the sequence stays fixed across retry attempts.
+    if (is_write) slot.request.op_seq = ++op_seq_;
 
-    obs::SpanId rpc_span = 0;
     if (obs_ != nullptr) {
-      rpc_span = obs_->spans.begin("rpc", node_, sched_->now(), op_trace.span,
-                                   op_trace.trace);
-      obs_->spans.set_value(rpc_span, acc.total_bytes);
-      request.trace_id = op_trace.trace;
-      request.parent_span = rpc_span;
+      slot.rpc_span = obs_->spans.begin("rpc", node_, sched_->now(),
+                                        op_trace.span, op_trace.trace);
+      obs_->spans.set_value(slot.rpc_span, acc.total_bytes);
+      slot.request.trace_id = op_trace.trace;
+      slot.request.parent_span = slot.rpc_span;
     }
 
-    // Segment outgoing data for this server, in its stream order.
+    // Segment outgoing data for this server, in its stream order, and
+    // stamp its CRC so the server can reject in-flight corruption.
     if (is_write && transfer_data_ && write_stream != nullptr) {
       auto buffer = std::make_shared<std::vector<std::uint8_t>>(
           static_cast<std::size_t>(acc.total_bytes));
@@ -433,57 +602,112 @@ sim::Task<Status> Client::run_requests(
         std::memcpy(buffer->data() + at, write_stream + acc.stream_at[i], len);
         at += len;
       }
+      slot.request.payload_crc = crc32(*buffer);
+      slot.request.has_payload_crc = true;
       std::visit([&](auto& payload) {
         if constexpr (requires { payload.data; }) payload.data = buffer;
-      }, request.payload);
+      }, slot.request.payload);
     }
 
     const std::uint64_t descriptor = request_descriptor_bytes(
-        request, config_->list_io_bytes_per_region);
-    const std::uint64_t wire =
+        slot.request, config_->list_io_bytes_per_region);
+    slot.wire_bytes =
         descriptor + (is_write ? static_cast<std::uint64_t>(acc.total_bytes)
                                : 0);
     ++stats_.requests_sent;
     stats_.request_bytes += descriptor;
     stats_.accessed_bytes += static_cast<std::uint64_t>(acc.total_bytes);
-
-    outstanding.push_back({s, request.reply_tag, rpc_span});
-    // Requests to all involved servers stream CONCURRENTLY: the tx link
-    // serializes at packet granularity, so flows interleave like PVFS's
-    // parallel per-server sockets instead of convoying server by server.
-    sim::Message out(node_, kTagRequest, wire, std::move(request));
-    out.trace = op_trace.trace;
-    out.span = rpc_span;
-    sched_->start(send_fire(s, Box<sim::Message>(std::move(out))));
+    slots->push_back(std::move(slot));
   }
 
-  for (const Outstanding& o : outstanding) {
-    sim::Message msg = co_await network_->mailbox(node_).recv(o.server, o.tag);
-    Reply reply = msg.take<Reply>();
-    if (obs_ != nullptr) obs_->spans.end(o.rpc_span, sched_->now());
-    if (!reply.ok) {
-      finish_op(prototype.op, op_trace);
-      co_return internal_error(reply.error);
+  // Scatter one server's gathered bytes back into the stream buffer.
+  auto scatter = [&](const RpcSlot& slot) {
+    const ServerAccess& acc = access[static_cast<std::size_t>(slot.server)];
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < acc.pieces.size(); ++i) {
+      const auto len = static_cast<std::size_t>(acc.pieces[i].length);
+      std::memcpy(read_stream + acc.stream_at[i], slot.reply.data->data() + at,
+                  len);
+      at += len;
     }
+  };
 
-    const ServerAccess& acc = access[static_cast<std::size_t>(o.server)];
-    if (reply.bytes != acc.total_bytes) {
-      finish_op(prototype.op, op_trace);
-      co_return internal_error("server byte count mismatch");
+  if (config_->client.rpc_timeout <= 0) {
+    // Legacy fast path (reliability off): requests to all involved servers
+    // stream CONCURRENTLY via detached sends — the tx link serializes at
+    // packet granularity, so flows interleave like PVFS's parallel
+    // per-server sockets — then replies are awaited in issue order. This
+    // is event-for-event the pre-reliability client.
+    for (RpcSlot& slot : *slots) {
+      slot.request.reply_tag = next_reply_tag();
+      Request request = slot.request;
+      sim::Message out(node_, kTagRequest, slot.wire_bytes,
+                       std::move(request));
+      out.trace = op_trace.trace;
+      out.span = slot.rpc_span;
+      sched_->start(send_fire(slot.server, Box<sim::Message>(std::move(out))));
     }
-    if (!is_write && read_stream != nullptr && transfer_data_ && reply.data) {
-      // Scatter this server's gathered bytes back into the stream buffer.
-      std::size_t at = 0;
-      for (std::size_t i = 0; i < acc.pieces.size(); ++i) {
-        const auto len = static_cast<std::size_t>(acc.pieces[i].length);
-        std::memcpy(read_stream + acc.stream_at[i], reply.data->data() + at,
-                    len);
-        at += len;
+    for (RpcSlot& slot : *slots) {
+      sim::Message msg = co_await network_->mailbox(node_).recv(
+          slot.server, slot.request.reply_tag);
+      Reply reply = msg.take<Reply>();
+      if (obs_ != nullptr) obs_->spans.end(slot.rpc_span, sched_->now());
+      if (!reply.ok) {
+        finish_op(prototype.op, op_trace);
+        co_return Status(reply.code == StatusCode::kOk ? StatusCode::kInternal
+                                                       : reply.code,
+                         reply.error);
       }
+      if (reply.has_payload_crc && reply.data &&
+          crc32(*reply.data) != reply.payload_crc) {
+        finish_op(prototype.op, op_trace);
+        co_return data_loss("read reply payload CRC mismatch from server " +
+                            std::to_string(slot.server));
+      }
+      const ServerAccess& acc = access[static_cast<std::size_t>(slot.server)];
+      if (reply.bytes != acc.total_bytes) {
+        finish_op(prototype.op, op_trace);
+        co_return internal_error("server byte count mismatch");
+      }
+      slot.reply = std::move(reply);
+      if (!is_write && read_stream != nullptr && transfer_data_ &&
+          slot.reply.data) {
+        scatter(slot);
+      }
+    }
+    finish_op(prototype.op, op_trace);
+    co_return Status::ok();
+  }
+
+  // Reliable path: one concurrent RPC driver per server, each with its own
+  // timeout/retry loop (a straggler or outage on one server must not stall
+  // retries to the others); join, then validate and scatter.
+  sim::WaitGroup wg(*sched_);
+  for (RpcSlot& slot : *slots) {
+    wg.add(1);
+    sched_->start(rpc_fire(&slot, &wg));
+  }
+  co_await wg.wait();
+
+  Status result = Status::ok();
+  for (RpcSlot& slot : *slots) {
+    if (obs_ != nullptr) obs_->spans.end(slot.rpc_span, sched_->now());
+    if (!slot.status.is_ok()) {
+      if (result.is_ok()) result = slot.status;
+      continue;
+    }
+    const ServerAccess& acc = access[static_cast<std::size_t>(slot.server)];
+    if (slot.reply.bytes != acc.total_bytes) {
+      if (result.is_ok()) result = internal_error("server byte count mismatch");
+      continue;
+    }
+    if (!is_write && read_stream != nullptr && transfer_data_ &&
+        slot.reply.data) {
+      scatter(slot);
     }
   }
   finish_op(prototype.op, op_trace);
-  co_return Status::ok();
+  co_return result;
 }
 
 }  // namespace dtio::pfs

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/box.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "dataloop/dataloop.h"
@@ -30,6 +31,7 @@
 #include "pfs/protocol.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
+#include "sim/waitgroup.h"
 
 namespace dtio::pfs {
 
@@ -54,6 +56,16 @@ class Client {
   /// are carried or stored (large sweeps). Default: real data moves.
   void set_transfer_data(bool transfer) noexcept { transfer_data_ = transfer; }
   [[nodiscard]] bool transfer_data() const noexcept { return transfer_data_; }
+
+  /// Reliability-layer counters (also exported as client_retries_total /
+  /// client_rpc_timeouts_total when observability is attached). Both stay
+  /// zero with rpc_timeout == 0 or a fault-free run.
+  [[nodiscard]] std::uint64_t rpc_retries() const noexcept {
+    return rpc_retries_;
+  }
+  [[nodiscard]] std::uint64_t rpc_timeouts() const noexcept {
+    return rpc_timeouts_;
+  }
 
   /// Attach the observability context (nullptr detaches). Not owned.
   /// Per-op latency histograms are resolved here, once, so the op path
@@ -136,6 +148,28 @@ class Client {
   sim::Task<MetaResult> stat_impl(Box<std::string> path);
   sim::Fire send_fire(int dst, Box<sim::Message> message);
 
+  /// One in-flight RPC: the request prototype for every attempt (only the
+  /// reply_tag is re-allocated per attempt) plus its outcome. Slots live
+  /// in the issuing coroutine's frame and are passed by pointer.
+  struct RpcSlot {
+    int server = 0;
+    Request request;
+    std::uint64_t wire_bytes = 0;
+    obs::SpanId rpc_span = 0;
+    int attempts = 0;
+    Status status;
+    Reply reply;
+  };
+
+  /// Drive one RPC to completion. With the reliability layer armed
+  /// (rpc_timeout > 0): per-attempt timeout, bounded retries with
+  /// exponential backoff + deterministic jitter, fresh reply tag per
+  /// attempt, CRC verification of read-reply data, kUnavailable /
+  /// kTimedOut / kDataLoss surfaced through slot->status. With it off
+  /// (the default) this is exactly the legacy send + untimed recv.
+  sim::Task<void> rpc_attempts(RpcSlot* slot);
+  sim::Fire rpc_fire(RpcSlot* slot, sim::WaitGroup* wg);
+
   /// One client operation's trace context. begin_op is a no-op returning
   /// zeroes when observability is detached; finish_op closes the root span
   /// and records the op's latency histogram.
@@ -171,11 +205,22 @@ class Client {
   IoStats stats_;
   bool transfer_data_ = true;
   std::uint64_t reply_seq_ = 0;
+  /// Logical-op sequence for idempotent replay; distinct per server
+  /// request, shared across that request's retry attempts.
+  std::uint64_t op_seq_ = 0;
+  /// Deterministic backoff jitter, derived from the cluster seed and rank.
+  Rng rng_;
+  std::uint64_t rpc_retries_ = 0;
+  std::uint64_t rpc_timeouts_ = 0;
 
   static constexpr int kNumOps = 12;  ///< OpKind enumerator count
   obs::Observability* obs_ = nullptr;
   /// client_op_latency_ns{op=...,node=...}, resolved in set_observability.
   obs::Histogram* op_latency_[kNumOps] = {};
+  obs::Counter* obs_retries_ = nullptr;        ///< client_retries_total
+  obs::Counter* obs_timeouts_ = nullptr;       ///< client_rpc_timeouts_total
+  obs::Histogram* attempt_latency_ = nullptr;  ///< client_rpc_attempt_latency_ns
+  obs::Histogram* retry_backoff_ = nullptr;    ///< client_retry_backoff_ns
 };
 
 }  // namespace dtio::pfs

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "net/cost_model.h"
+#include "net/fault.h"
 #include "net/network.h"
 #include "obs/observability.h"
 #include "pfs/client.h"
@@ -25,6 +27,12 @@ class Cluster {
   explicit Cluster(net::ClusterConfig config)
       : config_(config),
         network_(scheduler_, config_.total_nodes(), config_.net) {
+    // One seed reproduces a whole run: DTIO_SEED overrides the config so a
+    // failing chaos run can be replayed without recompiling.
+    config_.seed = run_seed(config_.seed);
+    DTIO_INFO("cluster seed " << config_.seed << " (" << config_.num_servers
+                              << " servers, " << config_.num_clients
+                              << " clients)");
     servers_.reserve(static_cast<std::size_t>(config_.num_servers));
     for (int s = 0; s < config_.num_servers; ++s) {
       servers_.push_back(std::make_unique<IOServer>(scheduler_, network_,
@@ -76,8 +84,30 @@ class Cluster {
     obs_ = obs;
     network_.set_observability(obs);
     for (auto& server : servers_) server->set_observability(obs);
+    if (network_.fault_plan() != nullptr) {
+      network_.fault_plan()->set_observability(obs);
+    }
   }
   [[nodiscard]] obs::Observability* observability() noexcept { return obs_; }
+
+  /// Attach a fault plan to the interconnect (nullptr detaches; not
+  /// owned). Installs the protocol-aware corruptor so kCorrupt faults flip
+  /// bits in actual request/reply payloads, and forwards the attached
+  /// observability context. Detached — the default — the send path pays
+  /// one pointer test.
+  void set_fault_plan(net::FaultPlan* plan) {
+    network_.set_fault_plan(plan);
+    if (plan != nullptr) {
+      plan->set_corruptor(&corrupt_message_payload);
+      if (obs_ != nullptr) plan->set_observability(obs_);
+    }
+  }
+
+  /// Crash server `index` at simulated time `at`; it restarts
+  /// `restart_delay` later with caches cold (see IOServer::schedule_crash).
+  void schedule_server_crash(int index, SimTime at, SimTime restart_delay) {
+    server(index).schedule_crash(at, restart_delay);
+  }
 
   /// Display names for the trace exporter: "srv<k>" for I/O servers,
   /// "cli<k>" for client nodes.

@@ -1,5 +1,11 @@
 #include "pfs/protocol.h"
 
+#include <any>
+#include <utility>
+
+#include "common/rng.h"
+#include "sim/mailbox.h"
+
 namespace dtio::pfs {
 
 const char* op_name(OpKind op) noexcept {
@@ -37,6 +43,45 @@ std::uint64_t request_descriptor_bytes(const Request& request,
     }
   };
   return kHeader + std::visit(Visitor{list_bytes_per_region}, request.payload);
+}
+
+namespace {
+
+/// Clone `buf` and flip one rng-chosen bit. False when there is no data.
+bool flip_bit(DataBuffer& buf, Rng& rng) {
+  if (!buf || buf->empty()) return false;
+  auto copy = std::make_shared<std::vector<std::uint8_t>>(*buf);
+  const std::uint64_t bit = rng.next_below(copy->size() * 8);
+  (*copy)[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<std::uint8_t>(1U << (bit % 8));
+  buf = std::move(copy);
+  return true;
+}
+
+}  // namespace
+
+bool corrupt_message_payload(sim::Message& msg, Rng& rng) {
+  if (auto* request = std::any_cast<Request>(&msg.body)) {
+    return std::visit(
+        [&rng](auto& payload) -> bool {
+          using P = std::decay_t<decltype(payload)>;
+          if constexpr (std::is_same_v<P, MetaPayload>) {
+            return false;
+          } else if constexpr (std::is_same_v<P, DatatypePayload>) {
+            // Prefer the bulk data; a timing-only or read request has
+            // none, so the encoded descriptor takes the hit instead.
+            return flip_bit(payload.data, rng) ||
+                   flip_bit(payload.encoded_loop, rng);
+          } else {
+            return flip_bit(payload.data, rng);
+          }
+        },
+        request->payload);
+  }
+  if (auto* reply = std::any_cast<Reply>(&msg.body)) {
+    return flip_bit(reply->data, rng);
+  }
+  return false;
 }
 
 }  // namespace dtio::pfs

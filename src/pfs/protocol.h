@@ -18,6 +18,14 @@
 #include <vector>
 
 #include "common/region.h"
+#include "common/status.h"
+
+namespace dtio {
+class Rng;
+namespace sim {
+struct Message;
+}  // namespace sim
+}  // namespace dtio
 
 namespace dtio::pfs {
 
@@ -72,6 +80,10 @@ struct DatatypePayload {
   std::int64_t stream_offset = 0;
   std::int64_t stream_length = 0;
   DataBuffer data;
+  /// CRC32 of *encoded_loop (0 when unset): verified before decode so a
+  /// corrupted descriptor is rejected instead of poisoning the dataloop
+  /// cache or decoding into a wrong-but-valid access pattern.
+  std::uint32_t loop_crc = 0;
 };
 
 struct MetaPayload {
@@ -94,17 +106,33 @@ struct Request {
   /// work under. Pure annotations — no effect on simulated behavior.
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span = 0;
+  /// Logical-operation sequence number for idempotent replay (0 = replay
+  /// protection off). Identical across retry attempts of the same logical
+  /// op — only the reply_tag is fresh per attempt — so the server can
+  /// recognise a retried write and re-acknowledge without re-applying.
+  std::uint64_t op_seq = 0;
+  /// CRC32 of the write payload (`payload.data`), set when has_payload_crc
+  /// is true; the server rejects mismatches with kDataLoss.
+  std::uint32_t payload_crc = 0;
+  bool has_payload_crc = false;
   std::variant<ContigPayload, ListPayload, DatatypePayload, MetaPayload>
       payload;
 };
 
 struct Reply {
   bool ok = true;
+  /// Machine-readable error class when !ok (kOk here means "unclassified";
+  /// the client maps it to kInternal). kDataLoss marks transient
+  /// corruption rejections, which are the retryable class.
+  StatusCode code = StatusCode::kOk;
   std::string error;
   std::int64_t bytes = 0;       ///< data bytes this server moved
   DataBuffer data;              ///< read replies (nullptr in timing-only mode)
   std::uint64_t handle = 0;     ///< metadata create/open
   std::int64_t local_size = 0;  ///< metadata stat: this server's bstream size
+  /// CRC32 of `data` for read replies, mirroring Request::payload_crc.
+  std::uint32_t payload_crc = 0;
+  bool has_payload_crc = false;
 };
 
 /// Human-readable operation name ("contig_read", "meta_stat", ...), used
@@ -116,5 +144,13 @@ struct Reply {
 /// pays per-region descriptor bytes, datatype I/O pays the encoded loop.
 [[nodiscard]] std::uint64_t request_descriptor_bytes(const Request& request,
                                                      std::uint64_t list_bytes_per_region);
+
+/// Fault-injection corruptor for protocol messages (installed into a
+/// net::FaultPlan by Cluster::set_fault_plan): flips one random bit in the
+/// message's corruptible payload — write data, read-reply data, or a
+/// datatype request's encoded dataloop. Copy-on-write: the shared buffer
+/// is cloned before the flip, so the sender's copy (which a retry resends)
+/// stays clean. Returns false when the message carries nothing to corrupt.
+bool corrupt_message_payload(sim::Message& msg, Rng& rng);
 
 }  // namespace dtio::pfs

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "dataloop/cursor.h"
 #include "dataloop/serialize.h"
@@ -78,6 +79,9 @@ void IOServer::set_observability(obs::Observability* obs) {
     obs_disk_bytes_ = nullptr;
     obs_subtrees_skipped_ = nullptr;
     obs_pieces_pruned_ = nullptr;
+    obs_replays_ = nullptr;
+    obs_crashes_ = nullptr;
+    obs_crc_rejects_ = nullptr;
     return;
   }
   obs_requests_ = &obs->metrics.counter(
@@ -88,6 +92,95 @@ void IOServer::set_observability(obs::Observability* obs) {
       "server_subtrees_skipped_total", obs::label("node", server_index_));
   obs_pieces_pruned_ = &obs->metrics.counter(
       "server_pieces_pruned_total", obs::label("node", server_index_));
+  obs_replays_ = &obs->metrics.counter(
+      "server_replays_suppressed_total", obs::label("node", server_index_));
+  obs_crashes_ = &obs->metrics.counter(
+      "server_crashes_total", obs::label("node", server_index_));
+  obs_crc_rejects_ = &obs->metrics.counter(
+      "server_crc_rejects_total", obs::label("node", server_index_));
+}
+
+void IOServer::schedule_crash(SimTime at, SimTime restart_delay) {
+  sched_->schedule_call(at, [this] { crash(); });
+  sched_->schedule_call(at + restart_delay, [this] { restart(); });
+}
+
+void IOServer::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;
+  ++stats_.crashes;
+  if (obs_ != nullptr) obs_crashes_->add(1);
+  const std::size_t dropped = network_->mailbox(server_index_).clear_queue();
+  stats_.crash_discarded += dropped;
+  // Process state dies with the process: decoded-datatype cache and the
+  // replay window restart cold. Namespace, bstreams, and the lock table
+  // model durable storage and survive.
+  loop_cache_.clear();
+  loop_cache_order_.clear();
+  replay_acks_.clear();
+  replay_order_.clear();
+  if (tracer_ != nullptr) {
+    tracer_->record({sched_->now(), "crash", server_index_, -1, 0,
+                     static_cast<std::uint64_t>(dropped), ""});
+  }
+  DTIO_DEBUG("srv" << server_index_ << " CRASH, dropped " << dropped
+                   << " queued messages");
+}
+
+void IOServer::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->record({sched_->now(), "restart", server_index_, -1, 0, 0, ""});
+  }
+  DTIO_DEBUG("srv" << server_index_ << " restart");
+}
+
+bool IOServer::verify_integrity(const Request& request, Reply& reply) {
+  auto fail = [&reply](std::string why) {
+    reply.ok = false;
+    reply.code = StatusCode::kDataLoss;
+    reply.error = std::move(why);
+    return false;
+  };
+  if (request.has_payload_crc) {
+    const DataBuffer* data = std::visit(
+        [](const auto& payload) -> const DataBuffer* {
+          if constexpr (requires { payload.data; }) {
+            return &payload.data;
+          } else {
+            return nullptr;
+          }
+        },
+        request.payload);
+    if (data != nullptr && *data && crc32(**data) != request.payload_crc) {
+      return fail("write payload CRC mismatch");
+    }
+  }
+  if (const auto* p = std::get_if<DatatypePayload>(&request.payload)) {
+    // Verified BEFORE the dataloop cache lookup and decode: a corrupted
+    // descriptor must neither poison the cache nor expand into a
+    // wrong-but-valid access pattern.
+    if (p->loop_crc != 0 && p->encoded_loop &&
+        crc32(*p->encoded_loop) != p->loop_crc) {
+      return fail("dataloop descriptor CRC mismatch");
+    }
+  }
+  return true;
+}
+
+void IOServer::store_ack(const Request& request, const Reply& reply) {
+  if (request.op_seq == 0) return;
+  if (crashed_ || req_epoch_ != epoch_) return;  // this request's epoch died
+  if (reply.code == StatusCode::kDataLoss) return;
+  const std::uint64_t key = replay_key(request.client_node, request.op_seq);
+  if (!replay_acks_.emplace(key, reply).second) return;
+  replay_order_.push_back(key);
+  if (replay_order_.size() > config_->server.replay_window_entries) {
+    replay_acks_.erase(replay_order_.front());
+    replay_order_.pop_front();
+  }
 }
 
 void IOServer::sample_counters() {
@@ -123,6 +216,12 @@ sim::Task<void> IOServer::run() {
   sim::Mailbox& mailbox = network_->mailbox(server_index_);
   while (true) {
     sim::Message msg = co_await mailbox.recv(sim::kAnySource, kTagRequest);
+    if (crashed_) {
+      // The process is down: the message was consumed off the wire but
+      // nobody is listening. The client's timeout will notice.
+      ++stats_.crash_discarded;
+      continue;
+    }
     // Requests are handled sequentially: one CPU, one disk per server.
     co_await handle_request(Box<Request>(msg.take<Request>()));
   }
@@ -140,6 +239,7 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
   }
   req_trace_ = request.trace_id;
   req_span_ = 0;
+  req_epoch_ = epoch_;
   if (obs_ != nullptr) {
     obs_requests_->add(1);
     req_span_ = obs_->spans.begin("server_handle", server_index_,
@@ -148,6 +248,49 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
     sample_counters();
   }
   co_await sched_->delay(config_->server.request_overhead);
+  if (crashed_ || req_epoch_ != epoch_) {
+    // Crashed while decoding this request: the work evaporates.
+    if (obs_ != nullptr) obs_->spans.end(req_span_, sched_->now());
+    co_return;
+  }
+
+  // Idempotent replay: a retried logical op whose ack is still in the
+  // window is re-acknowledged (to the retry's fresh reply tag) without
+  // re-applying — the first execution's effects stand.
+  if (request.op_seq != 0) {
+    const auto it =
+        replay_acks_.find(replay_key(request.client_node, request.op_seq));
+    if (it != replay_acks_.end()) {
+      ++stats_.replays_suppressed;
+      if (obs_ != nullptr) obs_replays_->add(1);
+      if (tracer_ != nullptr) {
+        tracer_->record({sched_->now(), "replay", server_index_,
+                         request.client_node, request.reply_tag, 0,
+                         op_name(request.op)});
+      }
+      send_reply(request.client_node, request.reply_tag, Reply(it->second), 0);
+      if (obs_ != nullptr) obs_->spans.end(req_span_, sched_->now());
+      co_return;
+    }
+  }
+
+  // Payload integrity: refuse corrupted-in-flight requests with a typed,
+  // retryable error instead of storing garbage.
+  Reply integrity;
+  if (!verify_integrity(request, integrity)) {
+    ++stats_.bad_requests;
+    ++stats_.crc_rejects;
+    if (obs_ != nullptr) obs_crc_rejects_->add(1);
+    if (tracer_ != nullptr) {
+      tracer_->record({sched_->now(), "crc_reject", server_index_,
+                       request.client_node, request.reply_tag, 0,
+                       op_name(request.op)});
+    }
+    send_reply(request.client_node, request.reply_tag, std::move(integrity),
+               0);
+    if (obs_ != nullptr) obs_->spans.end(req_span_, sched_->now());
+    co_return;
+  }
 
   switch (request.op) {
     case OpKind::kContigRead:
@@ -189,6 +332,7 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
     default: {
       Reply reply;
       handle_meta(request, reply);
+      store_ack(request, reply);  // create/remove are sequenced by clients
       send_reply(request.client_node, request.reply_tag, std::move(reply), 0);
       break;
     }
@@ -275,6 +419,7 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
     ++stats_.bad_requests;
     Reply reply;
     reply.ok = false;
+    reply.code = StatusCode::kInvalidArgument;
     reply.error = std::move(why);
     send_reply(request.client_node, request.reply_tag, std::move(reply), 0);
   };
@@ -411,6 +556,13 @@ void IOServer::finish_data_reply(Request& request, bool is_write,
   Reply reply;
   reply.bytes = my_bytes;
   reply.data = std::move(reply_data);
+  if (!is_write && reply.data) {
+    // Host-side only (zero simulated cost): lets the client detect
+    // read-reply data corrupted in flight.
+    reply.payload_crc = crc32(*reply.data);
+    reply.has_payload_crc = true;
+  }
+  if (is_write) store_ack(request, reply);
   // Read replies carry the data bytes on the wire even in timing-only
   // mode; write acks are small.
   const std::uint64_t wire_data =
@@ -425,6 +577,7 @@ void IOServer::handle_meta(Request& request, Reply& reply) {
     case OpKind::kMetaCreate: {
       if (namespace_.contains(p.path)) {
         reply.ok = false;
+        reply.code = StatusCode::kAlreadyExists;
         reply.error = "already exists: " + p.path;
         break;
       }
@@ -437,6 +590,7 @@ void IOServer::handle_meta(Request& request, Reply& reply) {
       const auto it = namespace_.find(p.path);
       if (it == namespace_.end()) {
         reply.ok = false;
+        reply.code = StatusCode::kNotFound;
         reply.error = "no such file: " + p.path;
         break;
       }
@@ -446,6 +600,7 @@ void IOServer::handle_meta(Request& request, Reply& reply) {
     case OpKind::kMetaRemove: {
       if (namespace_.erase(p.path) == 0) {
         reply.ok = false;
+        reply.code = StatusCode::kNotFound;
         reply.error = "no such file: " + p.path;
       }
       break;
@@ -456,6 +611,7 @@ void IOServer::handle_meta(Request& request, Reply& reply) {
         const auto it = namespace_.find(p.path);
         if (it == namespace_.end()) {
           reply.ok = false;
+          reply.code = StatusCode::kNotFound;
           reply.error = "no such file: " + p.path;
           break;
         }
@@ -468,6 +624,7 @@ void IOServer::handle_meta(Request& request, Reply& reply) {
     }
     default:
       reply.ok = false;
+      reply.code = StatusCode::kInvalidArgument;
       reply.error = "bad metadata op";
       break;
   }
@@ -524,6 +681,7 @@ sim::Fire IOServer::cpu_drain(SimTime hold) { co_await cpu_.use(hold); }
 
 void IOServer::send_reply(int dst, std::uint64_t tag, Reply reply,
                           std::uint64_t wire_data_bytes) {
+  if (crashed_ || req_epoch_ != epoch_) return;  // died mid-request: no reply
   sim::Message msg(server_index_, tag, 64 + wire_data_bytes, std::move(reply));
   // Stamp the current request's trace so the reply's transmission span
   // parents under this server's handling span.

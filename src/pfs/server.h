@@ -46,6 +46,11 @@ struct ServerStats {
                                       ///< this server's strips; one probe each)
   std::uint64_t pieces_pruned = 0;    ///< atomic regions never generated
                                       ///< because their subtree was pruned
+  std::uint64_t crashes = 0;            ///< crash events injected
+  std::uint64_t crash_discarded = 0;    ///< messages lost to a crash (queued
+                                        ///< at crash time or arrived while down)
+  std::uint64_t replays_suppressed = 0; ///< retried ops re-acked, not re-applied
+  std::uint64_t crc_rejects = 0;        ///< requests refused with kDataLoss
 };
 
 class IOServer {
@@ -64,6 +69,15 @@ class IOServer {
   [[nodiscard]] sim::Resource& cpu() noexcept { return cpu_; }
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Fault injection: crash this server at simulated time `at` and bring
+  /// it back `restart_delay` later. A crashed server loses its mailbox
+  /// queue and every in-flight request (their replies are suppressed), and
+  /// restarts with caches cold — dataloop cache and replay window empty.
+  /// Durable state (namespace, bstreams, lock table) survives, modelling
+  /// an iod whose storage outlives the process.
+  void schedule_crash(SimTime at, SimTime restart_delay);
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
   /// Attach the observability context (nullptr detaches). Not owned.
   /// Request counters are resolved once here; the request loop then pays
   /// one pointer test when detached.
@@ -72,6 +86,23 @@ class IOServer {
  private:
   sim::Task<void> run();
   sim::Task<void> handle_request(Box<Request> boxed);
+
+  void crash();
+  void restart();
+  /// Verify request payload / descriptor CRCs. On mismatch fills `reply`
+  /// with a kDataLoss rejection and returns false.
+  bool verify_integrity(const Request& request, Reply& reply);
+  /// Remember `reply` as the ack for (client, op_seq) so a retry of the
+  /// same logical op is re-acknowledged without re-applying. Bounded FIFO
+  /// window; no-ops for unsequenced ops, kDataLoss replies (transient —
+  /// the retry carries clean data and must be re-executed), or when this
+  /// request's epoch died in a crash.
+  void store_ack(const Request& request, const Reply& reply);
+  [[nodiscard]] static std::uint64_t replay_key(int client_node,
+                                                std::uint64_t op_seq) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                client_node)) << 48) ^ op_seq;
+  }
 
   sim::Task<void> handle_contig(Request& request);
   sim::Task<void> handle_list(Request& request);
@@ -111,6 +142,9 @@ class IOServer {
   obs::Counter* obs_disk_bytes_ = nullptr;  ///< server_disk_bytes_total
   obs::Counter* obs_subtrees_skipped_ = nullptr;  ///< server_subtrees_skipped_total
   obs::Counter* obs_pieces_pruned_ = nullptr;     ///< server_pieces_pruned_total
+  obs::Counter* obs_replays_ = nullptr;     ///< server_replays_suppressed_total
+  obs::Counter* obs_crashes_ = nullptr;     ///< server_crashes_total
+  obs::Counter* obs_crc_rejects_ = nullptr; ///< server_crc_rejects_total
   // Trace context of the request currently being handled (requests are
   // handled sequentially, so plain members suffice).
   std::uint64_t req_trace_ = 0;
@@ -121,6 +155,20 @@ class IOServer {
   double last_cpu_busy_ = 0;
 
   std::unordered_map<std::uint64_t, Bstream> store_;
+
+  // Crash/restart state. `epoch_` bumps on every crash; a request stamps
+  // `req_epoch_` at entry (requests are handled sequentially) and its
+  // reply / replay-ack is suppressed if the epoch moved on — in-flight
+  // work dies with the process even though its coroutine frame drains.
+  bool crashed_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t req_epoch_ = 0;
+
+  // Idempotent-replay window: ack by replay_key(client, op_seq), FIFO
+  // eviction bounded by ServerConfig::replay_window_entries. Cleared on
+  // crash (the window is process state, not durable).
+  std::unordered_map<std::uint64_t, Reply> replay_acks_;
+  std::deque<std::uint64_t> replay_order_;
 
   // Decoded-dataloop cache (enabled by ServerConfig::dataloop_cache),
   // keyed by a hash of the encoded bytes; bounded true-LRU eviction (a

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <optional>
+#include <utility>
 
 #include "sim/scheduler.h"
 
@@ -105,6 +107,40 @@ class Mailbox {
     return RecvAwaiter{this, src, tag, {}};
   }
 
+  struct TimedRecvAwaiter {
+    Mailbox* mailbox;
+    int src_filter;
+    std::uint64_t tag_filter;
+    SimTime timeout;
+    Message message;
+    bool expired = false;
+
+    bool await_ready() {
+      return mailbox->try_take(src_filter, tag_filter, message);
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      const std::uint64_t id = ++mailbox->next_waiter_id_;
+      mailbox->waiters_.push_back(
+          Waiter{src_filter, tag_filter, &message, h, id, &expired});
+      Mailbox* mb = mailbox;
+      mb->sched_->schedule_call(mb->sched_->now() + timeout,
+                                [mb, id] { mb->expire_waiter(id); });
+    }
+    std::optional<Message> await_resume() noexcept {
+      if (expired) return std::nullopt;
+      return std::move(message);
+    }
+  };
+
+  /// recv() with a deadline in simulated time: resumes with the matching
+  /// message, or with nullopt once `timeout` elapses without a match. The
+  /// timer always fires (no cancellation) but is a no-op if the waiter
+  /// already matched — expiry is looked up by id, never by address.
+  [[nodiscard]] TimedRecvAwaiter recv_for(int src, std::uint64_t tag,
+                                          SimTime timeout) {
+    return TimedRecvAwaiter{this, src, tag, timeout, {}, false};
+  }
+
   /// Hand a fully-arrived message to this mailbox. If a parked receiver
   /// matches, it is resumed through the event queue at the current time.
   void deliver(Message msg) {
@@ -123,13 +159,37 @@ class Mailbox {
   [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
   [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
 
+  /// Discard every queued (undelivered) message; parked receivers are left
+  /// alone. Returns the number discarded. Used by server crash simulation.
+  std::size_t clear_queue() noexcept {
+    const std::size_t n = queue_.size();
+    queue_.clear();
+    return n;
+  }
+
  private:
   struct Waiter {
     int src_filter;
     std::uint64_t tag_filter;
     Message* slot;
     std::coroutine_handle<> handle;
+    std::uint64_t id = 0;        // nonzero only for timed waiters
+    bool* expired = nullptr;     // set before resuming on timeout
   };
+
+  /// Timer callback for a timed waiter: if it is still parked, mark it
+  /// expired and resume it empty-handed. No-op when the waiter already
+  /// matched (its id is gone from the list).
+  void expire_waiter(std::uint64_t id) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (it->id != id) continue;
+      *it->expired = true;
+      auto h = it->handle;
+      waiters_.erase(it);
+      sched_->schedule_at(sched_->now(), h);
+      return;
+    }
+  }
 
   static bool matches(const Message& m, int src_filter,
                       std::uint64_t tag_filter) noexcept {
@@ -151,6 +211,7 @@ class Mailbox {
   Scheduler* sched_;
   std::deque<Message> queue_;
   std::deque<Waiter> waiters_;
+  std::uint64_t next_waiter_id_ = 0;
 };
 
 }  // namespace dtio::sim

@@ -1,0 +1,58 @@
+// A join primitive for fan-out/fan-in over Fire coroutines: add() once per
+// outstanding task, done() as each finishes, and a single joiner parks in
+// wait() until the count drains to zero. Tasks are lazy (started on
+// co_await), so awaiting them sequentially would serialise the fan-out;
+// detached Fires plus a WaitGroup keep them concurrent while still giving
+// the spawner a completion point.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+
+#include "sim/scheduler.h"
+
+namespace dtio::sim {
+
+class WaitGroup {
+ public:
+  explicit WaitGroup(Scheduler& sched) noexcept : sched_(&sched) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void add(int n = 1) noexcept { pending_ += n; }
+
+  /// Called by each task on completion. Resumes the joiner (through the
+  /// event queue, at the current time) when the last task finishes.
+  void done() {
+    assert(pending_ > 0 && "WaitGroup::done without matching add");
+    if (--pending_ == 0 && waiter_) {
+      auto h = waiter_;
+      waiter_ = nullptr;
+      sched_->schedule_at(sched_->now(), h);
+    }
+  }
+
+  struct Awaiter {
+    WaitGroup* wg;
+    [[nodiscard]] bool await_ready() const noexcept {
+      return wg->pending_ == 0;
+    }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      assert(!wg->waiter_ && "WaitGroup supports a single joiner");
+      wg->waiter_ = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Await all outstanding tasks. At most one joiner at a time.
+  [[nodiscard]] Awaiter wait() noexcept { return Awaiter{this}; }
+
+  [[nodiscard]] int pending() const noexcept { return pending_; }
+
+ private:
+  Scheduler* sched_;
+  int pending_ = 0;
+  std::coroutine_handle<> waiter_;
+};
+
+}  // namespace dtio::sim

@@ -31,13 +31,22 @@ TEST(Status, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(Status, AllCodesHaveNames) {
-  for (const StatusCode code :
-       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
-        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
-        StatusCode::kUnsupported, StatusCode::kInternal,
-        StatusCode::kPermissionDenied}) {
-    EXPECT_NE(status_code_name(code), "UNKNOWN");
+  // Every enumerator, by value: a code added without a name breaks here.
+  for (int code = 0; code < kNumStatusCodes; ++code) {
+    EXPECT_NE(status_code_name(static_cast<StatusCode>(code)), "UNKNOWN")
+        << "status code " << code << " has no name";
   }
+  EXPECT_EQ(status_code_name(static_cast<StatusCode>(kNumStatusCodes)),
+            "UNKNOWN");
+}
+
+TEST(Status, ReliabilityCodesRoundTrip) {
+  EXPECT_EQ(unavailable("s").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(timed_out_error("s").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(data_loss("s").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(status_code_name(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(status_code_name(StatusCode::kTimedOut), "TIMED_OUT");
+  EXPECT_EQ(status_code_name(StatusCode::kDataLoss), "DATA_LOSS");
 }
 
 TEST(Result, HoldsValue) {

@@ -1,0 +1,600 @@
+// Fault injection and end-to-end request reliability: FaultPlan
+// determinism, timed mailbox receives, timeout/retry/backoff behaviour,
+// idempotent replay, CRC rejection of corrupted payloads, server
+// crash/restart, and the stale-reply regression (a delayed reply from an
+// abandoned attempt must never satisfy a later attempt or a later op).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "io/methods.h"
+#include "mpiio/file.h"
+#include "net/fault.h"
+#include "pfs/cluster.h"
+#include "sim/mailbox.h"
+#include "sim/scheduler.h"
+#include "sim/waitgroup.h"
+#include "workloads/tile.h"
+
+namespace dtio {
+namespace {
+
+using net::FaultPlan;
+using net::FaultSpec;
+using pfs::Client;
+using pfs::MetaResult;
+using sim::Task;
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> data(n);
+  Rng rng(seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  return data;
+}
+
+// ---- FaultPlan unit behaviour ---------------------------------------------
+
+TEST(FaultPlan, SameSeedSameDecisions) {
+  const FaultSpec spec{.drop = 0.2, .duplicate = 0.2, .corrupt = 0.2,
+                       .delay = 0.2};
+  auto run = [&](std::vector<bool>& delivered) {
+    FaultPlan plan(99);
+    plan.set_default_spec(spec);
+    plan.set_corruptor([](sim::Message&, Rng&) { return true; });
+    plan.set_log_events(true);
+    std::vector<net::FaultEvent> events;
+    net::FaultCounters counters;
+    for (int i = 0; i < 200; ++i) {
+      sim::Message msg(i % 4, 17, 128, i);
+      const auto decision =
+          plan.apply(i % 4, (i + 1) % 4, i * kMicrosecond, msg);
+      delivered.push_back(decision.deliver);
+    }
+    events = plan.events();
+    counters = plan.counters();
+    return std::make_pair(events, counters);
+  };
+  std::vector<bool> delivered_a, delivered_b;
+  const auto [events_a, counters_a] = run(delivered_a);
+  const auto [events_b, counters_b] = run(delivered_b);
+  EXPECT_EQ(delivered_a, delivered_b);
+  EXPECT_EQ(events_a, events_b);
+  EXPECT_EQ(counters_a, counters_b);
+  EXPECT_GT(counters_a.total(), 0u);
+  EXPECT_GT(counters_a.dropped, 0u);
+}
+
+TEST(FaultPlan, OutageWindowIsDeterministicAndConsumesNoRandomness) {
+  // Plan A: probabilistic drops only. Plan B: same seed, plus an outage
+  // window that swallows some messages first. Messages outside the window
+  // must get the SAME verdicts in both plans — the outage may not shift
+  // the RNG stream.
+  const FaultSpec spec{.drop = 0.5};
+  FaultPlan plan_a(7), plan_b(7);
+  plan_a.set_default_spec(spec);
+  plan_b.set_default_spec(spec);
+  plan_b.add_outage(/*node=*/2, /*from=*/0, /*until=*/10 * kMicrosecond);
+
+  for (int i = 0; i < 5; ++i) {  // inside the window, node 2 involved
+    sim::Message msg(2, 1, 64, i);
+    EXPECT_FALSE(plan_b.apply(2, 3, i * kMicrosecond, msg).deliver);
+  }
+  EXPECT_EQ(plan_b.counters().outage_dropped, 5u);
+
+  for (int i = 0; i < 100; ++i) {  // after the window
+    const SimTime now = 20 * kMicrosecond + i;
+    sim::Message msg_a(1, 1, 64, i);
+    sim::Message msg_b(1, 1, 64, i);
+    EXPECT_EQ(plan_a.apply(1, 2, now, msg_a).deliver,
+              plan_b.apply(1, 2, now, msg_b).deliver)
+        << "message " << i;
+  }
+  EXPECT_EQ(plan_a.counters().dropped, plan_b.counters().dropped);
+}
+
+TEST(FaultPlan, ScopeRestrictsInjectionToLowNodes) {
+  FaultPlan plan(1);
+  plan.set_default_spec(FaultSpec{.drop = 1.0});
+  plan.set_scope_max_node(2);  // only links touching nodes 0 or 1
+  sim::Message client_pair(5, 1, 64, 0);
+  EXPECT_TRUE(plan.apply(5, 6, 0, client_pair).deliver);
+  sim::Message to_server(5, 1, 64, 0);
+  EXPECT_FALSE(plan.apply(5, 1, 0, to_server).deliver);
+  sim::Message from_server(0, 1, 64, 0);
+  EXPECT_FALSE(plan.apply(0, 5, 0, from_server).deliver);
+  EXPECT_EQ(plan.counters().dropped, 2u);
+}
+
+// ---- Timed receive & WaitGroup --------------------------------------------
+
+TEST(MailboxTimedRecv, ExpiresThenMatchesThenIgnoresStaleTimer) {
+  sim::Scheduler sched;
+  sim::Mailbox mailbox(sched);
+  std::optional<sim::Message> first, second;
+  SimTime first_at = -1;
+  bool done = false;
+  sched.spawn([](sim::Scheduler& s, sim::Mailbox& mb,
+                 std::optional<sim::Message>& first, SimTime& first_at,
+                 std::optional<sim::Message>& second,
+                 bool& done) -> Task<void> {
+    first = co_await mb.recv_for(sim::kAnySource, 7, kMillisecond);
+    first_at = s.now();
+    // The second wait's timer must be a no-op after the match (expiry is
+    // id-keyed, so it cannot hit this or any later waiter).
+    second = co_await mb.recv_for(sim::kAnySource, 7, 10 * kMillisecond);
+    done = true;
+  }(sched, mailbox, first, first_at, second, done));
+  sched.schedule_call(2 * kMillisecond,
+                      [&] { mailbox.deliver(sim::Message(3, 7, 64, 123)); });
+  sched.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(first.has_value());
+  EXPECT_EQ(first_at, kMillisecond);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->src, 3);
+  EXPECT_EQ(second->take<int>(), 123);
+}
+
+TEST(WaitGroup, JoinsAfterAllDone) {
+  sim::Scheduler sched;
+  sim::WaitGroup wg(sched);
+  int completed = 0;
+  SimTime joined_at = -1;
+  for (int i = 1; i <= 3; ++i) {
+    wg.add(1);
+    sched.spawn([](sim::Scheduler& s, sim::WaitGroup& g, int ms,
+                   int& completed) -> Task<void> {
+      co_await s.delay(ms * kMillisecond);
+      ++completed;
+      g.done();
+    }(sched, wg, i, completed));
+  }
+  sched.spawn([](sim::Scheduler& s, sim::WaitGroup& g,
+                 SimTime& joined_at) -> Task<void> {
+    co_await g.wait();
+    joined_at = s.now();
+  }(sched, wg, joined_at));
+  sched.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(joined_at, 3 * kMillisecond);  // the slowest worker
+}
+
+// ---- End-to-end reliability ------------------------------------------------
+
+net::ClusterConfig reliable_config(int servers = 2, int clients = 1) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = servers;
+  cfg.num_clients = clients;
+  cfg.strip_size = 1024;
+  cfg.client.rpc_timeout = 20 * kMillisecond;
+  cfg.client.rpc_max_attempts = 5;
+  cfg.client.rpc_backoff_base = 2 * kMillisecond;
+  return cfg;
+}
+
+TEST(Reliability, RetriesThroughOutageWindow) {
+  auto cfg = reliable_config();
+  pfs::Cluster cluster(cfg);
+  FaultPlan plan(5);
+  plan.add_outage(/*node=*/0, /*from=*/0, /*until=*/30 * kMillisecond);
+  plan.add_outage(/*node=*/1, /*from=*/0, /*until=*/30 * kMillisecond);
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(4000, 11);
+
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<std::uint8_t>& src,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/outage");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        Status w = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        std::vector<std::uint8_t> back(src.size());
+        Status r = co_await c.read_contig(
+            f.handle, 0, back.data(), static_cast<std::int64_t>(back.size()));
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        EXPECT_EQ(back, src);
+        done = true;
+      }(*client, data, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_GT(client->rpc_retries(), 0u);
+  EXPECT_GT(client->rpc_timeouts(), 0u);
+  EXPECT_GT(plan.counters().outage_dropped, 0u);
+}
+
+TEST(Reliability, PermanentOutageSurfacesUnavailable) {
+  auto cfg = reliable_config();
+  cfg.client.rpc_timeout = 5 * kMillisecond;
+  cfg.client.rpc_max_attempts = 3;
+  pfs::Cluster cluster(cfg);
+  FaultPlan plan(5);
+  plan.add_outage(/*node=*/0, /*from=*/0, /*until=*/kSecond);
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+
+  Status status;
+  cluster.scheduler().spawn([](Client& c, Status& out) -> Task<void> {
+    out = (co_await c.create("/never")).status;
+  }(*client, status));
+  cluster.run();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.to_string();
+  EXPECT_EQ(client->rpc_timeouts(), 3u);  // every attempt timed out
+}
+
+TEST(Reliability, SingleAttemptTimeoutSurfacesTimedOut) {
+  auto cfg = reliable_config();
+  cfg.client.rpc_timeout = 5 * kMillisecond;
+  cfg.client.rpc_max_attempts = 1;
+  pfs::Cluster cluster(cfg);
+  FaultPlan plan(5);
+  plan.add_outage(/*node=*/0, /*from=*/0, /*until=*/kSecond);
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+
+  Status status;
+  cluster.scheduler().spawn([](Client& c, Status& out) -> Task<void> {
+    out = (co_await c.create("/never")).status;
+  }(*client, status));
+  cluster.run();
+  EXPECT_EQ(status.code(), StatusCode::kTimedOut) << status.to_string();
+  EXPECT_EQ(client->rpc_retries(), 0u);
+}
+
+TEST(Reliability, CorruptedWriteRejectedThenRetriedClean) {
+  auto cfg = reliable_config(/*servers=*/1);
+  pfs::Cluster cluster(cfg);
+  // Corrupt every message touching server 0 until t=3.5ms: the create
+  // (~1ms, meta payload — nothing corruptible) sails through, the first
+  // write attempt (~1.1ms) gets its payload bit-flipped in flight, the
+  // server rejects it with kDataLoss, and the retry (backoff lands it
+  // past the window) carries the clean copy-on-write buffer.
+  FaultPlan plan(5);
+  plan.add_window(/*node=*/0, /*from=*/0, /*until=*/3500 * kMicrosecond,
+                  FaultSpec{.corrupt = 1.0});
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(512, 21);
+
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<std::uint8_t>& src,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/corrupt");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        Status w = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        std::vector<std::uint8_t> back(src.size());
+        Status r = co_await c.read_contig(
+            f.handle, 0, back.data(), static_cast<std::int64_t>(back.size()));
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        EXPECT_EQ(back, src);  // the corrupted attempt never reached disk
+        done = true;
+      }(*client, data, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_GE(plan.counters().corrupted, 1u);
+  EXPECT_GE(cluster.server(0).stats().crc_rejects, 1u);
+  EXPECT_GT(client->rpc_retries(), 0u);
+}
+
+TEST(Reliability, LostAckIsReplayedNotReapplied) {
+  auto cfg = reliable_config(/*servers=*/1);
+  cfg.client.rpc_timeout = 10 * kMillisecond;
+  pfs::Cluster cluster(cfg);
+  // Drop every message touching server 0 in [T+800us, T+8ms), where T is
+  // when the client issues its write: the request (sent ~T+110us) gets
+  // through and is APPLIED, but its ack (sent ~T+1.5ms) is lost. The
+  // retry at ~T+12ms lands after the window and must hit the replay
+  // window — re-acknowledged, not re-executed.
+  constexpr SimTime kIssueAt = 5 * kMillisecond;
+  FaultPlan plan(5);
+  plan.add_window(/*node=*/0, kIssueAt + 800 * kMicrosecond,
+                  kIssueAt + 8 * kMillisecond, FaultSpec{.drop = 1.0});
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(512, 31);
+
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& src, bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/replay");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        co_await sched.delay(kIssueAt - sched.now());
+        Status w = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        std::vector<std::uint8_t> back(src.size());
+        Status r = co_await c.read_contig(
+            f.handle, 0, back.data(), static_cast<std::int64_t>(back.size()));
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        EXPECT_EQ(back, src);
+        done = true;
+      }(cluster.scheduler(), *client, data, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.server(0).stats().replays_suppressed, 1u);
+  // The write executed exactly once: a re-applied retry would double this.
+  EXPECT_EQ(cluster.server(0).stats().bytes_written, 512u);
+  EXPECT_GE(plan.counters().dropped, 1u);
+}
+
+TEST(Reliability, CrashRestartWritesSurvive) {
+  auto cfg = reliable_config(/*servers=*/2);
+  cfg.client.rpc_timeout = 15 * kMillisecond;
+  pfs::Cluster cluster(cfg);
+  // No network faults: the crash alone must be survivable. Server 1 dies
+  // at 1ms — with the first write likely queued or in flight — and comes
+  // back at 21ms with caches cold. Retries carry the ops through.
+  cluster.schedule_server_crash(/*index=*/1, /*at=*/kMillisecond,
+                                /*restart_delay=*/20 * kMillisecond);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(4000, 41);  // striped across both servers
+
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<std::uint8_t>& src,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/crash");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        Status w = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        std::vector<std::uint8_t> back(src.size());
+        Status r = co_await c.read_contig(
+            f.handle, 0, back.data(), static_cast<std::int64_t>(back.size()));
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        EXPECT_EQ(back, src);
+        done = true;
+      }(*client, data, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.server(1).stats().crashes, 1u);
+  EXPECT_FALSE(cluster.server(1).crashed());
+}
+
+TEST(Reliability, StaleReplyFromAbandonedAttemptIsIgnored) {
+  // Regression for the reply-tag hazard: attempt 1's reply is delayed far
+  // past the timeout, attempt 2 completes normally, and the stale reply
+  // then arrives addressed to a tag nobody will ever wait on again. It
+  // must not satisfy attempt 2, corrupt a later op, or hang the run.
+  auto cfg = reliable_config(/*servers=*/1);
+  cfg.client.rpc_timeout = 5 * kMillisecond;
+  pfs::Cluster cluster(cfg);
+  FaultPlan plan(5);
+  plan.add_window(/*node=*/0, 500 * kMicrosecond, 2 * kMillisecond,
+                  FaultSpec{.delay = 1.0, .delay_min = 40 * kMillisecond,
+                            .delay_max = 40 * kMillisecond});
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+
+  std::uint64_t handle_a = 0, handle_b = 0, reopened = 0;
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, std::uint64_t& ha, std::uint64_t& hb, std::uint64_t& re,
+         bool& done) -> Task<void> {
+        MetaResult a = co_await c.create("/stale-a");  // reply delayed 40ms
+        EXPECT_TRUE(a.status.is_ok()) << a.status.to_string();
+        ha = a.handle;
+        MetaResult b = co_await c.create("/stale-b");
+        EXPECT_TRUE(b.status.is_ok()) << b.status.to_string();
+        hb = b.handle;
+        MetaResult back = co_await c.open("/stale-a");
+        EXPECT_TRUE(back.status.is_ok()) << back.status.to_string();
+        re = back.handle;
+        done = true;
+      }(*client, handle_a, handle_b, reopened, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(client->rpc_timeouts(), 1u);
+  EXPECT_EQ(client->rpc_retries(), 1u);
+  EXPECT_NE(handle_a, 0u);
+  EXPECT_NE(handle_b, handle_a);  // the stale reply did not leak into op B
+  EXPECT_EQ(reopened, handle_a);
+  EXPECT_EQ(plan.counters().delayed, 1u);
+}
+
+TEST(Reliability, SameSeedSameChaosRun) {
+  // Two runs of the same chaos workload from the same seed must produce
+  // identical fault event sequences, identical injection counters, and
+  // identical client-side retry totals.
+  auto run = [](std::vector<net::FaultEvent>& events,
+                net::FaultCounters& counters, std::uint64_t& retries,
+                SimTime& end_time) {
+    auto cfg = reliable_config(/*servers=*/2);
+    cfg.seed = 1234;
+    pfs::Cluster cluster(cfg);
+    FaultPlan plan(mix_seed(cluster.config().seed, /*salt=*/0xFA));
+    plan.set_default_spec(
+        FaultSpec{.drop = 0.05, .duplicate = 0.02, .corrupt = 0.01});
+    plan.set_log_events(true);
+    cluster.set_fault_plan(&plan);
+    auto client = cluster.make_client(0);
+    const auto data = pattern_bytes(8000, 51);
+
+    bool finished = false;
+    cluster.scheduler().spawn(
+        [](Client& c, const std::vector<std::uint8_t>& src,
+           bool& done) -> Task<void> {
+          MetaResult f = co_await c.create("/det");
+          EXPECT_TRUE(f.status.is_ok());
+          for (int round = 0; round < 4; ++round) {
+            Status w = co_await c.write_contig(
+                f.handle, round * 100, src.data(),
+                static_cast<std::int64_t>(src.size()));
+            EXPECT_TRUE(w.is_ok()) << w.to_string();
+            std::vector<std::uint8_t> back(src.size());
+            Status r = co_await c.read_contig(
+                f.handle, round * 100, back.data(),
+                static_cast<std::int64_t>(back.size()));
+            EXPECT_TRUE(r.is_ok()) << r.to_string();
+            EXPECT_EQ(back, src);
+          }
+          done = true;
+        }(*client, data, finished));
+    cluster.run();
+    EXPECT_TRUE(finished);
+    events = plan.events();
+    counters = plan.counters();
+    retries = client->rpc_retries();
+    end_time = cluster.scheduler().now();
+  };
+  std::vector<net::FaultEvent> events_a, events_b;
+  net::FaultCounters counters_a, counters_b;
+  std::uint64_t retries_a = 0, retries_b = 0;
+  SimTime end_a = 0, end_b = 0;
+  run(events_a, counters_a, retries_a, end_a);
+  run(events_b, counters_b, retries_b, end_b);
+  EXPECT_EQ(events_a, events_b);
+  EXPECT_EQ(counters_a, counters_b);
+  EXPECT_EQ(retries_a, retries_b);
+  EXPECT_EQ(end_a, end_b);
+  EXPECT_GT(counters_a.total(), 0u);
+}
+
+// ---- Tile-reader acceptance -------------------------------------------------
+//
+// The paper's display-wall workload under chaos: 16 servers, a 2x2 tile
+// grid, 5% drop + 2% duplication + 1% corruption plus one mid-run server
+// crash/restart. Every client's tile, read through every applicable I/O
+// method, must come back byte-identical to a fault-free run.
+
+struct TileRun {
+  /// tiles[method][rank] = the tile bytes that rank read back.
+  std::vector<std::vector<std::vector<std::uint8_t>>> tiles;
+  bool all_ok = true;
+};
+
+TileRun run_tile_workload(const workloads::TileConfig& tc,
+                          const std::vector<std::uint8_t>& frame,
+                          bool chaos) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 16;
+  cfg.num_clients = tc.num_clients();
+  cfg.strip_size = 256;
+  cfg.seed = 42;
+  cfg.client.rpc_timeout = 200 * kMillisecond;
+  cfg.client.rpc_max_attempts = 6;
+  cfg.client.rpc_backoff_base = 10 * kMillisecond;
+  pfs::Cluster cluster(cfg);
+
+  FaultPlan plan(mix_seed(cfg.seed, /*salt=*/0x71E));
+  if (chaos) {
+    plan.set_default_spec(
+        FaultSpec{.drop = 0.05, .duplicate = 0.02, .corrupt = 0.01});
+    plan.set_scope_max_node(cfg.num_servers);
+    cluster.set_fault_plan(&plan);
+  }
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::unique_ptr<io::Context>> ctxs;
+  std::vector<std::unique_ptr<mpiio::File>> files;
+  for (int r = 0; r < tc.num_clients(); ++r) {
+    clients.push_back(cluster.make_client(r));
+    ctxs.push_back(std::make_unique<io::Context>(
+        io::Context{cluster.scheduler(), *clients.back(), cluster.config()}));
+    files.push_back(std::make_unique<mpiio::File>(*ctxs.back()));
+  }
+
+  TileRun run;
+  // Rank 0 stores the frame; everyone opens the file.
+  bool wrote = false;
+  cluster.scheduler().spawn(
+      [](std::vector<std::unique_ptr<mpiio::File>>& files,
+         const std::vector<std::uint8_t>& frame, bool& done) -> Task<void> {
+        EXPECT_TRUE((co_await files[0]->open("/frame", true)).is_ok());
+        for (std::size_t r = 1; r < files.size(); ++r) {
+          EXPECT_TRUE((co_await files[r]->open("/frame", true)).is_ok());
+        }
+        auto whole = types::contiguous(
+            static_cast<std::int64_t>(frame.size()), types::byte_t());
+        files[0]->set_view(0, types::byte_t(), types::byte_t());
+        Status w = co_await files[0]->write_at(0, frame.data(), 1, whole,
+                                               mpiio::Method::kPosix);
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        done = w.is_ok();
+      }(files, frame, wrote));
+  cluster.run();
+  EXPECT_TRUE(wrote);
+  run.all_ok = wrote;
+
+  if (chaos) {
+    // Server 3 dies during the first read round and comes back mid-run.
+    cluster.schedule_server_crash(
+        /*index=*/3, cluster.scheduler().now() + 2 * kMillisecond,
+        /*restart_delay=*/40 * kMillisecond);
+  }
+
+  const mpiio::Method methods[] = {
+      mpiio::Method::kPosix, mpiio::Method::kDataSieving,
+      mpiio::Method::kList, mpiio::Method::kDatatype};
+  for (const mpiio::Method method : methods) {
+    std::vector<std::vector<std::uint8_t>> round(
+        static_cast<std::size_t>(tc.num_clients()));
+    for (int r = 0; r < tc.num_clients(); ++r) {
+      round[static_cast<std::size_t>(r)].assign(
+          static_cast<std::size_t>(tc.tile_bytes()), 0);
+      cluster.scheduler().spawn(
+          [](mpiio::File& f, const workloads::TileConfig& tc, int rank,
+             mpiio::Method m, std::vector<std::uint8_t>& out,
+             bool& all_ok) -> Task<void> {
+            f.set_view(0, types::byte_t(), tc.tile_filetype(rank));
+            Status st = co_await f.read_at(0, out.data(), 1, tc.memtype(), m);
+            EXPECT_TRUE(st.is_ok())
+                << "rank " << rank << " via " << mpiio::method_name(m) << ": "
+                << st.to_string();
+            if (!st.is_ok()) all_ok = false;
+          }(*files[static_cast<std::size_t>(r)], tc, r, method,
+            round[static_cast<std::size_t>(r)], run.all_ok));
+    }
+    cluster.run();  // all four tiles of this round read concurrently
+    run.tiles.push_back(std::move(round));
+  }
+  if (chaos) {
+    EXPECT_EQ(cluster.server(3).stats().crashes, 1u);
+    EXPECT_FALSE(cluster.server(3).crashed());
+  }
+  return run;
+}
+
+TEST(TileChaos, AllMethodsByteIdenticalToFaultFreeRun) {
+  workloads::TileConfig tc;
+  tc.tiles_x = 2;
+  tc.tiles_y = 2;
+  tc.tile_width = 48;
+  tc.tile_height = 16;
+  tc.overlap_x = 8;
+  tc.overlap_y = 4;
+  const auto frame = pattern_bytes(
+      static_cast<std::size_t>(tc.frame_bytes()), 0xF00D);
+
+  const TileRun clean = run_tile_workload(tc, frame, /*chaos=*/false);
+  const TileRun chaos = run_tile_workload(tc, frame, /*chaos=*/true);
+  ASSERT_TRUE(clean.all_ok);
+  ASSERT_TRUE(chaos.all_ok);
+  ASSERT_EQ(clean.tiles.size(), chaos.tiles.size());
+  for (std::size_t m = 0; m < clean.tiles.size(); ++m) {
+    for (int r = 0; r < tc.num_clients(); ++r) {
+      EXPECT_EQ(clean.tiles[m][static_cast<std::size_t>(r)],
+                chaos.tiles[m][static_cast<std::size_t>(r)])
+          << "method " << m << " rank " << r;
+    }
+  }
+  // Spot-check against the frame itself: row 0 of rank 0's tile.
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(tc.tile_width) * tc.bytes_per_pixel;
+  EXPECT_EQ(std::memcmp(clean.tiles[0][0].data(), frame.data(), row_bytes), 0);
+}
+
+}  // namespace
+}  // namespace dtio
