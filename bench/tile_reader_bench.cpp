@@ -8,8 +8,11 @@
 // clients (one process per node), 4 MiB sieve/collective buffers.
 //
 // Flags: --frames=N (default 100), --clients-per... (fixed 6 by geometry),
-// --chaos (fault-injection ablation; off by default so the report JSON is
-// byte-identical to a chaos-free build).
+// --chaos (fault-injection ablation), --overload (degraded-server
+// tail-latency ablation); both off by default so the report JSON is
+// byte-identical to a chaos-free build.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -148,6 +151,9 @@ struct ChaosRun {
   std::uint64_t replays = 0;
   std::uint64_t crc_rejects = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;
   net::FaultCounters faults;
 };
 
@@ -160,6 +166,14 @@ ChaosRun run_tile_chaos(const workloads::TileConfig& tile, int frames,
   cfg.client.rpc_timeout = 200 * kMillisecond;
   cfg.client.rpc_max_attempts = max_attempts;
   cfg.client.rpc_backoff_base = 10 * kMillisecond;
+  // Overload layer armed too: hedged reads rescue dropped replies without
+  // burning the 200 ms timeout, and the admission bound sheds the
+  // synchronized retry burst that follows the crash restart. The bound is
+  // above the steady-state burst depth (6 clients), so only retry pileups
+  // trip it.
+  cfg.client.hedge_quantile = 95;
+  cfg.client.hedge_min_samples = 16;
+  cfg.server.max_queue_depth = 8;
 
   pfs::Cluster cluster(cfg);
   // Fixed plan: 5% drop + 2% duplicate + 1% corrupt on client<->server
@@ -217,15 +231,121 @@ ChaosRun run_tile_chaos(const workloads::TileConfig& tile, int frames,
   for (const auto& c : clients) {
     out.client_retries += c->rpc_retries();
     out.client_timeouts += c->rpc_timeouts();
+    out.hedges_issued += c->hedges_issued();
+    out.hedges_won += c->hedges_won();
   }
   for (int s = 0; s < cfg.num_servers; ++s) {
     const pfs::ServerStats& st = cluster.server(s).stats();
     out.replays += st.replays_suppressed;
     out.crc_rejects += st.crc_rejects;
     out.crashes += st.crashes;
+    out.sheds += st.sheds_depth + st.sheds_bytes;
   }
   out.faults = plan.counters();
   return out;
+}
+
+/// One arm of the --overload ablation: a single client doing open-loop
+/// paced 16 KiB reads of a 2-server striped file while server 1 runs 4x
+/// degraded for 150 ms. Reads are spawned at absolute times so a slow op
+/// cannot shield the ops behind it from the window. Mirrors the
+/// deterministic acceptance scenario in tests/overload_test.cpp.
+struct OverloadArm {
+  std::vector<SimTime> latencies;
+  int failures = 0;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t timeouts = 0;
+};
+
+OverloadArm run_overload_arm(bool hedging_on) {
+  constexpr int kWarmupReads = 20;
+  constexpr int kMeasuredReads = 100;
+  constexpr SimTime kPace = 25 * kMillisecond;
+  constexpr SimTime kWindow = 150 * kMillisecond;
+  constexpr std::size_t kReadBytes = 16384;  // 8 KiB per server
+
+  net::ClusterConfig cfg;
+  cfg.num_servers = 2;
+  cfg.num_clients = 1;
+  cfg.strip_size = 8192;
+  cfg.client.rpc_timeout = 5 * kMillisecond;
+  cfg.client.rpc_max_attempts = 10;
+  cfg.client.rpc_backoff_base = 2 * kMillisecond;
+  // Bounded queues in both arms; sized above the single-client backlog so
+  // admission control is armed but the ablation isolates hedging.
+  cfg.server.max_queue_depth = 16;
+  if (hedging_on) {
+    cfg.client.hedge_quantile = 95;
+    cfg.client.hedge_min_samples = 8;
+    cfg.client.breaker_failures = 6;
+    cfg.client.flow_window = 8;
+  }
+  pfs::Cluster cluster(cfg);
+  // Degraded windows are deterministic (no RNG draws), so both arms see
+  // the identical straggler regardless of seed.
+  net::FaultPlan plan(mix_seed(cluster.config().seed, 0x0F7A11));
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+
+  OverloadArm out;
+  out.latencies.assign(kMeasuredReads, 0);
+
+  // Phase 1: create, write, healthy warmup (arms the hedge quantile).
+  std::uint64_t handle = 0;
+  cluster.scheduler().spawn(
+      [](pfs::Client& c, std::uint64_t& h, int& fail) -> Task<void> {
+        pfs::MetaResult f = co_await c.create("/overload");
+        if (!f.status.is_ok()) {
+          ++fail;
+          co_return;
+        }
+        h = f.handle;
+        std::vector<std::uint8_t> buf(kReadBytes, 0x5A);
+        Status w = co_await c.write_contig(
+            h, 0, buf.data(), static_cast<std::int64_t>(buf.size()));
+        if (!w.is_ok()) ++fail;
+        for (int i = 0; i < kWarmupReads; ++i) {
+          Status r = co_await c.read_contig(
+              h, 0, buf.data(), static_cast<std::int64_t>(buf.size()));
+          if (!r.is_ok()) ++fail;
+        }
+      }(*client, handle, out.failures));
+  cluster.run();
+
+  // Phase 2: server 1 degrades 4x for kWindow under paced reads.
+  const SimTime t0 = cluster.scheduler().now() + 2 * kMillisecond;
+  plan.add_degraded(/*node=*/1, t0, t0 + kWindow, 4.0);
+  for (int i = 0; i < kMeasuredReads; ++i) {
+    cluster.scheduler().spawn(
+        [](sim::Scheduler& sched, pfs::Client& c, std::uint64_t h,
+           SimTime due, int slot, OverloadArm& out) -> Task<void> {
+          co_await sched.delay(due - sched.now());
+          std::vector<std::uint8_t> buf(kReadBytes);
+          const SimTime start = sched.now();
+          Status r = co_await c.read_contig(
+              h, 0, buf.data(), static_cast<std::int64_t>(buf.size()));
+          out.latencies[static_cast<std::size_t>(slot)] = sched.now() - start;
+          if (!r.is_ok()) ++out.failures;
+        }(cluster.scheduler(), *client, handle, t0 + i * kPace, i, out));
+  }
+  cluster.run();
+
+  out.hedges_issued = client->hedges_issued();
+  out.hedges_won = client->hedges_won();
+  out.timeouts = client->rpc_timeouts();
+  return out;
+}
+
+/// Nearest-rank percentile over the raw latency samples (exact, not the
+/// log-linear histogram estimate).
+SimTime percentile_exact(std::vector<SimTime> v, double p) {
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(
+             p / 100.0 * static_cast<double>(v.size()) + 0.5) -
+             1));
+  return v[std::min(rank, v.size() - 1)];
 }
 
 int tile_main(int argc, char** argv) {
@@ -345,6 +465,11 @@ int tile_main(int argc, char** argv) {
                 static_cast<unsigned long long>(faulty.crc_rejects),
                 static_cast<unsigned long long>(faulty.crashes),
                 static_cast<unsigned long long>(faulty.faults.total()));
+    std::printf("               sheds=%llu hedges_issued=%llu "
+                "hedges_won=%llu\n",
+                static_cast<unsigned long long>(faulty.sheds),
+                static_cast<unsigned long long>(faulty.hedges_issued),
+                static_cast<unsigned long long>(faulty.hedges_won));
     std::printf("  retries off: sim=%.3fs failures=%d/%d (every fault that "
                 "hits a request is terminal)\n",
                 noretry.seconds, noretry.failures, reads_total);
@@ -363,6 +488,60 @@ int tile_main(int argc, char** argv) {
     report.scalars["chaos_faults_injected"] =
         static_cast<double>(faulty.faults.total());
     report.scalars["chaos_noretry_failures"] = noretry.failures;
+    report.scalars["chaos_sheds"] = static_cast<double>(faulty.sheds);
+    report.scalars["chaos_hedges_issued"] =
+        static_cast<double>(faulty.hedges_issued);
+    report.scalars["chaos_hedges_won"] =
+        static_cast<double>(faulty.hedges_won);
+  }
+
+  // Tail-latency ablation (--overload): the same degraded-server scenario
+  // with the overload layer (hedged reads + circuit breaker + AIMD
+  // window) on vs off. Gated so the default report stays byte-identical.
+  if (bench::flag_set(argc, argv, "--overload")) {
+    const OverloadArm off = run_overload_arm(false);
+    const OverloadArm on = run_overload_arm(true);
+    const SimTime p99_off = percentile_exact(off.latencies, 99);
+    const SimTime p99_on = percentile_exact(on.latencies, 99);
+    const double p99_ratio =
+        p99_on == 0 ? 0.0
+                    : static_cast<double>(p99_off) / static_cast<double>(p99_on);
+    std::printf("\noverload ablation: 100 paced 16 KiB reads, server 1 "
+                "degraded 4x for 150 ms\n");
+    std::printf("  hedging off: p50=%.0fus p99=%.0fus p999=%.0fus "
+                "timeouts=%llu failures=%d\n",
+                percentile_exact(off.latencies, 50) / 1e3, p99_off / 1e3,
+                percentile_exact(off.latencies, 99.9) / 1e3,
+                static_cast<unsigned long long>(off.timeouts), off.failures);
+    std::printf("  hedging on : p50=%.0fus p99=%.0fus p999=%.0fus "
+                "hedges=%llu won=%llu timeouts=%llu failures=%d\n",
+                percentile_exact(on.latencies, 50) / 1e3, p99_on / 1e3,
+                percentile_exact(on.latencies, 99.9) / 1e3,
+                static_cast<unsigned long long>(on.hedges_issued),
+                static_cast<unsigned long long>(on.hedges_won),
+                static_cast<unsigned long long>(on.timeouts), on.failures);
+    std::printf("  read p99 improvement: %.1fx\n", p99_ratio);
+    report.scalars["overload_off_read_p50_us"] =
+        percentile_exact(off.latencies, 50) / 1e3;
+    report.scalars["overload_off_read_p99_us"] = p99_off / 1e3;
+    report.scalars["overload_off_read_p999_us"] =
+        percentile_exact(off.latencies, 99.9) / 1e3;
+    report.scalars["overload_on_read_p50_us"] =
+        percentile_exact(on.latencies, 50) / 1e3;
+    report.scalars["overload_on_read_p99_us"] = p99_on / 1e3;
+    report.scalars["overload_on_read_p999_us"] =
+        percentile_exact(on.latencies, 99.9) / 1e3;
+    report.scalars["overload_p99_ratio"] = p99_ratio;
+    report.scalars["overload_off_hedges_issued"] =
+        static_cast<double>(off.hedges_issued);
+    report.scalars["overload_on_hedges_issued"] =
+        static_cast<double>(on.hedges_issued);
+    report.scalars["overload_on_hedges_won"] =
+        static_cast<double>(on.hedges_won);
+    report.scalars["overload_off_timeouts"] =
+        static_cast<double>(off.timeouts);
+    report.scalars["overload_on_timeouts"] = static_cast<double>(on.timeouts);
+    report.scalars["overload_failures"] = off.failures + on.failures;
   }
 
   bench::write_report(report, argc, argv, "BENCH_tile_reader.json");

@@ -26,6 +26,8 @@ std::string_view status_code_name(StatusCode code) noexcept {
       return "TIMED_OUT";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

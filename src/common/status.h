@@ -26,11 +26,13 @@ enum class StatusCode {
   kUnavailable,  // server unreachable after retry exhaustion
   kTimedOut,     // single request deadline expired (no retries attempted)
   kDataLoss,     // payload failed integrity verification (CRC mismatch)
+  kOverloaded,   // server shed the request (bounded queue full); retryable
+                 // after the reply's retry_after hint
 };
 
 /// Number of StatusCode enumerators; keep in sync with the enum so the
 /// name-coverage test can sweep every value.
-inline constexpr int kNumStatusCodes = 11;
+inline constexpr int kNumStatusCodes = 12;
 
 /// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
 std::string_view status_code_name(StatusCode code) noexcept;
@@ -88,6 +90,9 @@ inline Status timed_out_error(std::string msg) {
 }
 inline Status data_loss(std::string msg) {
   return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status overloaded(std::string msg) {
+  return {StatusCode::kOverloaded, std::move(msg)};
 }
 
 /// Value-or-Status. Use `value()` only after checking `is_ok()`.

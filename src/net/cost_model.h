@@ -103,6 +103,29 @@ struct ServerConfig {
   /// server remembers per (client, sequence) key. A retried request whose
   /// ack is still in the window is re-acknowledged without re-applying.
   std::size_t replay_window_entries = 1024;
+
+  /// Age bound on replay-window entries (simulated time; 0 = count-only
+  /// eviction). Long-lived clients with sparse retries would otherwise pin
+  /// stale acks until the FIFO wraps; entries older than this are expired
+  /// on insert/lookup, so a replay arriving after expiry re-executes.
+  /// Host-side state only — expiry never changes the event sequence of a
+  /// run without retries.
+  dtio::SimTime replay_window_max_age = 10 * dtio::kSecond;
+
+  /// Admission control: bound on the request backlog (mailbox queue) a
+  /// server tolerates before shedding data requests with kOverloaded
+  /// instead of letting queues grow without bound. 0 (default) = unbounded
+  /// legacy behaviour; everything below is dormant and the event sequence
+  /// is bit-identical.
+  std::size_t max_queue_depth = 0;
+
+  /// Companion byte bound on the queued backlog (wire bytes of queued
+  /// requests). 0 = no byte bound. Either bound tripping sheds.
+  std::uint64_t max_queued_bytes = 0;
+
+  /// CPU charged to fast-reject one shed request (header decode + reply
+  /// setup — far below request_overhead, which is the point of shedding).
+  dtio::SimTime shed_cost = 50 * dtio::kMicrosecond;
 };
 
 struct ClientConfig {
@@ -148,6 +171,42 @@ struct ClientConfig {
   dtio::SimTime rpc_backoff_base = 2 * dtio::kMillisecond;
   double rpc_backoff_multiplier = 2.0;
   double rpc_backoff_jitter = 0.25;
+
+  // ---- Overload protection (all default-off; see docs/fault-model.md).
+  // The three mechanisms below act per server ("lane") inside the
+  // reliable RPC path (rpc_timeout > 0) and are individually gated.
+
+  /// AIMD outstanding-request window cap per server. 0 = no flow control.
+  /// When set, at most floor(window) RPCs to one server are in flight per
+  /// client; the window starts at the cap, halves (floor 1) on
+  /// kOverloaded or timeout, and creeps back by 1/window per success —
+  /// TCP-style backpressure that reaches the issuer instead of piling
+  /// into the server's mailbox.
+  int flow_window = 0;
+
+  /// Circuit breaker: consecutive attempt failures (timeouts, unreachable)
+  /// on one server before the breaker opens. 0 = breaker off. While open,
+  /// RPCs to that server fail fast with kUnavailable (no wire traffic);
+  /// after breaker_open_duration one half-open probe is let through —
+  /// success closes the breaker, failure re-opens it.
+  int breaker_failures = 0;
+  dtio::SimTime breaker_open_duration = 50 * dtio::kMillisecond;
+
+  /// EWMA smoothing for per-server latency / failure-rate health tracking
+  /// (diagnostics; breaker trips on the consecutive-failure count).
+  double health_ewma_alpha = 0.2;
+
+  /// Hedged reads: percentile of the per-server observed attempt-latency
+  /// distribution after which a read-class RPC issues one hedge to the
+  /// same server on a fresh reply tag (first reply wins; the loser parks
+  /// unclaimed, exactly like a stale retry reply). 0 = hedging off.
+  /// Requires rpc_timeout > 0; the hedge extends the attempt's wait by a
+  /// fresh rpc_timeout, so a slow-but-alive primary still counts — the
+  /// mechanism that beats timeout-and-discard under a degraded server.
+  double hedge_quantile = 0;
+  /// Successful samples required on a lane before hedging arms (a
+  /// quantile of nothing is noise).
+  int hedge_min_samples = 16;
 };
 
 /// How two-phase aggregators write back rounds whose merged contributions

@@ -10,6 +10,7 @@
 // buffers (retries must resend clean data).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -101,6 +102,31 @@ class FaultPlan {
     windows_.push_back(Window{node, from, until, FaultSpec{}, /*outage=*/true});
   }
 
+  /// Degraded-node window: server `node`'s disk and CPU service times are
+  /// inflated by `factor` (> 1) during [from, until) — a straggler, not a
+  /// corpse. Purely declarative and RNG-free (the server queries
+  /// degraded_factor() when charging service time), so adding a window
+  /// neither consumes a draw nor perturbs the probabilistic fault stream;
+  /// straggler scenarios replay bit-for-bit like outages.
+  void add_degraded(int node, SimTime from, SimTime until, double factor) {
+    degraded_.push_back(Degraded{node, from, until, factor});
+  }
+
+  /// Service-time inflation for `node` at time `now`: the max factor over
+  /// matching degraded windows, 1.0 when none match. No RNG draw.
+  [[nodiscard]] double degraded_factor(int node, SimTime now) const noexcept {
+    double factor = 1.0;
+    for (const Degraded& d : degraded_) {
+      if (d.node == node && now >= d.from && now < d.until) {
+        factor = std::max(factor, d.factor);
+      }
+    }
+    return factor;
+  }
+  [[nodiscard]] bool has_degraded_windows() const noexcept {
+    return !degraded_.empty();
+  }
+
   /// Restrict injection to links with at least one endpoint below
   /// `max_node`. Lets chaos runs fault only client<->server links (nodes
   /// [0, num_servers)) while collective client<->client exchanges, which
@@ -153,6 +179,12 @@ class FaultPlan {
     FaultSpec spec;
     bool outage;
   };
+  struct Degraded {
+    int node;
+    SimTime from;
+    SimTime until;
+    double factor;
+  };
 
   void record(FaultKind kind, int src, int dst, SimTime now,
               std::uint64_t tag);
@@ -160,6 +192,7 @@ class FaultPlan {
   Rng rng_;
   FaultSpec default_;
   std::vector<Window> windows_;
+  std::vector<Degraded> degraded_;
   int scope_max_node_ = std::numeric_limits<int>::max();
   Corruptor corruptor_;
   bool log_events_ = false;

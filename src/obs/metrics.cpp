@@ -130,6 +130,18 @@ Histogram MetricsRegistry::merged_histogram(std::string_view name) const {
   return merged;
 }
 
+Histogram MetricsRegistry::merged_histogram(
+    std::string_view name, std::string_view label_contains) const {
+  Histogram merged;
+  for (const auto& [key, hist] : histograms_) {
+    if (key.first == name &&
+        key.second.find(label_contains) != std::string::npos) {
+      merged.merge(*hist);
+    }
+  }
+  return merged;
+}
+
 std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
   std::uint64_t total = 0;
   for (const auto& [key, ctr] : counters_) {

@@ -95,6 +95,12 @@ class MetricsRegistry {
   /// sets — e.g. one latency distribution over all ops and nodes.
   [[nodiscard]] Histogram merged_histogram(std::string_view name) const;
 
+  /// Same, restricted to label sets containing `label_contains` as a
+  /// substring — e.g. ("client_op_latency_ns", "op=datatype_read") for one
+  /// op's distribution across all nodes.
+  [[nodiscard]] Histogram merged_histogram(std::string_view name,
+                                           std::string_view label_contains) const;
+
   /// Sum of every counter named `name` across label sets.
   [[nodiscard]] std::uint64_t counter_total(std::string_view name) const;
 

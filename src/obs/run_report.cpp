@@ -30,6 +30,7 @@ void write_latency(JsonWriter& w, const LatencySummary& l) {
   w.kv("p50_us", l.p50_us);
   w.kv("p90_us", l.p90_us);
   w.kv("p99_us", l.p99_us);
+  w.kv("p999_us", l.p999_us);
   w.kv("max_us", l.max_us);
   w.end_object();
 }
@@ -44,6 +45,7 @@ LatencySummary LatencySummary::from(const Histogram& h) {
   s.p50_us = h.percentile(50) / kNsPerUs;
   s.p90_us = h.percentile(90) / kNsPerUs;
   s.p99_us = h.percentile(99) / kNsPerUs;
+  s.p999_us = h.percentile(99.9) / kNsPerUs;
   s.max_us = static_cast<double>(h.max()) / kNsPerUs;
   return s;
 }

@@ -29,6 +29,7 @@ struct LatencySummary {
   double p50_us = 0;
   double p90_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   double max_us = 0;
 
   [[nodiscard]] static LatencySummary from(const Histogram& ns_histogram);

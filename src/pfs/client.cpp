@@ -20,7 +20,8 @@ Client::Client(sim::Scheduler& sched, net::Network& network,
       node_(config.client_node(rank)),
       layout_(config.num_servers,
               static_cast<std::int64_t>(config.strip_size)),
-      rng_(mix_seed(config.seed, static_cast<std::uint64_t>(rank))) {}
+      rng_(mix_seed(config.seed, static_cast<std::uint64_t>(rank))),
+      lanes_(static_cast<std::size_t>(config.num_servers)) {}
 
 // ---- Observability ----------------------------------------------------------
 
@@ -40,8 +41,20 @@ void Client::set_observability(obs::Observability* obs) {
     obs_timeouts_ = nullptr;
     attempt_latency_ = nullptr;
     retry_backoff_ = nullptr;
+    obs_hedges_issued_ = nullptr;
+    obs_hedges_won_ = nullptr;
+    obs_overloaded_ = nullptr;
+    obs_fast_fails_ = nullptr;
     return;
   }
+  obs_hedges_issued_ = &obs->metrics.counter("client_hedges_issued_total",
+                                             obs::label("node", node_));
+  obs_hedges_won_ = &obs->metrics.counter("client_hedges_won_total",
+                                          obs::label("node", node_));
+  obs_overloaded_ = &obs->metrics.counter("client_overloaded_total",
+                                          obs::label("node", node_));
+  obs_fast_fails_ = &obs->metrics.counter("client_breaker_fast_fails_total",
+                                          obs::label("node", node_));
   obs_retries_ =
       &obs->metrics.counter("client_retries_total", obs::label("node", node_));
   obs_timeouts_ = &obs->metrics.counter("client_rpc_timeouts_total",
@@ -152,6 +165,134 @@ sim::Fire Client::send_fire(int dst, Box<sim::Message> message) {
   co_await network_->send(node_, dst, message.take());
 }
 
+// ---- Per-server lanes: flow control, health, circuit breaker ----------------
+
+Client::Lane& Client::lane(int server) {
+  Lane& l = lanes_[static_cast<std::size_t>(server)];
+  // Seeded lazily so a config tweaked after construction still takes.
+  if (l.window < 0) l.window = config_->client.flow_window;
+  return l;
+}
+
+Client::LaneHealth Client::lane_health(int server) const {
+  const Lane& l = lanes_[static_cast<std::size_t>(server)];
+  LaneHealth h;
+  h.window = l.window < 0 ? config_->client.flow_window : l.window;
+  h.outstanding = l.outstanding;
+  h.ewma_latency_ns = l.ewma_latency_ns;
+  h.failure_rate = l.failure_rate;
+  h.consecutive_failures = l.consecutive_failures;
+  h.breaker = static_cast<int>(l.breaker);
+  return h;
+}
+
+bool Client::LaneGate::await_ready() {
+  Lane& l = client->lane(server);
+  if (l.window <= 0 || l.outstanding < l.window) {
+    ++l.outstanding;
+    return true;
+  }
+  return false;
+}
+
+void Client::LaneGate::await_suspend(std::coroutine_handle<> h) {
+  client->lane(server).waiters.push_back(h);
+}
+
+void Client::lane_release(int server) {
+  Lane& l = lane(server);
+  --l.outstanding;
+  lane_grant(l);
+}
+
+void Client::lane_grant(Lane& l) {
+  while (!l.waiters.empty() && (l.window <= 0 || l.outstanding < l.window)) {
+    ++l.outstanding;
+    const std::coroutine_handle<> h = l.waiters.front();
+    l.waiters.pop_front();
+    sched_->schedule_at(sched_->now(), h);
+  }
+}
+
+void Client::note_window_increase(Lane& l) {
+  const int cap = config_->client.flow_window;
+  if (cap <= 0 || l.window <= 0 || l.window >= cap) return;
+  // Additive increase: one slot per full window of successes.
+  l.window_credit += 1.0 / static_cast<double>(l.window);
+  if (l.window_credit >= 1.0) {
+    l.window_credit = 0;
+    ++l.window;
+    lane_grant(l);
+  }
+}
+
+void Client::note_window_decrease(Lane& l) {
+  if (config_->client.flow_window <= 0 || l.window <= 1) return;
+  l.window = std::max(1, l.window / 2);  // multiplicative decrease, floor 1
+  l.window_credit = 0;
+}
+
+void Client::health_note(Lane& l, SimTime latency, bool failed, bool hedged) {
+  const double a = config_->client.health_ewma_alpha;
+  l.failure_rate = a * (failed ? 1.0 : 0.0) + (1.0 - a) * l.failure_rate;
+  if (failed) return;
+  l.ewma_latency_ns =
+      l.ewma_latency_ns == 0
+          ? static_cast<double>(latency)
+          : a * static_cast<double>(latency) + (1.0 - a) * l.ewma_latency_ns;
+  if (hedged) return;  // keep the deadline quantile on the healthy baseline
+  l.attempt_latency.record(latency);
+  ++l.samples;
+}
+
+bool Client::breaker_try_pass(Lane& l, int server) {
+  if (config_->client.breaker_failures <= 0) return true;
+  if (l.breaker == Lane::Breaker::kOpen) {
+    if (sched_->now() < l.open_until) return false;
+    // Cool-down elapsed: admit probes one at a time until one resolves.
+    l.breaker = Lane::Breaker::kHalfOpen;
+    l.probe_in_flight = false;
+    if (tracer_ != nullptr) {
+      tracer_->record({sched_->now(), "breaker_half_open", node_, server, 0,
+                       0, ""});
+    }
+  }
+  if (l.breaker == Lane::Breaker::kHalfOpen) {
+    if (l.probe_in_flight) return false;
+    l.probe_in_flight = true;
+  }
+  return true;
+}
+
+void Client::breaker_on_success(Lane& l, int server) {
+  l.consecutive_failures = 0;
+  if (config_->client.breaker_failures <= 0) return;
+  if (l.breaker == Lane::Breaker::kClosed) return;
+  l.breaker = Lane::Breaker::kClosed;
+  l.probe_in_flight = false;
+  if (tracer_ != nullptr) {
+    tracer_->record({sched_->now(), "breaker_close", node_, server, 0, 0, ""});
+  }
+}
+
+void Client::breaker_on_failure(Lane& l, int server) {
+  ++l.consecutive_failures;
+  const int threshold = config_->client.breaker_failures;
+  if (threshold <= 0) return;
+  const bool trip =
+      l.breaker == Lane::Breaker::kHalfOpen ||
+      (l.breaker == Lane::Breaker::kClosed &&
+       l.consecutive_failures >= threshold);
+  if (!trip) return;
+  l.breaker = Lane::Breaker::kOpen;
+  l.open_until = sched_->now() + config_->client.breaker_open_duration;
+  l.probe_in_flight = false;
+  if (tracer_ != nullptr) {
+    tracer_->record({sched_->now(), "breaker_open", node_, server, 0,
+                     static_cast<std::uint64_t>(l.consecutive_failures), ""});
+  }
+}
+
 // ---- RPC reliability core ---------------------------------------------------
 
 sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
@@ -160,6 +301,33 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
   const int max_attempts = reliable ? std::max(1, cc.rpc_max_attempts) : 1;
   Status last = internal_error("rpc: no attempt ran");
   bool all_timeouts = true;
+  // Set by a kOverloaded reply: the server's backlog-drain estimate, which
+  // replaces a smaller blind backoff before the next attempt.
+  SimTime retry_after_hint = 0;
+
+  Lane& ln = lane(slot->server);
+  // Circuit breaker: when this server's lane is open, fail fast with
+  // kUnavailable instead of burning a timeout — the caller's error path
+  // runs in microseconds rather than rpc_timeout.
+  if (reliable && !breaker_try_pass(ln, slot->server)) {
+    ++breaker_fast_fails_;
+    if (obs_fast_fails_ != nullptr) obs_fast_fails_->add(1);
+    slot->status = unavailable("circuit breaker open for server " +
+                               std::to_string(slot->server));
+    co_return;
+  }
+  // AIMD flow control: acquire one window slot on this server's lane for
+  // the whole RPC (all attempts); LaneReleaser's destructor releases it on
+  // every exit path.
+  LaneReleaser window_slot;
+  if (reliable && cc.flow_window > 0) {
+    co_await LaneGate{this, slot->server};
+    window_slot.client = this;
+    window_slot.server = slot->server;
+  }
+  const bool is_data_read = slot->request.op == OpKind::kContigRead ||
+                            slot->request.op == OpKind::kListRead ||
+                            slot->request.op == OpKind::kDatatypeRead;
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
@@ -173,6 +341,10 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
         backoff += static_cast<SimTime>(rng_.next_double() *
                                         cc.rpc_backoff_jitter *
                                         static_cast<double>(backoff));
+      }
+      if (retry_after_hint > 0) {
+        backoff = std::max(backoff, retry_after_hint);
+        retry_after_hint = 0;
       }
       ++rpc_retries_;
       ++stats_.requests_sent;
@@ -211,14 +383,70 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
     co_await network_->send(node_, slot->server, std::move(out));
 
     sim::Message msg;
+    bool hedge_sent = false;
+    bool hedge_won = false;
     if (!reliable) {
       msg = co_await network_->mailbox(node_).recv(slot->server, tag);
     } else {
-      std::optional<sim::Message> maybe =
-          co_await network_->mailbox(node_).recv_for(slot->server, tag,
-                                                     cc.rpc_timeout);
+      std::optional<sim::Message> maybe;
+      // Hedged reads: once this lane has enough latency samples, wait only
+      // to the configured latency quantile; if the primary reply has not
+      // arrived by then, issue one hedge (fresh reply tag, same op_seq)
+      // and await BOTH tags for a fresh full rpc_timeout — first reply
+      // wins, and a slow-but-alive primary still counts. Reads only:
+      // hedging a write would double-apply without replay protection, and
+      // read hedges are idempotent by nature.
+      SimTime hedge_delay = 0;
+      if (cc.hedge_quantile > 0 && is_data_read &&
+          ln.samples >= static_cast<std::uint64_t>(
+                            std::max(1, cc.hedge_min_samples)) &&
+          ln.breaker == Lane::Breaker::kClosed) {
+        // The log-linear histogram reports bucket midpoints, which can sit
+        // just below the true quantile sample — close enough for a healthy
+        // reply to race its own hedge. One bucket width of headroom makes
+        // the estimate an upper bound on the bucketed sample.
+        hedge_delay = static_cast<SimTime>(
+            ln.attempt_latency.percentile(cc.hedge_quantile) *
+            (1.0 + 1.0 / obs::Histogram::kSubBuckets));
+        if (hedge_delay <= 0 || hedge_delay >= cc.rpc_timeout) hedge_delay = 0;
+      }
+      if (hedge_delay > 0) {
+        maybe = co_await network_->mailbox(node_).recv_for(slot->server, tag,
+                                                           hedge_delay);
+        if (!maybe.has_value()) {
+          Request hedge = slot->request;
+          hedge.reply_tag = next_reply_tag();
+          const std::uint64_t hedge_tag = hedge.reply_tag;
+          if (attempt_span != 0) hedge.parent_span = attempt_span;
+          hedge_sent = true;
+          ++hedges_issued_;
+          ++stats_.requests_sent;
+          if (obs_hedges_issued_ != nullptr) obs_hedges_issued_->add(1);
+          if (tracer_ != nullptr) {
+            tracer_->record({sched_->now(), "hedge", node_, slot->server,
+                             hedge_tag, 0, op_name(slot->request.op)});
+          }
+          sim::Message out2(node_, kTagRequest, slot->wire_bytes,
+                            std::move(hedge));
+          out2.trace = slot->request.trace_id;
+          out2.span = attempt_span != 0
+                          ? attempt_span
+                          : (slot->rpc_span != 0 ? slot->rpc_span
+                                                 : slot->request.parent_span);
+          co_await network_->send(node_, slot->server, std::move(out2));
+          maybe = co_await network_->mailbox(node_).recv2_for(
+              slot->server, tag, hedge_tag, cc.rpc_timeout);
+          if (maybe.has_value() && maybe->tag == hedge_tag) hedge_won = true;
+        }
+      } else {
+        maybe = co_await network_->mailbox(node_).recv_for(slot->server, tag,
+                                                           cc.rpc_timeout);
+      }
       if (!maybe.has_value()) {
         ++rpc_timeouts_;
+        health_note(ln, 0, /*failed=*/true);
+        note_window_decrease(ln);
+        breaker_on_failure(ln, slot->server);
         last = timed_out_error("rpc to server " +
                                std::to_string(slot->server) +
                                " timed out (attempt " +
@@ -231,6 +459,10 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
         continue;
       }
       msg = std::move(*maybe);
+      if (hedge_won) {
+        ++hedges_won_;
+        if (obs_hedges_won_ != nullptr) obs_hedges_won_->add(1);
+      }
     }
     Reply reply = msg.take<Reply>();
     if (obs_ != nullptr && reliable) {
@@ -242,6 +474,7 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
     if (reply.has_payload_crc && reply.data &&
         crc32(*reply.data) != reply.payload_crc) {
       all_timeouts = false;
+      if (reliable) health_note(ln, 0, /*failed=*/true);
       last = data_loss("read reply payload CRC mismatch from server " +
                        std::to_string(slot->server));
       continue;
@@ -251,12 +484,34 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
       const StatusCode code =
           reply.code == StatusCode::kOk ? StatusCode::kInternal : reply.code;
       last = Status(code, reply.error);
+      if (code == StatusCode::kOverloaded && reliable) {
+        // The server shed this request at admission. Retryable like
+        // kDataLoss, with two twists: the window halves (the shed IS the
+        // backpressure signal), and the server's retry_after hint floors
+        // the next backoff. Sheds are deliberate, cheap, and prove the
+        // server alive — they do not count toward the breaker.
+        ++overloads_seen_;
+        if (obs_overloaded_ != nullptr) obs_overloaded_->add(1);
+        health_note(ln, 0, /*failed=*/true);
+        note_window_decrease(ln);
+        retry_after_hint = reply.retry_after;
+        if (attempt < max_attempts) continue;
+      }
       // kDataLoss marks a transient corruption rejection — retry; every
       // other error class is definitive.
-      if (code == StatusCode::kDataLoss && reliable) continue;
+      if (code == StatusCode::kDataLoss && reliable) {
+        health_note(ln, 0, /*failed=*/true);
+        continue;
+      }
       slot->status = last;
       slot->reply = std::move(reply);
       co_return;
+    }
+    if (reliable) {
+      health_note(ln, sched_->now() - attempt_start, /*failed=*/false,
+                  hedge_sent);
+      note_window_increase(ln);
+      breaker_on_success(ln, slot->server);
     }
     slot->status = Status::ok();
     slot->reply = std::move(reply);

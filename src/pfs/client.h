@@ -14,7 +14,9 @@
 // pointers; the caller keeps them alive across the co_await.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "pfs/protocol.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
+#include "sim/tracer.h"
 #include "sim/waitgroup.h"
 
 namespace dtio::pfs {
@@ -66,6 +69,36 @@ class Client {
   [[nodiscard]] std::uint64_t rpc_timeouts() const noexcept {
     return rpc_timeouts_;
   }
+
+  /// Overload-protection counters (all zero unless the corresponding
+  /// mechanism is enabled in ClientConfig).
+  [[nodiscard]] std::uint64_t hedges_issued() const noexcept {
+    return hedges_issued_;
+  }
+  [[nodiscard]] std::uint64_t hedges_won() const noexcept {
+    return hedges_won_;
+  }
+  [[nodiscard]] std::uint64_t overloads_seen() const noexcept {
+    return overloads_seen_;
+  }
+  [[nodiscard]] std::uint64_t breaker_fast_fails() const noexcept {
+    return breaker_fast_fails_;
+  }
+
+  /// Snapshot of one per-server lane's health, for tests and benches.
+  struct LaneHealth {
+    int window = 0;       ///< current AIMD cap (0 = flow control off)
+    int outstanding = 0;
+    double ewma_latency_ns = 0;
+    double failure_rate = 0;  ///< EWMA of attempt failures in [0, 1]
+    int consecutive_failures = 0;
+    int breaker = 0;  ///< 0 = closed, 1 = open, 2 = half-open
+  };
+  [[nodiscard]] LaneHealth lane_health(int server) const;
+
+  /// Attach the event tracer (nullptr detaches): breaker transitions and
+  /// hedge issues become trace events. Not owned.
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Attach the observability context (nullptr detaches). Not owned.
   /// Per-op latency histograms are resolved here, once, so the op path
@@ -167,8 +200,79 @@ class Client {
   /// attempt, CRC verification of read-reply data, kUnavailable /
   /// kTimedOut / kDataLoss surfaced through slot->status. With it off
   /// (the default) this is exactly the legacy send + untimed recv.
+  ///
+  /// Layered on top (each gated by its own ClientConfig knob, default
+  /// off): circuit-breaker fail-fast, AIMD per-server window acquisition,
+  /// hedged reads, and kOverloaded handling with the server's retry_after
+  /// hint.
   sim::Task<void> rpc_attempts(RpcSlot* slot);
   sim::Fire rpc_fire(RpcSlot* slot, sim::WaitGroup* wg);
+
+  /// Per-server robustness state ("lane"): AIMD congestion window, EWMA
+  /// health, circuit breaker, and the attempt-latency histogram that
+  /// supplies the hedging deadline quantile.
+  struct Lane {
+    enum class Breaker { kClosed, kOpen, kHalfOpen };
+
+    int window = -1;  ///< AIMD cap; -1 = not yet seeded from config
+    int outstanding = 0;
+    double window_credit = 0;  ///< additive-increase accumulator
+    std::deque<std::coroutine_handle<>> waiters;
+
+    double ewma_latency_ns = 0;
+    double failure_rate = 0;
+    int consecutive_failures = 0;
+
+    Breaker breaker = Breaker::kClosed;
+    SimTime open_until = 0;
+    bool probe_in_flight = false;  ///< half-open admits one probe at a time
+
+    obs::Histogram attempt_latency;  ///< successful attempts only
+    std::uint64_t samples = 0;
+  };
+
+  /// Awaiter for one AIMD window slot on a lane; parks FIFO when the
+  /// window is full. Released via lane_release (grant-on-release, like
+  /// sim::Resource).
+  struct LaneGate {
+    Client* client;
+    int server;
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() noexcept {}
+  };
+  /// RAII window-slot release; lives in the rpc_attempts frame so every
+  /// exit path (success, fail-fast, exhausted retries) releases exactly
+  /// once.
+  struct LaneReleaser {
+    Client* client = nullptr;
+    int server = 0;
+    LaneReleaser() = default;
+    LaneReleaser(const LaneReleaser&) = delete;
+    LaneReleaser& operator=(const LaneReleaser&) = delete;
+    ~LaneReleaser() {
+      if (client != nullptr) client->lane_release(server);
+    }
+  };
+
+  [[nodiscard]] Lane& lane(int server);
+  void lane_release(int server);
+  /// Resume parked waiters while the window has room.
+  void lane_grant(Lane& l);
+  /// AIMD: +1/window per success (up to the configured cap)…
+  void note_window_increase(Lane& l);
+  /// …halve (floor 1) on timeout or kOverloaded.
+  void note_window_decrease(Lane& l);
+  /// EWMA latency / failure-rate update. Successful attempts also feed the
+  /// hedging histogram — unless the attempt issued a hedge: a straggling
+  /// server would otherwise inflate the deadline quantile past rpc_timeout
+  /// and disable the very mechanism masking it, so the histogram tracks
+  /// the healthy baseline only.
+  void health_note(Lane& l, SimTime latency, bool failed, bool hedged = false);
+  /// Circuit breaker: false = fail fast (open, or half-open probe taken).
+  [[nodiscard]] bool breaker_try_pass(Lane& l, int server);
+  void breaker_on_success(Lane& l, int server);
+  void breaker_on_failure(Lane& l, int server);
 
   /// One client operation's trace context. begin_op is a no-op returning
   /// zeroes when observability is detached; finish_op closes the root span
@@ -212,6 +316,12 @@ class Client {
   Rng rng_;
   std::uint64_t rpc_retries_ = 0;
   std::uint64_t rpc_timeouts_ = 0;
+  std::uint64_t hedges_issued_ = 0;
+  std::uint64_t hedges_won_ = 0;
+  std::uint64_t overloads_seen_ = 0;
+  std::uint64_t breaker_fast_fails_ = 0;
+  std::vector<Lane> lanes_;  ///< one per server
+  sim::Tracer* tracer_ = nullptr;
 
   static constexpr int kNumOps = 12;  ///< OpKind enumerator count
   obs::Observability* obs_ = nullptr;
@@ -221,6 +331,10 @@ class Client {
   obs::Counter* obs_timeouts_ = nullptr;       ///< client_rpc_timeouts_total
   obs::Histogram* attempt_latency_ = nullptr;  ///< client_rpc_attempt_latency_ns
   obs::Histogram* retry_backoff_ = nullptr;    ///< client_retry_backoff_ns
+  obs::Counter* obs_hedges_issued_ = nullptr;  ///< client_hedges_issued_total
+  obs::Counter* obs_hedges_won_ = nullptr;     ///< client_hedges_won_total
+  obs::Counter* obs_overloaded_ = nullptr;     ///< client_overloaded_total
+  obs::Counter* obs_fast_fails_ = nullptr;     ///< client_breaker_fast_fails_total
 };
 
 }  // namespace dtio::pfs

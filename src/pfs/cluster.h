@@ -63,6 +63,7 @@ class Cluster {
     auto client = std::make_unique<Client>(scheduler_, network_, config_,
                                            rank);
     if (obs_ != nullptr) client->set_observability(obs_);
+    if (tracer_ != nullptr) client->set_tracer(tracer_);
     return client;
   }
 
@@ -70,9 +71,12 @@ class Cluster {
   /// mailboxes; the event queue drains when all clients finish).
   void run() { scheduler_.run(); }
 
-  /// Attach an event tracer to the network and every server (nullptr
-  /// detaches). The tracer must outlive the traced activity.
+  /// Attach an event tracer to the network, every server, and every client
+  /// created afterwards (nullptr detaches). Call before make_client for
+  /// client-side events (breaker transitions, hedges). The tracer must
+  /// outlive the traced activity.
   void set_tracer(sim::Tracer* tracer) {
+    tracer_ = tracer;
     network_.set_tracer(tracer);
     for (auto& server : servers_) server->set_tracer(tracer);
   }
@@ -132,6 +136,7 @@ class Cluster {
   net::Network network_;
   std::vector<std::unique_ptr<IOServer>> servers_;
   obs::Observability* obs_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace dtio::pfs

@@ -133,6 +133,10 @@ struct Reply {
   /// CRC32 of `data` for read replies, mirroring Request::payload_crc.
   std::uint32_t payload_crc = 0;
   bool has_payload_crc = false;
+  /// kOverloaded replies only: the server's cost-model estimate of its
+  /// backlog drain time — the client waits at least this long (instead of
+  /// its own blind backoff) before retrying a shed request.
+  std::int64_t retry_after = 0;  ///< simulated ns; 0 = no hint
 };
 
 /// Human-readable operation name ("contig_read", "meta_stat", ...), used

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "dataloop/cursor.h"
 #include "dataloop/serialize.h"
+#include "net/fault.h"
 
 namespace dtio::pfs {
 
@@ -82,6 +83,8 @@ void IOServer::set_observability(obs::Observability* obs) {
     obs_replays_ = nullptr;
     obs_crashes_ = nullptr;
     obs_crc_rejects_ = nullptr;
+    obs_shed_depth_ = nullptr;
+    obs_shed_bytes_ = nullptr;
     return;
   }
   obs_requests_ = &obs->metrics.counter(
@@ -98,6 +101,10 @@ void IOServer::set_observability(obs::Observability* obs) {
       "server_crashes_total", obs::label("node", server_index_));
   obs_crc_rejects_ = &obs->metrics.counter(
       "server_crc_rejects_total", obs::label("node", server_index_));
+  obs_shed_depth_ = &obs->metrics.counter(
+      "server_shed_total", obs::label("reason", "depth", "node", server_index_));
+  obs_shed_bytes_ = &obs->metrics.counter(
+      "server_shed_total", obs::label("reason", "bytes", "node", server_index_));
 }
 
 void IOServer::schedule_crash(SimTime at, SimTime restart_delay) {
@@ -174,13 +181,95 @@ void IOServer::store_ack(const Request& request, const Reply& reply) {
   if (request.op_seq == 0) return;
   if (crashed_ || req_epoch_ != epoch_) return;  // this request's epoch died
   if (reply.code == StatusCode::kDataLoss) return;
+  expire_replay_acks();
   const std::uint64_t key = replay_key(request.client_node, request.op_seq);
   if (!replay_acks_.emplace(key, reply).second) return;
-  replay_order_.push_back(key);
+  replay_order_.emplace_back(key, sched_->now());
   if (replay_order_.size() > config_->server.replay_window_entries) {
-    replay_acks_.erase(replay_order_.front());
+    replay_acks_.erase(replay_order_.front().first);
     replay_order_.pop_front();
   }
+}
+
+void IOServer::expire_replay_acks() {
+  const SimTime max_age = config_->server.replay_window_max_age;
+  if (max_age <= 0) return;
+  const SimTime now = sched_->now();
+  // Acks strictly older than max_age go; the deque is in store order, so
+  // time order, and expiry only ever pops from the front.
+  while (!replay_order_.empty() &&
+         now - replay_order_.front().second > max_age) {
+    replay_acks_.erase(replay_order_.front().first);
+    replay_order_.pop_front();
+    ++stats_.replays_expired;
+  }
+}
+
+bool IOServer::over_admission_bounds(const char*& reason) const {
+  const net::ServerConfig& cfg = config_->server;
+  const sim::Mailbox& mb = network_->mailbox(server_index_);
+  if (cfg.max_queue_depth > 0 && mb.queued() >= cfg.max_queue_depth) {
+    reason = "depth";
+    return true;
+  }
+  if (cfg.max_queued_bytes > 0 && mb.queued_bytes() >= cfg.max_queued_bytes) {
+    reason = "bytes";
+    return true;
+  }
+  return false;
+}
+
+SimTime IOServer::backlog_drain_estimate() const {
+  const net::ServerConfig& cfg = config_->server;
+  const sim::Mailbox& mb = network_->mailbox(server_index_);
+  const auto depth = static_cast<std::int64_t>(mb.queued());
+  const SimTime per_request = cfg.request_overhead + cfg.disk_access_overhead;
+  return scaled(depth * per_request +
+                transfer_time(mb.queued_bytes(),
+                              cfg.disk_bandwidth_bytes_per_s));
+}
+
+double IOServer::degraded_factor_now() const {
+  const net::FaultPlan* plan = network_->fault_plan();
+  if (plan == nullptr || !plan->has_degraded_windows()) return 1.0;
+  return plan->degraded_factor(server_index_, sched_->now());
+}
+
+sim::Task<void> IOServer::shed_request(Box<Request> boxed, const char* reason) {
+  Request request = boxed.take();
+  ++stats_.requests;
+  req_trace_ = request.trace_id;
+  req_span_ = 0;
+  req_epoch_ = epoch_;
+  req_degrade_ = degraded_factor_now();
+  const bool by_bytes = reason[0] == 'b';
+  if (by_bytes) {
+    ++stats_.sheds_bytes;
+    if (obs_ != nullptr) obs_shed_bytes_->add(1);
+  } else {
+    ++stats_.sheds_depth;
+    if (obs_ != nullptr) obs_shed_depth_->add(1);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record({sched_->now(), "shed", server_index_, request.client_node,
+                     request.reply_tag,
+                     static_cast<std::uint64_t>(
+                         network_->mailbox(server_index_).queued()),
+                     reason});
+  }
+  DTIO_DEBUG("srv" << server_index_ << " SHED " << op_name(request.op)
+                   << " from node " << request.client_node << " (" << reason
+                   << ")");
+  // Shedding is cheap by design — that is the whole point of admission
+  // control: a bounded, small cost per refused request instead of an
+  // unbounded queue of full-price ones.
+  co_await cpu_.use(scaled(config_->server.shed_cost));
+  Reply reply;
+  reply.ok = false;
+  reply.code = StatusCode::kOverloaded;
+  reply.error = std::string("shed: queue ") + reason + " bound exceeded";
+  reply.retry_after = backlog_drain_estimate();
+  send_reply(request.client_node, request.reply_tag, std::move(reply), 0);
 }
 
 void IOServer::sample_counters() {
@@ -222,6 +311,22 @@ sim::Task<void> IOServer::run() {
       ++stats_.crash_discarded;
       continue;
     }
+    const auto backlog = static_cast<std::uint64_t>(mailbox.queued());
+    if (backlog > stats_.max_backlog) stats_.max_backlog = backlog;
+    // Admission control happens at dequeue (the mailbox IS the queue):
+    // when the backlog still waiting behind this request exceeds the
+    // configured bound, shed rather than serve. Head-drop is deliberate —
+    // the head waited longest, so its client is the most likely to have
+    // timed out and retried already. Lock traffic is never shed: the
+    // client lock path has no retry layer and a shed would strand it.
+    const char* shed_reason = nullptr;
+    if (over_admission_bounds(shed_reason)) {
+      const OpKind op = msg.as<Request>().op;
+      if (op != OpKind::kMetaLock && op != OpKind::kMetaUnlock) {
+        co_await shed_request(Box<Request>(msg.take<Request>()), shed_reason);
+        continue;
+      }
+    }
     // Requests are handled sequentially: one CPU, one disk per server.
     co_await handle_request(Box<Request>(msg.take<Request>()));
   }
@@ -240,6 +345,10 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
   req_trace_ = request.trace_id;
   req_span_ = 0;
   req_epoch_ = epoch_;
+  // Straggler modelling: one factor per request, sampled at entry, scales
+  // every service-time charge below (decode, per-region CPU, disk).
+  req_degrade_ = degraded_factor_now();
+  if (req_degrade_ > 1.0) ++stats_.degraded_requests;
   if (obs_ != nullptr) {
     obs_requests_->add(1);
     req_span_ = obs_->spans.begin("server_handle", server_index_,
@@ -247,7 +356,7 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
                                   req_trace_);
     sample_counters();
   }
-  co_await sched_->delay(config_->server.request_overhead);
+  co_await sched_->delay(scaled(config_->server.request_overhead));
   if (crashed_ || req_epoch_ != epoch_) {
     // Crashed while decoding this request: the work evaporates.
     if (obs_ != nullptr) obs_->spans.end(req_span_, sched_->now());
@@ -258,6 +367,7 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
   // window is re-acknowledged (to the retry's fresh reply tag) without
   // re-applying — the first execution's effects stand.
   if (request.op_seq != 0) {
+    expire_replay_acks();
     const auto it =
         replay_acks_.find(replay_key(request.client_node, request.op_seq));
     if (it != replay_acks_.end()) {
@@ -458,8 +568,8 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
                                       sched_->now(), req_span_, req_trace_);
       obs_->spans.set_value(decode_span, p.loop_node_count);
     }
-    co_await sched_->delay(config_->server.dataloop_decode_cost_per_node *
-                           p.loop_node_count);
+    co_await sched_->delay(scaled(config_->server.dataloop_decode_cost_per_node *
+                                  p.loop_node_count));
     if (obs_ != nullptr) obs_->spans.end(decode_span, sched_->now());
     if (config_->server.dataloop_cache) {
       loop_cache_order_.push_back(cache_key);
@@ -539,7 +649,7 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
                                : config_->server.per_dataloop_region_cost);
   if (skipped > 0) {
     // Each pruned subtree still costs one span/stripe intersection probe.
-    co_await cpu_.use(config_->server.subtree_probe_cost * skipped);
+    co_await cpu_.use(scaled(config_->server.subtree_probe_cost * skipped));
   }
   co_await charge_disk(applier.my_bytes);
   finish_data_reply(request, is_write, applier.my_bytes,
@@ -645,14 +755,15 @@ sim::Task<void> IOServer::charge_disk(std::int64_t bytes) {
   // still serialised against other requests on this disk.
   constexpr std::int64_t kPipelineChunk = 64 * 1024;
   const std::int64_t first = std::min(bytes, kPipelineChunk);
-  co_await disk_.use(config_->server.disk_access_overhead +
-                     transfer_time(static_cast<std::uint64_t>(first),
-                                   config_->server.disk_bandwidth_bytes_per_s));
+  co_await disk_.use(
+      scaled(config_->server.disk_access_overhead +
+             transfer_time(static_cast<std::uint64_t>(first),
+                           config_->server.disk_bandwidth_bytes_per_s)));
   const std::int64_t rest = bytes - first;
   if (rest > 0) {
-    sched_->start(disk_drain(transfer_time(
+    sched_->start(disk_drain(scaled(transfer_time(
         static_cast<std::uint64_t>(rest),
-        config_->server.disk_bandwidth_bytes_per_s)));
+        config_->server.disk_bandwidth_bytes_per_s))));
   }
   if (obs_ != nullptr) obs_->spans.end(disk_span, sched_->now());
 }
@@ -662,6 +773,7 @@ sim::Fire IOServer::disk_drain(SimTime hold) { co_await disk_.use(hold); }
 sim::Task<void> IOServer::charge_regions(std::int64_t pieces,
                                          SimTime per_region) {
   if (pieces <= 0) co_return;
+  per_region = scaled(per_region);
   obs::SpanId regions_span = 0;
   if (obs_ != nullptr) {
     regions_span = obs_->spans.begin("regions", server_index_, sched_->now(),

@@ -51,6 +51,11 @@ struct ServerStats {
                                         ///< at crash time or arrived while down)
   std::uint64_t replays_suppressed = 0; ///< retried ops re-acked, not re-applied
   std::uint64_t crc_rejects = 0;        ///< requests refused with kDataLoss
+  std::uint64_t sheds_depth = 0;        ///< requests shed: queue depth bound
+  std::uint64_t sheds_bytes = 0;        ///< requests shed: queued-bytes bound
+  std::uint64_t max_backlog = 0;        ///< deepest mailbox backlog observed
+  std::uint64_t degraded_requests = 0;  ///< requests served at factor > 1
+  std::uint64_t replays_expired = 0;    ///< replay acks evicted by age
 };
 
 class IOServer {
@@ -89,6 +94,26 @@ class IOServer {
 
   void crash();
   void restart();
+  /// Admission control: true when the post-dequeue backlog exceeds the
+  /// configured queue bounds, with the violated bound's name in `reason`.
+  bool over_admission_bounds(const char*& reason) const;
+  /// Shed path for an over-bounds data request: charge the (cheap) shed
+  /// cost and answer kOverloaded with a backlog-drain retry_after hint.
+  sim::Task<void> shed_request(Box<Request> boxed, const char* reason);
+  /// Cost-model estimate of the current backlog's drain time, the
+  /// retry_after hint carried by kOverloaded replies.
+  [[nodiscard]] SimTime backlog_drain_estimate() const;
+  /// Straggler factor for this server at the current sim time (1.0 when no
+  /// fault plan or no matching degraded window).
+  [[nodiscard]] double degraded_factor_now() const;
+  /// Service time scaled by the degraded factor sampled at request entry.
+  [[nodiscard]] SimTime scaled(SimTime t) const noexcept {
+    return req_degrade_ == 1.0
+               ? t
+               : static_cast<SimTime>(static_cast<double>(t) * req_degrade_);
+  }
+  /// Drop replay acks older than ServerConfig::replay_window_max_age.
+  void expire_replay_acks();
   /// Verify request payload / descriptor CRCs. On mismatch fills `reply`
   /// with a kDataLoss rejection and returns false.
   bool verify_integrity(const Request& request, Reply& reply);
@@ -145,6 +170,8 @@ class IOServer {
   obs::Counter* obs_replays_ = nullptr;     ///< server_replays_suppressed_total
   obs::Counter* obs_crashes_ = nullptr;     ///< server_crashes_total
   obs::Counter* obs_crc_rejects_ = nullptr; ///< server_crc_rejects_total
+  obs::Counter* obs_shed_depth_ = nullptr;  ///< server_shed_total{reason=depth}
+  obs::Counter* obs_shed_bytes_ = nullptr;  ///< server_shed_total{reason=bytes}
   // Trace context of the request currently being handled (requests are
   // handled sequentially, so plain members suffice).
   std::uint64_t req_trace_ = 0;
@@ -163,12 +190,18 @@ class IOServer {
   bool crashed_ = false;
   std::uint64_t epoch_ = 0;
   std::uint64_t req_epoch_ = 0;
+  // Straggler inflation for the request in flight, sampled once at entry
+  // so one request sees one consistent factor even if it straddles a
+  // degraded-window edge.
+  double req_degrade_ = 1.0;
 
   // Idempotent-replay window: ack by replay_key(client, op_seq), FIFO
-  // eviction bounded by ServerConfig::replay_window_entries. Cleared on
+  // eviction bounded by ServerConfig::replay_window_entries and (when
+  // replay_window_max_age > 0) by simulated age — the deque is in store
+  // order, which is time order, so expiry pops from the front. Cleared on
   // crash (the window is process state, not durable).
   std::unordered_map<std::uint64_t, Reply> replay_acks_;
-  std::deque<std::uint64_t> replay_order_;
+  std::deque<std::pair<std::uint64_t, SimTime>> replay_order_;
 
   // Decoded-dataloop cache (enabled by ServerConfig::dataloop_cache),
   // keyed by a hash of the encoded bytes; bounded true-LRU eviction (a

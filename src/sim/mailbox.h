@@ -136,16 +136,58 @@ class Mailbox {
   /// message, or with nullopt once `timeout` elapses without a match. The
   /// timer always fires (no cancellation) but is a no-op if the waiter
   /// already matched — expiry is looked up by id, never by address.
+  /// Deadline-exact arrivals lose: the expiry callback was scheduled when
+  /// the waiter parked, so at the deadline tick it runs before a deliver
+  /// scheduled later for the same instant.
   [[nodiscard]] TimedRecvAwaiter recv_for(int src, std::uint64_t tag,
                                           SimTime timeout) {
     return TimedRecvAwaiter{this, src, tag, timeout, {}, false};
+  }
+
+  struct TimedRecv2Awaiter {
+    Mailbox* mailbox;
+    int src_filter;
+    std::uint64_t tag_a;
+    std::uint64_t tag_b;
+    SimTime timeout;
+    Message message;
+    bool expired = false;
+
+    bool await_ready() {
+      return mailbox->try_take(src_filter, tag_a, message) ||
+             mailbox->try_take(src_filter, tag_b, message);
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      const std::uint64_t id = ++mailbox->next_waiter_id_;
+      mailbox->waiters_.push_back(
+          Waiter{src_filter, tag_a, &message, h, id, &expired, tag_b, true});
+      Mailbox* mb = mailbox;
+      mb->sched_->schedule_call(mb->sched_->now() + timeout,
+                                [mb, id] { mb->expire_waiter(id); });
+    }
+    std::optional<Message> await_resume() noexcept {
+      if (expired) return std::nullopt;
+      return std::move(message);
+    }
+  };
+
+  /// recv_for() matching EITHER of two tags from `src` — first delivery
+  /// wins; inspect the returned Message's `tag` to see which. Built for
+  /// hedged requests: the primary and the hedge carry distinct reply tags
+  /// and one receive awaits both, so the losing reply parks unclaimed
+  /// instead of being mistaken for anything.
+  [[nodiscard]] TimedRecv2Awaiter recv2_for(int src, std::uint64_t tag_a,
+                                            std::uint64_t tag_b,
+                                            SimTime timeout) {
+    return TimedRecv2Awaiter{this, src, tag_a, tag_b, timeout, {}, false};
   }
 
   /// Hand a fully-arrived message to this mailbox. If a parked receiver
   /// matches, it is resumed through the event queue at the current time.
   void deliver(Message msg) {
     for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-      if (matches(msg, it->src_filter, it->tag_filter)) {
+      if (matches(msg, it->src_filter, it->tag_filter) ||
+          (it->has_alt_tag && matches(msg, it->src_filter, it->tag_alt))) {
         *it->slot = std::move(msg);
         auto h = it->handle;
         waiters_.erase(it);
@@ -153,10 +195,16 @@ class Mailbox {
         return;
       }
     }
+    queued_bytes_ += msg.wire_bytes;
     queue_.push_back(std::move(msg));
   }
 
   [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  /// Wire bytes of the queued (undelivered) backlog — what a server's
+  /// admission control weighs against ServerConfig::max_queued_bytes.
+  [[nodiscard]] std::uint64_t queued_bytes() const noexcept {
+    return queued_bytes_;
+  }
   [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
 
   /// Discard every queued (undelivered) message; parked receivers are left
@@ -164,6 +212,7 @@ class Mailbox {
   std::size_t clear_queue() noexcept {
     const std::size_t n = queue_.size();
     queue_.clear();
+    queued_bytes_ = 0;
     return n;
   }
 
@@ -175,6 +224,8 @@ class Mailbox {
     std::coroutine_handle<> handle;
     std::uint64_t id = 0;        // nonzero only for timed waiters
     bool* expired = nullptr;     // set before resuming on timeout
+    std::uint64_t tag_alt = 0;   // second acceptable tag (hedged receives)
+    bool has_alt_tag = false;
   };
 
   /// Timer callback for a timed waiter: if it is still parked, mark it
@@ -201,6 +252,7 @@ class Mailbox {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (matches(*it, src_filter, tag_filter)) {
         out = std::move(*it);
+        queued_bytes_ -= out.wire_bytes;
         queue_.erase(it);
         return true;
       }
@@ -212,6 +264,7 @@ class Mailbox {
   std::deque<Message> queue_;
   std::deque<Waiter> waiters_;
   std::uint64_t next_waiter_id_ = 0;
+  std::uint64_t queued_bytes_ = 0;
 };
 
 }  // namespace dtio::sim
