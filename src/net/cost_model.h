@@ -105,12 +105,13 @@ struct ServerConfig {
   std::size_t replay_window_entries = 1024;
 
   /// Age bound on replay-window entries (simulated time; 0 = count-only
-  /// eviction). Long-lived clients with sparse retries would otherwise pin
+  /// eviction, the default — scenarios opt in like the other robustness
+  /// gates). Long-lived clients with sparse retries would otherwise pin
   /// stale acks until the FIFO wraps; entries older than this are expired
   /// on insert/lookup, so a replay arriving after expiry re-executes.
   /// Host-side state only — expiry never changes the event sequence of a
   /// run without retries.
-  dtio::SimTime replay_window_max_age = 10 * dtio::kSecond;
+  dtio::SimTime replay_window_max_age = 0;
 
   /// Admission control: bound on the request backlog (mailbox queue) a
   /// server tolerates before shedding data requests with kOverloaded

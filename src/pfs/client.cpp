@@ -469,6 +469,15 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
       attempt_latency_->record(sched_->now() - attempt_start);
       obs_->spans.end(attempt_span, sched_->now());
     }
+    if (reliable) {
+      // Any reply — OK, shed, or application-level error — proves the
+      // server alive: settle the breaker now, on arrival. Otherwise a
+      // half-open probe answered with a definitive error would co_return
+      // with probe_in_flight stuck set (every later RPC fails fast
+      // forever), and an error reply would leave a stale near-threshold
+      // consecutive_failures count on a responsive server.
+      breaker_on_success(ln, slot->server);
+    }
     // Read-data integrity: corrupted reply payloads must not reach the
     // caller's buffer; treat like a lost reply and retry.
     if (reply.has_payload_crc && reply.data &&
@@ -511,7 +520,6 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
       health_note(ln, sched_->now() - attempt_start, /*failed=*/false,
                   hedge_sent);
       note_window_increase(ln);
-      breaker_on_success(ln, slot->server);
     }
     slot->status = Status::ok();
     slot->reply = std::move(reply);

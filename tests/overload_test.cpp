@@ -618,6 +618,54 @@ TEST(Breaker, HalfOpenProbeRecoversAfterOutageEnds) {
   EXPECT_TRUE(trace_has(tracer, "breaker_close"));
 }
 
+// A half-open probe answered with a definitive application-level error
+// (kNotFound here) proves the server alive and must settle the probe: the
+// breaker closes and the consecutive-failure count resets. Regression
+// test for the probe wedging half-open with probe_in_flight stuck set,
+// which made every later RPC to a healthy server fail fast forever.
+TEST(Breaker, ErrorReplyProbeSettlesHalfOpenBreaker) {
+  auto cfg = overload_config();
+  cfg.client.rpc_timeout = 3 * kMillisecond;
+  cfg.client.rpc_max_attempts = 2;
+  cfg.client.rpc_backoff_base = kMillisecond;
+  cfg.client.breaker_failures = 2;
+  cfg.client.breaker_open_duration = 20 * kMillisecond;
+  pfs::Cluster cluster(cfg);
+  FaultPlan plan(5);
+  plan.add_outage(/*node=*/0, 5 * kMillisecond, 60 * kMillisecond);
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(512, 61);
+
+  Status probe, after;
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& src, Status& probe, Status& after,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/probe");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        co_await sched.delay(6 * kMillisecond - sched.now());
+        // Two timed-out attempts during the outage trip the breaker.
+        Status w = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        EXPECT_FALSE(w.is_ok());
+        // Past outage end and cool-down, probe the half-open lane with an
+        // op whose reply is a definitive error.
+        co_await sched.delay(100 * kMillisecond);
+        probe = (co_await c.open("/missing")).status;
+        after = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        done = true;
+      }(cluster.scheduler(), *client, data, probe, after, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(probe.code(), StatusCode::kNotFound) << probe.to_string();
+  EXPECT_TRUE(after.is_ok()) << after.to_string();
+  EXPECT_EQ(client->lane_health(0).breaker, 0);  // closed by the error reply
+  EXPECT_EQ(client->lane_health(0).consecutive_failures, 0);
+}
+
 // ---- Hedged reads -----------------------------------------------------------
 
 // Config for straggler scenarios: one strip per server so an 8 KiB read
