@@ -9,8 +9,9 @@
 //
 // Flags: --frames=N (default 100), --clients-per... (fixed 6 by geometry),
 // --chaos (fault-injection ablation), --overload (degraded-server
-// tail-latency ablation); both off by default so the report JSON is
-// byte-identical to a chaos-free build.
+// tail-latency ablation), --cache (server buffer-cache cold/warm
+// ablation); all off by default so the report JSON is byte-identical to
+// an ablation-free build.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -337,6 +338,99 @@ OverloadArm run_overload_arm(bool hedging_on) {
   return out;
 }
 
+/// One arm of the --cache ablation: datatype tile reads over the same
+/// file twice. The populate pass writes the frames through the tile view
+/// (giving the bstreams real extents so readahead has an EOF to clamp
+/// against), every cache is flushed and dropped via a fleet-wide crash,
+/// then a cold pass and a warm pass read identical data. With the cache
+/// on the warm pass should be served almost entirely from memory.
+struct CacheArm {
+  double cold_seconds = 0;
+  double warm_seconds = 0;
+  std::uint64_t cold_disk = 0;
+  std::uint64_t warm_disk = 0;
+  int failures = 0;
+  pfs::ServerStats totals;  // fleet-summed cache counters
+};
+
+CacheArm run_tile_cache(const workloads::TileConfig& tile, int frames,
+                        bool cache_on) {
+  net::ClusterConfig cfg;  // paper defaults: 16 servers, 64 KiB strips
+  cfg.num_clients = tile.num_clients();
+  if (cache_on) {
+    cfg.server.cache_block_bytes = 64 * 1024;  // one strip per block
+    cfg.server.cache_capacity_bytes = 256ull << 20;  // holds the dataset
+  }
+  pfs::Cluster cluster(cfg);
+  std::vector<std::unique_ptr<pfs::Client>> clients;
+  std::vector<std::unique_ptr<io::Context>> contexts;
+  std::vector<std::unique_ptr<mpiio::File>> files;
+  for (int r = 0; r < cfg.num_clients; ++r) {
+    clients.push_back(cluster.make_client(r));
+    clients.back()->set_transfer_data(false);  // timing-only at this scale
+    contexts.push_back(std::make_unique<io::Context>(
+        io::Context{cluster.scheduler(), *clients.back(), cluster.config()}));
+    files.push_back(std::make_unique<mpiio::File>(*contexts.back()));
+  }
+  CacheArm out;
+  // Populate: open everywhere, then write every frame through the view.
+  for (int r = 0; r < cfg.num_clients; ++r) {
+    cluster.scheduler().spawn(
+        [](mpiio::File& f, const workloads::TileConfig& t, int rank,
+           int nframes, int& fail) -> Task<void> {
+          (void)co_await f.open("/frames", rank == 0);
+          f.set_view(0, types::byte_t(), t.tile_filetype(rank));
+          auto memtype = t.memtype();
+          for (int frame = 0; frame < nframes; ++frame) {
+            Status s = co_await f.write_at(
+                static_cast<std::int64_t>(frame) * t.tile_bytes(), nullptr, 1,
+                memtype, Method::kDatatype);
+            if (!s.is_ok()) ++fail;
+          }
+        }(*files[r], tile, r, frames, out.failures));
+  }
+  cluster.run();
+  // Make the write pass durable, then drop every cache (a fleet-wide
+  // crash+restart) so the first read pass is genuinely cold. Both arms
+  // crash so their timelines stay comparable.
+  cluster.flush_caches();
+  const SimTime t_crash = cluster.scheduler().now() + kMillisecond;
+  for (int s = 0; s < cfg.num_servers; ++s) {
+    cluster.schedule_server_crash(s, t_crash, kMillisecond);
+  }
+  cluster.run();
+  const std::uint64_t disk_after_populate =
+      cluster.cache_stats_total().disk_accesses;
+
+  auto read_pass = [&](double* seconds) {
+    const SimTime t0 = cluster.scheduler().now();
+    for (int r = 0; r < cfg.num_clients; ++r) {
+      cluster.scheduler().spawn(
+          [](mpiio::File& f, const workloads::TileConfig& t, int rank,
+             int nframes, int& fail) -> Task<void> {
+            f.set_view(0, types::byte_t(), t.tile_filetype(rank));
+            auto memtype = t.memtype();
+            for (int frame = 0; frame < nframes; ++frame) {
+              Status s = co_await f.read_at(
+                  static_cast<std::int64_t>(frame) * t.tile_bytes(), nullptr,
+                  1, memtype, Method::kDatatype);
+              if (!s.is_ok()) ++fail;
+            }
+          }(*files[r], tile, r, frames, out.failures));
+    }
+    cluster.run();
+    *seconds = to_seconds(cluster.scheduler().now() - t0);
+  };
+  read_pass(&out.cold_seconds);
+  const std::uint64_t disk_after_cold =
+      cluster.cache_stats_total().disk_accesses;
+  read_pass(&out.warm_seconds);
+  out.totals = cluster.cache_stats_total();
+  out.cold_disk = disk_after_cold - disk_after_populate;
+  out.warm_disk = out.totals.disk_accesses - disk_after_cold;
+  return out;
+}
+
 /// Nearest-rank percentile over the raw latency samples (exact, not the
 /// log-linear histogram estimate).
 SimTime percentile_exact(std::vector<SimTime> v, double p) {
@@ -542,6 +636,69 @@ int tile_main(int argc, char** argv) {
         static_cast<double>(off.timeouts);
     report.scalars["overload_on_timeouts"] = static_cast<double>(on.timeouts);
     report.scalars["overload_failures"] = off.failures + on.failures;
+  }
+
+  // Buffer-cache ablation (--cache): the same datatype tile reads with
+  // the server block cache on (64 KiB blocks, 256 MiB/server) vs off,
+  // each as a cold pass then a warm pass over identical data. Gated so
+  // the default report stays byte-identical.
+  if (bench::flag_set(argc, argv, "--cache")) {
+    const CacheArm off = run_tile_cache(tile, frames, false);
+    const CacheArm on = run_tile_cache(tile, frames, true);
+    const double warm_ratio = static_cast<double>(off.warm_disk) /
+                              static_cast<double>(std::max<std::uint64_t>(
+                                  on.warm_disk, 1));
+    const std::uint64_t lookups = on.totals.cache_hits + on.totals.cache_misses;
+    const double hit_ratio =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(on.totals.cache_hits) /
+                           static_cast<double>(lookups);
+    std::printf("\ncache ablation: datatype reads, %d frames x %d clients, "
+                "cold pass then warm pass\n",
+                frames, tile.num_clients());
+    std::printf("  cache off: cold disk=%llu (%.3fs)  warm disk=%llu "
+                "(%.3fs)\n",
+                static_cast<unsigned long long>(off.cold_disk),
+                off.cold_seconds,
+                static_cast<unsigned long long>(off.warm_disk),
+                off.warm_seconds);
+    std::printf("  cache on : cold disk=%llu (%.3fs)  warm disk=%llu "
+                "(%.3fs)\n",
+                static_cast<unsigned long long>(on.cold_disk),
+                on.cold_seconds,
+                static_cast<unsigned long long>(on.warm_disk),
+                on.warm_seconds);
+    std::printf("  hits=%llu misses=%llu hit_ratio=%.3f readahead=%llu "
+                "evictions=%llu flushed=%llu B\n",
+                static_cast<unsigned long long>(on.totals.cache_hits),
+                static_cast<unsigned long long>(on.totals.cache_misses),
+                hit_ratio,
+                static_cast<unsigned long long>(
+                    on.totals.cache_readahead_issued),
+                static_cast<unsigned long long>(on.totals.cache_evictions),
+                static_cast<unsigned long long>(
+                    on.totals.cache_dirty_flushed_bytes));
+    std::printf("  warm-pass disk-access reduction: %.1fx\n", warm_ratio);
+    report.scalars["cache_off_cold_disk_accesses"] =
+        static_cast<double>(off.cold_disk);
+    report.scalars["cache_off_warm_disk_accesses"] =
+        static_cast<double>(off.warm_disk);
+    report.scalars["cache_on_cold_disk_accesses"] =
+        static_cast<double>(on.cold_disk);
+    report.scalars["cache_on_warm_disk_accesses"] =
+        static_cast<double>(on.warm_disk);
+    report.scalars["cache_warm_disk_access_ratio"] = warm_ratio;
+    report.scalars["cache_on_hits"] = static_cast<double>(on.totals.cache_hits);
+    report.scalars["cache_on_misses"] =
+        static_cast<double>(on.totals.cache_misses);
+    report.scalars["cache_on_hit_ratio"] = hit_ratio;
+    report.scalars["cache_on_readahead_issued"] =
+        static_cast<double>(on.totals.cache_readahead_issued);
+    report.scalars["cache_on_evictions"] =
+        static_cast<double>(on.totals.cache_evictions);
+    report.scalars["cache_on_dirty_flushed_bytes"] =
+        static_cast<double>(on.totals.cache_dirty_flushed_bytes);
+    report.scalars["cache_failures"] = off.failures + on.failures;
   }
 
   bench::write_report(report, argc, argv, "BENCH_tile_reader.json");

@@ -127,6 +127,33 @@ struct ServerConfig {
   /// CPU charged to fast-reject one shed request (header decode + reply
   /// setup — far below request_overhead, which is the point of shedding).
   dtio::SimTime shed_cost = 50 * dtio::kMicrosecond;
+
+  // ---- Server buffer cache (src/cache/; all default-off — both knobs
+  // below must be nonzero to enable, and the disabled event sequence is
+  // bit-identical to the legacy charge-per-access path).
+
+  /// Cache block size in bytes. 0 = cache off.
+  std::int64_t cache_block_bytes = 0;
+
+  /// Cache capacity in bytes. 0 = cache off.
+  std::int64_t cache_capacity_bytes = 0;
+
+  /// Write-through: stores hit the bstream and charge the disk
+  /// synchronously (durable immediately). Default is write-back: dirty
+  /// blocks stage in the cache and flush in the background, coalesced —
+  /// faster, but a crash loses unflushed dirty data.
+  bool cache_write_through = false;
+
+  /// Max blocks prefetched per detected-stream trigger; 0 disables
+  /// readahead.
+  int cache_readahead_blocks = 8;
+
+  /// Consecutive equal strides on a handle before readahead arms.
+  int cache_readahead_min_run = 2;
+
+  /// Dirty fraction of capacity that triggers a background flush of the
+  /// oldest dirty blocks (write-back only).
+  double cache_dirty_watermark = 0.5;
 };
 
 struct ClientConfig {

@@ -27,6 +27,21 @@ std::vector<std::string> Cluster::node_names() const {
   return names;
 }
 
+ServerStats Cluster::cache_stats_total() const {
+  ServerStats total;
+  for (const auto& server : servers_) {
+    const ServerStats& s = server->stats();
+    total.disk_accesses += s.disk_accesses;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_readahead_issued += s.cache_readahead_issued;
+    total.cache_evictions += s.cache_evictions;
+    total.cache_dirty_flushed_bytes += s.cache_dirty_flushed_bytes;
+    total.cache_dirty_lost_bytes += s.cache_dirty_lost_bytes;
+  }
+  return total;
+}
+
 void Cluster::record_utilization_gauges() {
   if (obs_ == nullptr) return;
   const SimTime elapsed = scheduler_.now();

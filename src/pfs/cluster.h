@@ -113,6 +113,17 @@ class Cluster {
     server(index).schedule_crash(at, restart_delay);
   }
 
+  /// Host-side settle of every server's buffer cache: staged write-back
+  /// data reaches the bstreams at zero simulated cost (the sim analogue of
+  /// unmount). For tests comparing final file contents; no-op when the
+  /// cache is off.
+  void flush_caches() {
+    for (auto& server : servers_) server->flush_cache();
+  }
+
+  /// Fleet-wide buffer-cache stats summed over all servers.
+  [[nodiscard]] ServerStats cache_stats_total() const;
+
   /// Display names for the trace exporter: "srv<k>" for I/O servers,
   /// "cli<k>" for client nodes.
   [[nodiscard]] std::vector<std::string> node_names() const;

@@ -25,6 +25,13 @@ struct Applier {
   bool carry_data;
   const DataBuffer& request_data;  ///< write payload (may be null)
   DataBuffer reply_data;           ///< read gather target (may be null)
+  /// When the buffer cache is on, all bstream traffic routes through it
+  /// (physical offsets are server-local and dense, so cache blocks map
+  /// directly onto disk adjacency); `plan` collects the disk work the
+  /// handler charges afterwards. Null = legacy direct path.
+  cache::BlockCache* cache = nullptr;
+  cache::AccessPlan* plan = nullptr;
+  std::uint64_t handle = 0;
 
   std::int64_t my_pos = 0;     ///< bytes of MY data consumed/produced
   std::int64_t pieces = 0;     ///< every piece walked (all servers)
@@ -38,7 +45,15 @@ struct Applier {
       ++my_pieces;
       my_bytes += phys.length;
       if (is_write) {
-        if (carry_data && request_data) {
+        if (cache != nullptr) {
+          cache->write(handle, phys.offset, phys.length,
+                       (carry_data && request_data)
+                           ? std::span<const std::uint8_t>(
+                                 request_data->data() + my_pos,
+                                 static_cast<std::size_t>(phys.length))
+                           : std::span<const std::uint8_t>{},
+                       *plan);
+        } else if (carry_data && request_data) {
           bstream.write(phys.offset,
                         std::span<const std::uint8_t>(
                             request_data->data() + my_pos,
@@ -46,6 +61,17 @@ struct Applier {
         } else {
           bstream.note_write(phys.offset, phys.length);
         }
+      } else if (cache != nullptr) {
+        std::span<std::uint8_t> out;
+        if (carry_data && reply_data) {
+          const std::size_t old = reply_data->size();
+          reply_data->resize(old + static_cast<std::size_t>(phys.length));
+          out = std::span<std::uint8_t>(
+              reply_data->data() + old, static_cast<std::size_t>(phys.length));
+        }
+        // Timing-only reads (empty out) still walk the cache: residency
+        // and readahead are what the timing model is here to capture.
+        cache->read(handle, phys.offset, phys.length, out, *plan);
       } else if (carry_data && reply_data) {
         const std::size_t old = reply_data->size();
         reply_data->resize(old + static_cast<std::size_t>(phys.length));
@@ -69,7 +95,20 @@ IOServer::IOServer(sim::Scheduler& sched, net::Network& network,
       server_index_(server_index),
       layout_(config.num_servers, static_cast<std::int64_t>(config.strip_size)),
       disk_(sched, 1),
-      cpu_(sched, 1) {}
+      cpu_(sched, 1) {
+  store_adapter_.server = this;
+  const net::ServerConfig& sc = config.server;
+  if (sc.cache_block_bytes > 0 && sc.cache_capacity_bytes > 0) {
+    cache::CacheConfig cc;
+    cc.block_bytes = sc.cache_block_bytes;
+    cc.capacity_bytes = sc.cache_capacity_bytes;
+    cc.write_through = sc.cache_write_through;
+    cc.readahead_window = sc.cache_readahead_blocks;
+    cc.readahead_min_run = sc.cache_readahead_min_run;
+    cc.dirty_watermark = sc.cache_dirty_watermark;
+    cache_ = std::make_unique<cache::BlockCache>(cc, store_adapter_);
+  }
+}
 
 void IOServer::start() { sched_->spawn(run()); }
 
@@ -85,6 +124,13 @@ void IOServer::set_observability(obs::Observability* obs) {
     obs_crc_rejects_ = nullptr;
     obs_shed_depth_ = nullptr;
     obs_shed_bytes_ = nullptr;
+    obs_cache_hits_ = nullptr;
+    obs_cache_misses_ = nullptr;
+    obs_cache_readahead_ = nullptr;
+    obs_cache_evictions_ = nullptr;
+    obs_cache_flushed_ = nullptr;
+    obs_dl_cache_hits_ = nullptr;
+    obs_dl_cache_misses_ = nullptr;
     return;
   }
   obs_requests_ = &obs->metrics.counter(
@@ -105,6 +151,21 @@ void IOServer::set_observability(obs::Observability* obs) {
       "server_shed_total", obs::label("reason", "depth", "node", server_index_));
   obs_shed_bytes_ = &obs->metrics.counter(
       "server_shed_total", obs::label("reason", "bytes", "node", server_index_));
+  obs_cache_hits_ = &obs->metrics.counter(
+      "server_cache_hits_total", obs::label("node", server_index_));
+  obs_cache_misses_ = &obs->metrics.counter(
+      "server_cache_misses_total", obs::label("node", server_index_));
+  obs_cache_readahead_ = &obs->metrics.counter(
+      "server_cache_readahead_issued_total", obs::label("node", server_index_));
+  obs_cache_evictions_ = &obs->metrics.counter(
+      "server_cache_evictions_total", obs::label("node", server_index_));
+  obs_cache_flushed_ = &obs->metrics.counter(
+      "server_cache_dirty_flushed_bytes_total",
+      obs::label("node", server_index_));
+  obs_dl_cache_hits_ = &obs->metrics.counter(
+      "server_dataloop_cache_hits_total", obs::label("node", server_index_));
+  obs_dl_cache_misses_ = &obs->metrics.counter(
+      "server_dataloop_cache_misses_total", obs::label("node", server_index_));
 }
 
 void IOServer::schedule_crash(SimTime at, SimTime restart_delay) {
@@ -127,6 +188,16 @@ void IOServer::crash() {
   loop_cache_order_.clear();
   replay_acks_.clear();
   replay_order_.clear();
+  if (cache_ != nullptr) {
+    // The buffer cache is process memory. Write-through has nothing
+    // pending; write-back loses whatever was staged but never flushed.
+    const std::uint64_t lost = cache_->drop_all();
+    stats_.cache_dirty_lost_bytes += lost;
+    if (tracer_ != nullptr && lost > 0) {
+      tracer_->record({sched_->now(), "cache_lost", server_index_, -1, 0,
+                       lost, ""});
+    }
+  }
   if (tracer_ != nullptr) {
     tracer_->record({sched_->now(), "crash", server_index_, -1, 0,
                      static_cast<std::uint64_t>(dropped), ""});
@@ -296,6 +367,10 @@ void IOServer::sample_counters() {
   last_cpu_busy_ = cpu_busy;
 }
 
+void IOServer::flush_cache() {
+  if (cache_ != nullptr) cache_->flush_all(nullptr);
+}
+
 const Bstream* IOServer::find_bstream(std::uint64_t handle) const {
   const auto it = store_.find(handle);
   return it == store_.end() ? nullptr : &it->second;
@@ -453,6 +528,7 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
 sim::Task<void> IOServer::handle_contig(Request& request) {
   const auto& p = std::get<ContigPayload>(request.payload);
   const bool is_write = request.op == OpKind::kContigWrite;
+  cache::AccessPlan plan;
   Applier applier{layout_,
                   server_index_,
                   store_[request.handle],
@@ -461,7 +537,10 @@ sim::Task<void> IOServer::handle_contig(Request& request) {
                   p.data,
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
-                      : nullptr};
+                      : nullptr,
+                  cache_.get(),
+                  &plan,
+                  request.handle};
   if (applier.reply_data) {
     applier.reply_data->reserve(
         static_cast<std::size_t>(layout_.max_server_bytes(p.length)));
@@ -473,7 +552,12 @@ sim::Task<void> IOServer::handle_contig(Request& request) {
   co_await charge_regions(applier.pieces,
                           is_write ? config_->server.per_region_cost_write
                                    : config_->server.per_region_cost);
-  co_await charge_disk(applier.my_bytes);
+  if (cache_ != nullptr) {
+    cache_->maybe_background_flush(plan);
+    co_await charge_cache_plan(std::move(plan));
+  } else {
+    co_await charge_disk(applier.my_bytes);
+  }
   finish_data_reply(request, is_write, applier.my_bytes,
                     std::move(applier.reply_data));
 }
@@ -481,6 +565,7 @@ sim::Task<void> IOServer::handle_contig(Request& request) {
 sim::Task<void> IOServer::handle_list(Request& request) {
   const auto& p = std::get<ListPayload>(request.payload);
   const bool is_write = request.op == OpKind::kListWrite;
+  cache::AccessPlan plan;
   Applier applier{layout_,
                   server_index_,
                   store_[request.handle],
@@ -489,7 +574,10 @@ sim::Task<void> IOServer::handle_list(Request& request) {
                   p.data,
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
-                      : nullptr};
+                      : nullptr,
+                  cache_.get(),
+                  &plan,
+                  request.handle};
   if (applier.reply_data) {
     std::int64_t window = 0;
     for (const Region& r : p.regions) window += r.length;
@@ -503,7 +591,12 @@ sim::Task<void> IOServer::handle_list(Request& request) {
   co_await charge_regions(applier.pieces,
                           is_write ? config_->server.per_region_cost_write
                                    : config_->server.per_region_cost);
-  co_await charge_disk(applier.my_bytes);
+  if (cache_ != nullptr) {
+    cache_->maybe_background_flush(plan);
+    co_await charge_cache_plan(std::move(plan));
+  } else {
+    co_await charge_disk(applier.my_bytes);
+  }
   finish_data_reply(request, is_write, applier.my_bytes,
                     std::move(applier.reply_data));
 }
@@ -552,6 +645,7 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
       loop_cache_order_.splice(loop_cache_order_.end(), loop_cache_order_,
                                it->second.pos);
       ++stats_.dataloop_cache_hits;
+      if (obs_ != nullptr) obs_dl_cache_hits_->add(1);
     }
   }
   if (!loop) {
@@ -562,6 +656,9 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
       co_return;
     }
     ++stats_.dataloops_decoded;
+    if (config_->server.dataloop_cache && obs_ != nullptr) {
+      obs_dl_cache_misses_->add(1);
+    }
     obs::SpanId decode_span = 0;
     if (obs_ != nullptr) {
       decode_span = obs_->spans.begin("dataloop_decode", server_index_,
@@ -587,6 +684,7 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
     co_return;
   }
 
+  cache::AccessPlan plan;
   Applier applier{layout_,
                   server_index_,
                   store_[request.handle],
@@ -595,7 +693,10 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
                   p.data,
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
-                      : nullptr};
+                      : nullptr,
+                  cache_.get(),
+                  &plan,
+                  request.handle};
   if (applier.reply_data) {
     // One allocation up front instead of per-piece regrowth: the stream
     // window bounds this server's share of the reply.
@@ -651,7 +752,12 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
     // Each pruned subtree still costs one span/stripe intersection probe.
     co_await cpu_.use(scaled(config_->server.subtree_probe_cost * skipped));
   }
-  co_await charge_disk(applier.my_bytes);
+  if (cache_ != nullptr) {
+    cache_->maybe_background_flush(plan);
+    co_await charge_cache_plan(std::move(plan));
+  } else {
+    co_await charge_disk(applier.my_bytes);
+  }
   finish_data_reply(request, is_write, applier.my_bytes,
                     std::move(applier.reply_data));
 }
@@ -742,6 +848,7 @@ void IOServer::handle_meta(Request& request, Reply& reply) {
 
 sim::Task<void> IOServer::charge_disk(std::int64_t bytes) {
   if (bytes <= 0) co_return;
+  ++stats_.disk_accesses;  // host-side tally; no simulated cost
   obs::SpanId disk_span = 0;
   if (obs_ != nullptr) {
     obs_disk_bytes_->add(static_cast<std::uint64_t>(bytes));
@@ -769,6 +876,97 @@ sim::Task<void> IOServer::charge_disk(std::int64_t bytes) {
 }
 
 sim::Fire IOServer::disk_drain(SimTime hold) { co_await disk_.use(hold); }
+
+sim::Task<void> IOServer::charge_cache_plan(cache::AccessPlan plan) {
+  // Mirror the per-request cache counters into stats/obs/trace first, so
+  // they land even for a plan with no disk work (pure hits).
+  stats_.cache_hits += plan.hits;
+  stats_.cache_misses += plan.misses;
+  stats_.cache_readahead_issued += plan.readahead_blocks;
+  stats_.cache_evictions += plan.evictions;
+  stats_.cache_dirty_flushed_bytes += plan.flushed_bytes;
+  if (obs_ != nullptr) {
+    if (plan.hits > 0) obs_cache_hits_->add(plan.hits);
+    if (plan.misses > 0) obs_cache_misses_->add(plan.misses);
+    if (plan.readahead_blocks > 0) {
+      obs_cache_readahead_->add(plan.readahead_blocks);
+    }
+    if (plan.evictions > 0) obs_cache_evictions_->add(plan.evictions);
+    if (plan.flushed_bytes > 0) obs_cache_flushed_->add(plan.flushed_bytes);
+  }
+  if (tracer_ != nullptr) {
+    if (plan.hits > 0) {
+      tracer_->record({sched_->now(), "cache_hit", server_index_, -1, 0,
+                       plan.hits, ""});
+    }
+    if (plan.misses > 0) {
+      tracer_->record({sched_->now(), "cache_miss", server_index_, -1, 0,
+                       plan.misses, ""});
+    }
+    if (plan.readahead_blocks > 0) {
+      tracer_->record({sched_->now(), "cache_readahead", server_index_, -1, 0,
+                       plan.readahead_blocks, ""});
+    }
+    if (plan.flushed_bytes > 0) {
+      tracer_->record({sched_->now(), "cache_flush", server_index_, -1, 0,
+                       plan.flushed_bytes, ""});
+    }
+  }
+
+  // Synchronous segments — miss fills the reply is waiting on and
+  // write-through stores — block the handler with the same pipelined
+  // shape as the legacy charge_disk: pay setup + the first chunk, drain
+  // the rest in the background on the disk resource.
+  std::int64_t sync_bytes = 0;
+  for (const std::vector<cache::IoSeg>* segs :
+       {&plan.sync_reads, &plan.sync_writes}) {
+    for (const cache::IoSeg& seg : *segs) sync_bytes += seg.bytes;
+  }
+  obs::SpanId disk_span = 0;
+  if (obs_ != nullptr && sync_bytes > 0) {
+    obs_disk_bytes_->add(static_cast<std::uint64_t>(sync_bytes));
+    disk_span = obs_->spans.begin("disk", server_index_, sched_->now(),
+                                  req_span_, req_trace_);
+    obs_->spans.set_value(disk_span, sync_bytes);
+  }
+  constexpr std::int64_t kPipelineChunk = 64 * 1024;
+  for (const std::vector<cache::IoSeg>* segs :
+       {&plan.sync_reads, &plan.sync_writes}) {
+    for (const cache::IoSeg& seg : *segs) {
+      ++stats_.disk_accesses;
+      const std::int64_t first = std::min(seg.bytes, kPipelineChunk);
+      co_await disk_.use(
+          scaled(config_->server.disk_access_overhead +
+                 transfer_time(static_cast<std::uint64_t>(first),
+                               config_->server.disk_bandwidth_bytes_per_s)));
+      if (seg.bytes > first) {
+        sched_->start(disk_drain(scaled(transfer_time(
+            static_cast<std::uint64_t>(seg.bytes - first),
+            config_->server.disk_bandwidth_bytes_per_s))));
+      }
+    }
+  }
+  if (obs_ != nullptr && sync_bytes > 0) {
+    obs_->spans.end(disk_span, sched_->now());
+  }
+
+  // Asynchronous segments — readahead prefetches and write-back flushes —
+  // occupy the disk in the background; the handler (and the client) never
+  // waits on them, but later requests on this disk do.
+  for (const std::vector<cache::IoSeg>* segs :
+       {&plan.async_reads, &plan.async_writes}) {
+    for (const cache::IoSeg& seg : *segs) {
+      ++stats_.disk_accesses;
+      if (obs_ != nullptr) {
+        obs_disk_bytes_->add(static_cast<std::uint64_t>(seg.bytes));
+      }
+      sched_->start(disk_drain(
+          scaled(config_->server.disk_access_overhead +
+                 transfer_time(static_cast<std::uint64_t>(seg.bytes),
+                               config_->server.disk_bandwidth_bytes_per_s))));
+    }
+  }
+}
 
 sim::Task<void> IOServer::charge_regions(std::int64_t pieces,
                                          SimTime per_region) {

@@ -13,11 +13,13 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "cache/buffer_cache.h"
 #include "common/box.h"
 #include "net/cost_model.h"
 #include "net/network.h"
@@ -56,6 +58,14 @@ struct ServerStats {
   std::uint64_t max_backlog = 0;        ///< deepest mailbox backlog observed
   std::uint64_t degraded_requests = 0;  ///< requests served at factor > 1
   std::uint64_t replays_expired = 0;    ///< replay acks evicted by age
+  std::uint64_t disk_accesses = 0;      ///< disk ops charged (each pays one
+                                        ///< disk_access_overhead)
+  std::uint64_t cache_hits = 0;         ///< buffer-cache block hits
+  std::uint64_t cache_misses = 0;       ///< buffer-cache block miss fills
+  std::uint64_t cache_readahead_issued = 0;  ///< blocks prefetched
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_dirty_flushed_bytes = 0;
+  std::uint64_t cache_dirty_lost_bytes = 0;  ///< write-back dirty lost to crash
 };
 
 class IOServer {
@@ -87,6 +97,16 @@ class IOServer {
   /// Request counters are resolved once here; the request loop then pays
   /// one pointer test when detached.
   void set_observability(obs::Observability* obs);
+
+  /// The buffer cache, or nullptr when disabled (tests/benches).
+  [[nodiscard]] const cache::BlockCache* block_cache() const noexcept {
+    return cache_.get();
+  }
+
+  /// Host-side settle: write every staged dirty block to its bstream with
+  /// zero simulated cost (tests comparing final file contents; the sim
+  /// analogue of unmount). No-op when the cache is off or clean.
+  void flush_cache();
 
  private:
   sim::Task<void> run();
@@ -137,6 +157,12 @@ class IOServer {
   void finish_data_reply(Request& request, bool is_write,
                          std::int64_t my_bytes, DataBuffer reply_data);
   sim::Task<void> charge_disk(std::int64_t bytes);
+  /// Charge the disk work a cached access generated: sync segments (miss
+  /// fills, write-through stores) block the handler with the same
+  /// pipelined shape as charge_disk; async segments (readahead, write-back
+  /// flushes) drain on the disk resource in the background. Also mirrors
+  /// the plan's cache counters into stats/obs/trace.
+  sim::Task<void> charge_cache_plan(cache::AccessPlan plan);
   sim::Fire disk_drain(SimTime hold);
   /// Region-processing CPU: the handler blocks only for a prime batch of
   /// regions (partial processing streams data while the walk continues);
@@ -172,6 +198,13 @@ class IOServer {
   obs::Counter* obs_crc_rejects_ = nullptr; ///< server_crc_rejects_total
   obs::Counter* obs_shed_depth_ = nullptr;  ///< server_shed_total{reason=depth}
   obs::Counter* obs_shed_bytes_ = nullptr;  ///< server_shed_total{reason=bytes}
+  obs::Counter* obs_cache_hits_ = nullptr;     ///< server_cache_hits_total
+  obs::Counter* obs_cache_misses_ = nullptr;   ///< server_cache_misses_total
+  obs::Counter* obs_cache_readahead_ = nullptr;  ///< server_cache_readahead_issued_total
+  obs::Counter* obs_cache_evictions_ = nullptr;  ///< server_cache_evictions_total
+  obs::Counter* obs_cache_flushed_ = nullptr;  ///< server_cache_dirty_flushed_bytes_total
+  obs::Counter* obs_dl_cache_hits_ = nullptr;  ///< server_dataloop_cache_hits_total
+  obs::Counter* obs_dl_cache_misses_ = nullptr;  ///< server_dataloop_cache_misses_total
   // Trace context of the request currently being handled (requests are
   // handled sequentially, so plain members suffice).
   std::uint64_t req_trace_ = 0;
@@ -182,6 +215,31 @@ class IOServer {
   double last_cpu_busy_ = 0;
 
   std::unordered_map<std::uint64_t, Bstream> store_;
+
+  // Buffer cache (src/cache/), enabled when both ServerConfig block-size
+  // and capacity knobs are nonzero. The adapter exposes the bstream map as
+  // the cache's durable ByteStore; bstreams model storage that survives a
+  // crash, the cache's contents do not.
+  struct StoreAdapter final : cache::ByteStore {
+    IOServer* server = nullptr;
+    void read_at(std::uint64_t handle, std::int64_t offset,
+                 std::span<std::uint8_t> out) override {
+      server->store_[handle].read(offset, out);
+    }
+    void write_at(std::uint64_t handle, std::int64_t offset,
+                  std::span<const std::uint8_t> data) override {
+      server->store_[handle].write(offset, data);
+    }
+    void note_size(std::uint64_t handle, std::int64_t offset,
+                   std::int64_t length) override {
+      server->store_[handle].note_write(offset, length);
+    }
+    [[nodiscard]] std::int64_t size_of(std::uint64_t handle) override {
+      return server->store_[handle].size();
+    }
+  };
+  StoreAdapter store_adapter_;
+  std::unique_ptr<cache::BlockCache> cache_;
 
   // Crash/restart state. `epoch_` bumps on every crash; a request stamps
   // `req_epoch_` at entry (requests are handled sequentially) and its

@@ -462,6 +462,140 @@ TEST(Reliability, SameSeedSameChaosRun) {
   EXPECT_GT(counters_a.total(), 0u);
 }
 
+// ---- Buffer-cache crash durability ------------------------------------------
+//
+// Write-back trades durability for speed: staged dirty blocks die with the
+// process, while blocks already flushed (here: forced out by eviction
+// pressure) survive. Write-through loses nothing. Either way the replay
+// and CRC machinery must stay correct with the cache in the path.
+
+net::ClusterConfig cache_crash_config(bool write_through) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 1;
+  cfg.num_clients = 1;
+  cfg.strip_size = 4096;
+  cfg.server.cache_block_bytes = 256;
+  cfg.server.cache_capacity_bytes = 4 * 256;  // 4 blocks
+  cfg.server.cache_write_through = write_through;
+  cfg.server.cache_dirty_watermark = 1.0;  // only eviction forces flushes
+  return cfg;
+}
+
+TEST(CacheDurability, WriteBackCrashLosesOnlyUnflushedBlocks) {
+  pfs::Cluster cluster(cache_crash_config(/*write_through=*/false));
+  auto client = cluster.make_client(0);
+  const auto data_a = pattern_bytes(1024, 61);
+  const auto data_b = pattern_bytes(1024, 62);
+  // Crash after both writes ack, restart before the reads.
+  cluster.schedule_server_crash(/*index=*/0, /*at=*/50 * kMillisecond,
+                                /*restart_delay=*/10 * kMillisecond);
+
+  std::vector<std::uint8_t> back_a(1024, 0xFF), back_b(1024, 0xFF);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b,
+         std::vector<std::uint8_t>& back_a, std::vector<std::uint8_t>& back_b,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/wb-crash");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        // A fills the 4-block cache and stays staged...
+        Status wa = co_await c.write_contig(f.handle, 0, a.data(), 1024);
+        EXPECT_TRUE(wa.is_ok()) << wa.to_string();
+        // ...until B's blocks evict A's, flushing A to the bstream. B is
+        // the staged-and-never-flushed data the crash will eat.
+        Status wb = co_await c.write_contig(f.handle, 1024, b.data(), 1024);
+        EXPECT_TRUE(wb.is_ok()) << wb.to_string();
+        co_await sched.delay(100 * kMillisecond - sched.now());
+        Status ra = co_await c.read_contig(f.handle, 0, back_a.data(), 1024);
+        EXPECT_TRUE(ra.is_ok()) << ra.to_string();
+        Status rb = co_await c.read_contig(f.handle, 1024, back_b.data(),
+                                           1024);
+        EXPECT_TRUE(rb.is_ok()) << rb.to_string();
+        done = true;
+      }(cluster.scheduler(), *client, data_a, data_b, back_a, back_b,
+        finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.server(0).stats().crashes, 1u);
+  // A was flushed by eviction pressure and survived; B's staged blocks
+  // died with the process and read back as holes.
+  EXPECT_EQ(back_a, data_a);
+  EXPECT_EQ(back_b, std::vector<std::uint8_t>(1024, 0));
+  EXPECT_EQ(cluster.server(0).stats().cache_dirty_lost_bytes, 1024u);
+  EXPECT_GE(cluster.server(0).stats().cache_dirty_flushed_bytes, 1024u);
+}
+
+TEST(CacheDurability, WriteThroughCrashIsLossless) {
+  pfs::Cluster cluster(cache_crash_config(/*write_through=*/true));
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(2048, 63);
+  cluster.schedule_server_crash(/*index=*/0, /*at=*/50 * kMillisecond,
+                                /*restart_delay=*/10 * kMillisecond);
+
+  std::vector<std::uint8_t> back(2048, 0xFF);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& src, std::vector<std::uint8_t>& out,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/wt-crash");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        Status w = co_await c.write_contig(f.handle, 0, src.data(), 2048);
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        co_await sched.delay(100 * kMillisecond - sched.now());
+        Status r = co_await c.read_contig(f.handle, 0, out.data(), 2048);
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        done = true;
+      }(cluster.scheduler(), *client, data, back, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.server(0).stats().crashes, 1u);
+  EXPECT_EQ(back, data);  // every acked byte survived the crash
+  EXPECT_EQ(cluster.server(0).stats().cache_dirty_lost_bytes, 0u);
+}
+
+TEST(CacheDurability, ReplaySuppressionStillHoldsWithCacheOn) {
+  // LostAckIsReplayedNotReapplied with the buffer cache in the write path:
+  // the replay window must still re-ack instead of re-applying, and the
+  // bytes must round-trip through the cache.
+  auto cfg = reliable_config(/*servers=*/1);
+  cfg.client.rpc_timeout = 10 * kMillisecond;
+  cfg.server.cache_block_bytes = 256;
+  cfg.server.cache_capacity_bytes = 64 * 256;
+  pfs::Cluster cluster(cfg);
+  constexpr SimTime kIssueAt = 5 * kMillisecond;
+  FaultPlan plan(5);
+  plan.add_window(/*node=*/0, kIssueAt + 800 * kMicrosecond,
+                  kIssueAt + 8 * kMillisecond, FaultSpec{.drop = 1.0});
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(512, 64);
+
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& src, bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/replay-cache");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        co_await sched.delay(kIssueAt - sched.now());
+        Status w = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        std::vector<std::uint8_t> back(src.size());
+        Status r = co_await c.read_contig(
+            f.handle, 0, back.data(), static_cast<std::int64_t>(back.size()));
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        EXPECT_EQ(back, src);
+        done = true;
+      }(cluster.scheduler(), *client, data, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.server(0).stats().replays_suppressed, 1u);
+  EXPECT_EQ(cluster.server(0).stats().bytes_written, 512u);
+  EXPECT_GT(cluster.server(0).stats().cache_misses, 0u);
+}
+
 // ---- Tile-reader acceptance -------------------------------------------------
 //
 // The paper's display-wall workload under chaos: 16 servers, a 2x2 tile

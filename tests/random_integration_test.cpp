@@ -293,6 +293,155 @@ TEST_P(PrunedEquivalence, DatatypeIOIsUnchangedByPruning) {
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, PrunedEquivalence, ::testing::Range(0, 15));
 
+// ---- Buffer-cache equivalence ----------------------------------------------
+//
+// The server buffer cache is a timing optimisation: with it on (write-back
+// or write-through, tiny capacity so eviction/flush paths fire constantly)
+// or off, the same workload must leave byte-identical file contents and
+// every read method must return byte-identical data. Write with a random
+// method, read back with ALL methods, then settle write-back dirt and
+// compare the raw file image across all three configurations and against
+// the oracle.
+
+struct CacheRun {
+  std::vector<std::uint8_t> raw;  ///< whole-file bytes after settle
+  std::vector<std::vector<std::uint8_t>> backs;  ///< per read method
+  bool ok = true;
+};
+
+CacheRun run_cached_scenario(const Scenario& sc,
+                             const std::vector<std::uint8_t>& mem_image,
+                             Method write_method, std::int64_t file_end,
+                             int cache_mode /*0=off 1=write-back 2=through*/) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.num_clients = 1;
+  cfg.strip_size = 256;
+  if (cache_mode != 0) {
+    // Tiny cache (8 blocks of 512) so the scenario's working set overflows
+    // it: evictions, dirty flushes, and readahead all fire mid-run.
+    cfg.server.cache_block_bytes = 512;
+    cfg.server.cache_capacity_bytes = 8 * 512;
+    cfg.server.cache_write_through = cache_mode == 2;
+  }
+  pfs::Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+  io::Context ctx{cluster.scheduler(), *client, cluster.config()};
+  mpiio::File file(ctx);
+
+  CacheRun run;
+  bool wrote = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, const Scenario& s,
+         const std::vector<std::uint8_t>& image, Method wm,
+         bool& done) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/cached", true)).is_ok());
+        f.set_view(s.displacement, types::byte_t(), s.filetype);
+        Status st = co_await f.write_at(s.offset_etypes, image.data(),
+                                        s.mem_count, s.memtype, wm);
+        EXPECT_TRUE(st.is_ok()) << st.to_string();
+        done = st.is_ok();
+      }(file, sc, mem_image, write_method, wrote));
+  cluster.run();
+  EXPECT_TRUE(wrote);
+  run.ok = wrote;
+
+  for (const Method read_method :
+       {Method::kPosix, Method::kDataSieving, Method::kList,
+        Method::kDatatype}) {
+    std::vector<std::uint8_t> back(mem_image.size(), 0);
+    bool read_ok = false;
+    cluster.scheduler().spawn(
+        [](mpiio::File& f, const Scenario& s, std::vector<std::uint8_t>& out,
+           Method rm, bool& done) -> Task<void> {
+          f.set_view(s.displacement, types::byte_t(), s.filetype);
+          done = (co_await f.read_at(s.offset_etypes, out.data(), s.mem_count,
+                                     s.memtype, rm))
+                     .is_ok();
+        }(file, sc, back, read_method, read_ok));
+    cluster.run();
+    EXPECT_TRUE(read_ok) << mpiio::method_name(read_method);
+    run.ok = run.ok && read_ok;
+    run.backs.push_back(std::move(back));
+  }
+
+  // Settle staged write-back data (no-op for off/write-through), then read
+  // the raw file image.
+  cluster.flush_caches();
+  run.raw.assign(static_cast<std::size_t>(file_end), 0);
+  bool raw_ok = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, std::vector<std::uint8_t>& out,
+         bool& done) -> Task<void> {
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto whole = types::contiguous(static_cast<std::int64_t>(out.size()),
+                                       types::byte_t());
+        done = (co_await f.read_at(0, out.data(), 1, whole, Method::kPosix))
+                   .is_ok();
+      }(file, run.raw, raw_ok));
+  cluster.run();
+  EXPECT_TRUE(raw_ok);
+  run.ok = run.ok && raw_ok;
+  return run;
+}
+
+class CacheEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheEquivalence, CacheOnOffByteIdenticalAcrossAllMethods) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503 + 13);
+  const Scenario sc = random_scenario(rng);
+  const std::int64_t mem_span = sc.memtype.extent() * sc.mem_count + 64;
+  std::vector<std::uint8_t> mem_image(static_cast<std::size_t>(mem_span));
+  for (auto& b : mem_image) b = static_cast<std::uint8_t>(rng.next());
+
+  // Oracle image (same walker as AllMethodsAgreeWithOracle).
+  std::map<std::int64_t, std::uint8_t> expected_file;
+  {
+    const std::int64_t total = sc.mem_count * sc.memtype.size();
+    io::FileView view{sc.displacement, types::byte_t(), sc.filetype};
+    const io::StreamWindow window =
+        io::make_window(view, sc.offset_etypes, total);
+    io::JointWalker walker(io::make_mem_cursor(sc.memtype, sc.mem_count),
+                           io::make_file_cursor(view, window));
+    io::JointWalker::Piece piece;
+    while (walker.next(piece)) {
+      for (std::int64_t i = 0; i < piece.length; ++i) {
+        expected_file[piece.file_offset + i] =
+            mem_image[static_cast<std::size_t>(piece.mem_offset + i)];
+      }
+    }
+  }
+  std::int64_t file_end = 0;
+  for (const auto& [off, byte] : expected_file) {
+    file_end = std::max(file_end, off + 1);
+  }
+
+  const Method write_methods[] = {Method::kPosix, Method::kList,
+                                  Method::kDatatype};
+  const Method wm = write_methods[rng.next_below(3)];
+
+  const CacheRun off = run_cached_scenario(sc, mem_image, wm, file_end, 0);
+  const CacheRun wb = run_cached_scenario(sc, mem_image, wm, file_end, 1);
+  const CacheRun wt = run_cached_scenario(sc, mem_image, wm, file_end, 2);
+  ASSERT_TRUE(off.ok && wb.ok && wt.ok);
+
+  // Raw file contents identical across configurations and per the oracle.
+  EXPECT_EQ(off.raw, wb.raw) << "write-back changed the file image";
+  EXPECT_EQ(off.raw, wt.raw) << "write-through changed the file image";
+  for (const auto& [at, byte] : expected_file) {
+    ASSERT_EQ(off.raw[static_cast<std::size_t>(at)], byte)
+        << "file byte " << at;
+  }
+  // Every read method returned identical bytes in all three runs.
+  ASSERT_EQ(off.backs.size(), wb.backs.size());
+  for (std::size_t m = 0; m < off.backs.size(); ++m) {
+    EXPECT_EQ(off.backs[m], wb.backs[m]) << "read method " << m;
+    EXPECT_EQ(off.backs[m], wt.backs[m]) << "read method " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, CacheEquivalence, ::testing::Range(0, 12));
+
 // ---- Chaos sweep -----------------------------------------------------------
 //
 // The reliability contract under injected faults: with timeouts + retries
