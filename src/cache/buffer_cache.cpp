@@ -25,6 +25,10 @@ void append_coalesced(std::vector<IoSeg>& segs, const IoSeg& seg) {
 BlockCache::BlockCache(const CacheConfig& config, ByteStore& store)
     : config_(config), store_(&store) {
   if (config_.block_bytes <= 0) config_.block_bytes = 64 * 1024;
+  // ByteRange tracks in-block offsets in 32 bits; cap the block size so
+  // in_block + run can never overflow.
+  config_.block_bytes =
+      std::min<std::int64_t>(config_.block_bytes, kMaxBlockBytes);
   capacity_blocks_ = static_cast<std::size_t>(
       std::max<std::int64_t>(1, config_.capacity_bytes / config_.block_bytes));
   protected_cap_ = std::max<std::size_t>(
@@ -57,13 +61,14 @@ BlockCache::Block& BlockCache::touch(const BlockKey& key, AccessPlan& plan) {
   }
   ++stats_.misses;
   ++plan.misses;
+  // Evict before inserting so the victim can never be the key being added:
+  // with capacity 1 and the lone resident block in the protected segment,
+  // evicting after the insert would pick the new probation MRU itself.
+  while (blocks_.size() >= capacity_blocks_) evict_one(plan);
   probation_.push_front(key);
   Block& block = blocks_[key];
   block.lru_it = probation_.begin();
-  while (blocks_.size() > capacity_blocks_) evict_one(plan);
-  // The new block is MRU of probation, so eviction cannot have removed it
-  // (capacity_blocks_ >= 1).
-  return blocks_.at(key);
+  return block;
 }
 
 void BlockCache::evict_one(AccessPlan& plan) {
@@ -245,8 +250,12 @@ void BlockCache::detect_and_prefetch(std::uint64_t handle,
       stream.stride = stride;
       stream.run = 1;
     } else {
+      // Backward seek: a new scan is starting. Clear the prefetch frontier
+      // too, or a re-scan of blocks covered (and since evicted) by an
+      // earlier forward pass would get zero readahead.
       stream.stride = 0;
       stream.run = 0;
+      stream.frontier = -1;
     }
   }
   stream.prev_start = first_block;
@@ -281,11 +290,12 @@ void BlockCache::detect_and_prefetch(std::uint64_t handle,
   for (const std::int64_t b : targets) {
     const BlockKey key{handle, b};
     // Prefetched blocks enter probation resident-clean; the hit/miss
-    // ledger counts only demand accesses, so insert directly.
+    // ledger counts only demand accesses, so insert directly (evicting
+    // first so the victim can never be the block just prefetched).
+    while (blocks_.size() >= capacity_blocks_) evict_one(plan);
     probation_.push_front(key);
     Block& block = blocks_[key];
     block.lru_it = probation_.begin();
-    while (blocks_.size() > capacity_blocks_) evict_one(plan);
     append_coalesced(plan.async_reads,
                      IoSeg{handle, b * config_.block_bytes,
                            config_.block_bytes});

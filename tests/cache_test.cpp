@@ -147,6 +147,42 @@ TEST(BlockCache, SlruScanResistance) {
   EXPECT_GT(cache.stats().evictions, 0u);
 }
 
+TEST(BlockCache, SingleBlockCapacityEvictsProtectedNotNewInsert) {
+  // Regression: with one-block capacity, promoting the lone resident to
+  // the protected segment and then inserting a new block must evict the
+  // protected resident — not the block just inserted (which used to leave
+  // touch() dereferencing an erased key).
+  CacheConfig cfg = small_config();
+  cfg.capacity_bytes = 1024;  // 1 block
+  MemStore store;
+  BlockCache cache(cfg, store);
+  AccessPlan plan;
+  cache.read(1, 0, 1024, {}, plan);     // block 0: miss
+  cache.read(1, 0, 1024, {}, plan);     // hit: promoted to protected
+  cache.read(1, 1024, 1024, {}, plan);  // block 1 displaces block 0
+  EXPECT_EQ(cache.resident_blocks(), 1u);
+  AccessPlan probe;
+  cache.read(1, 1024, 1024, {}, probe);  // the new block is the survivor
+  EXPECT_EQ(probe.hits, 1u);
+  EXPECT_EQ(probe.misses, 0u);
+}
+
+TEST(BlockCache, OversizedBlockBytesClampedToInt32SafeRange) {
+  // Dirty-range bookkeeping stores in-block offsets as int32_t, so block
+  // sizes above kMaxBlockBytes are clamped rather than silently wrapping.
+  CacheConfig cfg;
+  cfg.block_bytes = std::int64_t{4} << 30;  // 4 GiB: would overflow int32
+  cfg.capacity_bytes = std::int64_t{8} << 30;
+  cfg.readahead_window = 0;
+  MemStore store;
+  BlockCache cache(cfg, store);
+  EXPECT_EQ(cache.block_bytes(), BlockCache::kMaxBlockBytes);
+  AccessPlan plan;
+  const std::int64_t at = BlockCache::kMaxBlockBytes - 4096;
+  cache.write(1, at, 4096, {}, plan);  // timing-only write at block end
+  EXPECT_EQ(cache.dirty_bytes(), 4096);
+}
+
 TEST(BlockCache, WriteBackStagesReadsYourWritesThenFlushes) {
   MemStore store;
   BlockCache cache(small_config(), store);
@@ -240,6 +276,28 @@ TEST(BlockCache, StridedReadahead) {
   AccessPlan probe;
   cache.read(1, 12 * 1024, 1024, {}, probe);
   EXPECT_EQ(probe.hits, 1u);
+}
+
+TEST(BlockCache, RescanAfterForwardPassStillGetsReadahead) {
+  // Regression: a backward seek must reset the prefetch frontier, or a
+  // second pass over a file (whose blocks were since evicted) runs with
+  // readahead permanently disabled and every block is a synchronous miss.
+  CacheConfig cfg = small_config();
+  cfg.capacity_bytes = 8 * 1024;  // 8 blocks, smaller than the file
+  cfg.readahead_window = 2;
+  cfg.readahead_min_run = 2;
+  MemStore store;
+  store.files[1].resize(32 * 1024);  // 32 blocks
+  BlockCache cache(cfg, store);
+  auto scan = [&] {
+    AccessPlan plan;
+    for (int b = 0; b < 32; ++b) cache.read(1, b * 1024, 1024, {}, plan);
+    return plan.readahead_blocks;
+  };
+  const std::uint64_t first = scan();
+  EXPECT_GT(first, 0u);
+  const std::uint64_t second = scan();
+  EXPECT_GT(second, 0u) << "re-scan got no readahead: frontier not reset";
 }
 
 TEST(BlockCache, EvictionFlushesDirtyVictim) {
