@@ -70,16 +70,31 @@ struct MethodResult {
   IoStats per_client;          ///< rank 0's counters
   std::uint64_t events = 0;    ///< simulator events (sanity/efficiency)
   obs::LatencySummary latency; ///< client-op latency (zero when obs is off)
+  std::uint64_t spans_recorded = 0;  ///< spans kept by the collector
+  std::uint64_t spans_dropped = 0;   ///< spans lost to capacity (should be 0)
 };
 
 inline double to_mib(double bytes) { return bytes / (1024.0 * 1024.0); }
 inline double to_mb(double bytes) { return bytes / 1e6; }
 
 /// Pull the merged client-op latency distribution out of a finished run's
-/// observability context into the result record.
+/// observability context into the result record, along with the span
+/// accounting. Warns on stderr when the collector truncated: a truncated
+/// trace silently skews phase attribution, so it should never pass
+/// unnoticed in CI logs.
 inline void capture_latency(MethodResult& r, const obs::Observability& obs) {
   r.latency = obs::LatencySummary::from(
       obs.metrics.merged_histogram("client_op_latency_ns"));
+  r.spans_recorded = obs.spans.spans().size();
+  r.spans_dropped = obs.spans.dropped();
+  if (r.spans_dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: span collector truncated: %llu spans dropped "
+                 "(%llu recorded); raise SpanCollector capacity or expect "
+                 "incomplete phase attribution\n",
+                 static_cast<unsigned long long>(r.spans_dropped),
+                 static_cast<unsigned long long>(r.spans_recorded));
+  }
 }
 
 /// MethodResult -> the machine-readable report entry. `tag` prefixes the
@@ -94,6 +109,8 @@ inline obs::MethodReport to_report(const MethodResult& r,
   m.events = r.events;
   m.per_client = r.per_client;
   m.latency = r.latency;
+  m.spans_recorded = r.spans_recorded;
+  m.spans_dropped = r.spans_dropped;
   return m;
 }
 

@@ -24,6 +24,7 @@
 #include "io/methods.h"
 #include "mpiio/file.h"
 #include "net/fault.h"
+#include "obs/phase.h"
 #include "pfs/cluster.h"
 #include "workloads/tile.h"
 
@@ -431,6 +432,92 @@ CacheArm run_tile_cache(const workloads::TileConfig& tile, int frames,
   return out;
 }
 
+/// The instrumented convoy scenario (--overload): 8 clients in a closed
+/// loop hammering one decode-bound server (request_overhead raised to
+/// 2 ms) with small contiguous reads. The server's mailbox backs up, so
+/// nearly all of each op's latency is queue-wait — the canonical case for
+/// phase attribution. Runs with the timeline sampler on (1 ms period) and
+/// exports trace_overload.json; CI feeds that trace to dtio_inspect and
+/// gates on >= 95% typed-phase coverage at p99 with server_queue dominant.
+struct ConvoyRun {
+  double seconds = 0;
+  int failures = 0;
+  obs::PhaseReport phases;       ///< contig_read ops only
+  double queue_peak = 0;         ///< server 0 mailbox depth high-water mark
+  std::uint64_t timeline_series = 0;
+};
+
+ConvoyRun run_overload_convoy(obs::Observability& obs,
+                              const std::string& trace_path) {
+  constexpr int kClients = 8;
+  constexpr int kReadsPerClient = 30;
+  constexpr std::size_t kReadBytes = 4096;
+
+  net::ClusterConfig cfg;
+  cfg.num_servers = 1;
+  cfg.num_clients = kClients;
+  cfg.server.request_overhead = 2 * kMillisecond;  // decode-bound server
+  // Reliable RPC path armed (typed client-side queue/backoff spans) but
+  // the timeout is ~50x any convoy queue wait, so no attempt ever
+  // retries. Kept small because each pending recv_for timer extends the
+  // post-run event drain (and thus the sampled window) by one timeout.
+  cfg.client.rpc_timeout = kSecond;
+  cfg.client.rpc_max_attempts = 1;
+
+  pfs::Cluster cluster(cfg);
+  cluster.set_observability(&obs);
+  std::vector<std::unique_ptr<pfs::Client>> clients;
+  for (int r = 0; r < kClients; ++r) clients.push_back(cluster.make_client(r));
+
+  ConvoyRun out;
+  std::uint64_t handle = 0;
+  cluster.scheduler().spawn(
+      [](pfs::Client& c, std::uint64_t& h, int& fail) -> Task<void> {
+        pfs::MetaResult f = co_await c.create("/convoy");
+        if (!f.status.is_ok()) {
+          ++fail;
+          co_return;
+        }
+        h = f.handle;
+        std::vector<std::uint8_t> buf(kReadBytes, 0x5A);
+        Status w = co_await c.write_contig(
+            h, 0, buf.data(), static_cast<std::int64_t>(buf.size()));
+        if (!w.is_ok()) ++fail;
+      }(*clients[0], handle, out.failures));
+  cluster.run();
+
+  const SimTime t0 = cluster.scheduler().now();
+  for (int r = 0; r < kClients; ++r) {
+    cluster.scheduler().spawn(
+        [](pfs::Client& c, std::uint64_t h, int& fail) -> Task<void> {
+          std::vector<std::uint8_t> buf(kReadBytes);
+          for (int i = 0; i < kReadsPerClient; ++i) {
+            Status s = co_await c.read_contig(
+                h, 0, buf.data(), static_cast<std::int64_t>(buf.size()));
+            if (!s.is_ok()) ++fail;
+          }
+        }(*clients[r], handle, out.failures));
+  }
+  cluster.run();
+  out.seconds = to_seconds(cluster.scheduler().now() - t0);
+
+  if (!trace_path.empty() && cluster.write_trace(trace_path)) {
+    std::printf("chrome trace (overload convoy): %s\n", trace_path.c_str());
+  }
+  std::vector<obs::OpBreakdown> ops = obs::decompose_ops(obs.spans);
+  std::erase_if(ops, [](const obs::OpBreakdown& op) {
+    return op.name != "contig_read";
+  });
+  out.phases = obs::summarize_phases(std::move(ops));
+  for (const auto& series : obs.timeline.all()) {
+    ++out.timeline_series;
+    if (series->name() == "queue_depth" && series->node() == 0) {
+      out.queue_peak = series->peak_value();
+    }
+  }
+  return out;
+}
+
 /// Nearest-rank percentile over the raw latency samples (exact, not the
 /// log-linear histogram estimate).
 SimTime percentile_exact(std::vector<SimTime> v, double p) {
@@ -636,6 +723,43 @@ int tile_main(int argc, char** argv) {
         static_cast<double>(off.timeouts);
     report.scalars["overload_on_timeouts"] = static_cast<double>(on.timeouts);
     report.scalars["overload_failures"] = off.failures + on.failures;
+
+    // Instrumented convoy: where does the time go when one server backs
+    // up? Timeline sampler on (1 ms), full phase attribution, Chrome
+    // trace exported for dtio_inspect.
+    obs::ObsConfig obs_cfg;
+    obs_cfg.sample_period = kMillisecond;
+    obs_cfg.timeline_capacity = 8192;  // whole run retained, zero dropped
+    obs::Observability convoy_obs(obs_cfg);
+    const std::string convoy_trace =
+        bench::flag_str(argc, argv, "--trace-overload", "trace_overload.json");
+    const ConvoyRun convoy =
+        run_overload_convoy(convoy_obs, use_obs ? convoy_trace : "");
+    const obs::PhaseQuantile* cp99 = convoy.phases.quantile(99);
+    std::printf("  convoy (1 server, 8 clients, 2 ms decode): %llu ops, "
+                "p99=%.1fms coverage=%.1f%% dominant=%s queue peak=%.0f\n",
+                static_cast<unsigned long long>(convoy.phases.ops),
+                cp99 != nullptr ? cp99->latency_ns / 1e6 : 0.0,
+                cp99 != nullptr ? 100.0 * cp99->coverage : 0.0,
+                cp99 != nullptr ? obs::phase_name(cp99->dominant) : "none",
+                convoy.queue_peak);
+    report.scalars["overload_convoy_ops"] =
+        static_cast<double>(convoy.phases.ops);
+    report.scalars["overload_convoy_sim_seconds"] = convoy.seconds;
+    report.scalars["overload_convoy_failures"] = convoy.failures;
+    report.scalars["overload_convoy_queue_peak"] = convoy.queue_peak;
+    if (cp99 != nullptr) {
+      report.scalars["overload_convoy_p99_ms"] = cp99->latency_ns / 1e6;
+      report.scalars["overload_convoy_coverage_p99"] = cp99->coverage;
+      report.scalars["overload_convoy_queue_share_p99"] =
+          cp99->latency_ns <= 0
+              ? 0.0
+              : cp99->phase_ns[static_cast<std::size_t>(
+                    obs::Phase::kServerQueue)] /
+                    cp99->latency_ns;
+    }
+    report.phases.emplace_back("contig_read", convoy.phases);
+    report.add_timeline(convoy_obs.timeline);
   }
 
   // Buffer-cache ablation (--cache): the same datatype tile reads with

@@ -64,6 +64,7 @@ sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed,
       msg.wire_bytes + config_.per_message_overhead_bytes;
   ++total_messages_;
   total_wire_bytes_ += bytes;
+  inflight_wire_bytes_ += bytes;
   if (tracer_ != nullptr) {
     tracer_->record({sched_->now(), "send", src, dst, msg.tag, bytes, ""});
   }
@@ -72,9 +73,10 @@ sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed,
     obs_messages_->add(1);
     obs_wire_bytes_->add(bytes);
     // One span per message, covering first-byte-out to delivery; parented
-    // under whatever span the sender stamped on the message.
+    // under whatever span the sender stamped on the message and typed with
+    // whatever phase the sender stamped (request vs reply direction).
     net_span = obs_->spans.begin("net_send", src, sched_->now(), msg.span,
-                                 msg.trace);
+                                 msg.trace, static_cast<obs::Phase>(msg.phase));
     obs_->spans.set_value(net_span, static_cast<std::int64_t>(bytes));
   }
 
@@ -82,12 +84,11 @@ sim::Task<void> Network::send_impl(int src, int dst, Box<sim::Message> boxed,
     // Loopback: no link occupancy, only a small local latency. Fault
     // injection never targets loopback, so extra_delay/deliver are moot.
     sim::Mailbox* box = &endpoint(dst).mailbox;
-    obs::Observability* obs = obs_;
-    sim::Scheduler* sched = sched_;
     sched_->schedule_call(
         sched_->now() + config_.loopback_latency,
-        [box, obs, sched, net_span, m = std::move(msg)]() mutable {
-          if (obs != nullptr) obs->spans.end(net_span, sched->now());
+        [this, box, net_span, bytes, m = std::move(msg)]() mutable {
+          inflight_wire_bytes_ -= bytes;
+          if (obs_ != nullptr) obs_->spans.end(net_span, sched_->now());
           box->deliver(std::move(m));
         });
     co_return;
@@ -133,6 +134,7 @@ sim::Fire Network::receive_packet(int dst, SimTime rx_hold,
   co_await receiver.rx.use(rx_hold);
   if (boxed.has_value()) {
     sim::Message msg = boxed.take();
+    inflight_wire_bytes_ -= msg.wire_bytes + config_.per_message_overhead_bytes;
     if (!deliver) {
       // Fault-injected loss: the bytes crossed the wire but the message
       // never reaches the mailbox. Close the span here so traces show

@@ -67,6 +67,12 @@ class Network {
   [[nodiscard]] std::uint64_t total_wire_bytes() const noexcept {
     return total_wire_bytes_;
   }
+  /// Wire bytes accepted for transmission but not yet delivered (or
+  /// dropped) — an instantaneous network-occupancy gauge for the timeline
+  /// sampler. Includes per-message overhead bytes.
+  [[nodiscard]] std::uint64_t inflight_wire_bytes() const noexcept {
+    return inflight_wire_bytes_;
+  }
   [[nodiscard]] std::uint64_t node_tx_bytes(int node) const {
     return endpoints_.at(static_cast<std::size_t>(node))->tx_bytes;
   }
@@ -117,6 +123,7 @@ class Network {
   obs::Counter* obs_wire_bytes_ = nullptr; ///< net_wire_bytes_total
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_wire_bytes_ = 0;
+  std::uint64_t inflight_wire_bytes_ = 0;
 };
 
 }  // namespace dtio::net

@@ -15,6 +15,7 @@ constexpr double kNsPerUs = 1000.0;
 std::string node_name(const ChromeTraceOptions& options, int node) {
   if (node >= 0 && static_cast<std::size_t>(node) < options.node_names.size())
     return options.node_names[static_cast<std::size_t>(node)];
+  if (node == -1) return "net";  // cluster-wide series (network in-flight)
   return "node" + std::to_string(node);
 }
 
@@ -30,6 +31,7 @@ void write_process_metadata(JsonWriter& w, const ChromeTraceOptions& options,
   };
   for (const Span& span : obs.spans.spans()) remember(span.node);
   for (const CounterSample& s : obs.spans.samples()) remember(s.node);
+  for (const auto& series : obs.timeline.all()) remember(series->node());
 
   for (int node : nodes) {
     w.begin_object();
@@ -70,6 +72,11 @@ void write_chrome_trace(const Observability& obs, std::ostream& out,
     w.key("args").begin_object();
     w.kv("span", static_cast<std::int64_t>(span.id));
     w.kv("parent", static_cast<std::int64_t>(span.parent));
+    // Exact integer times: "ts"/"dur" are doubles in microseconds and
+    // round-trip lossily; dtio_inspect rebuilds spans from these instead.
+    w.kv("start_ns", static_cast<std::int64_t>(span.start));
+    w.kv("dur_ns", static_cast<std::int64_t>(end - span.start));
+    if (span.phase != Phase::kNone) w.kv("phase", phase_name(span.phase));
     if (span.value != 0) w.kv("value", span.value);
     w.end_object();
     w.end_object();
@@ -87,6 +94,24 @@ void write_chrome_trace(const Observability& obs, std::ostream& out,
     w.kv("value", s.value);
     w.end_object();
     w.end_object();
+  }
+
+  // Timeline series (the periodic sampler) as counter tracks. Prefixed so
+  // they never merge with the request-entry samples above, which can share
+  // a (name, pid) pair with different sampling semantics.
+  for (const auto& series : obs.timeline.all()) {
+    const std::string name = "timeline." + series->name();
+    for (const TimelinePoint& p : series->points()) {
+      w.begin_object();
+      w.kv("name", std::string_view(name));
+      w.kv("ph", "C");
+      w.kv("ts", static_cast<double>(p.time) / kNsPerUs);
+      w.kv("pid", static_cast<std::int64_t>(series->node()));
+      w.key("args").begin_object();
+      w.kv("value", p.value);
+      w.end_object();
+      w.end_object();
+    }
   }
 
   w.end_array();

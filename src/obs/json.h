@@ -1,12 +1,14 @@
 // Minimal JSON plumbing for the observability exporters: a stream-style
-// writer that handles commas/escaping, and a strict syntax validator used
-// by tests (and available to tooling) to check exporter output without an
-// external JSON library.
+// writer that handles commas/escaping, a strict syntax validator used by
+// tests, and a small DOM parser (json_parse) used by dtio_inspect to read
+// run reports and trace files back — all without an external JSON library.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace dtio::obs {
@@ -57,5 +59,38 @@ void json_escape(std::string_view s, std::string& out);
 /// exporter tests; returns false on any trailing garbage or malformed
 /// construct.
 [[nodiscard]] bool json_valid(std::string_view text);
+
+/// A parsed JSON document node. Objects keep member insertion order;
+/// numbers are doubles (sim-time nanoseconds up to ~2^53 round-trip
+/// exactly, far beyond any bench horizon).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;  ///< kArray elements
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  /// Member's number, or `fallback` when absent / not a number.
+  [[nodiscard]] double num(std::string_view key, double fallback = 0)
+      const noexcept;
+  /// Member's string, or "" when absent / not a string.
+  [[nodiscard]] std::string_view str(std::string_view key) const noexcept;
+};
+
+/// Parses a complete JSON document (same strictness as json_valid);
+/// nullopt on any syntax error or trailing garbage.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace dtio::obs

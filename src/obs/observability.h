@@ -15,15 +15,23 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeline.h"
 
 namespace dtio::obs {
 
 struct Observability {
   Observability() = default;
   explicit Observability(std::size_t span_capacity) : spans(span_capacity) {}
+  explicit Observability(const ObsConfig& cfg) : config(cfg) {
+    timeline.set_capacity(cfg.timeline_capacity);
+  }
 
+  ObsConfig config;
   MetricsRegistry metrics;
   SpanCollector spans;
+  /// Time-resolved counter series, fed by the cluster sampler when
+  /// config.sample_period > 0 (see timeline.h).
+  Timeline timeline;
 };
 
 }  // namespace dtio::obs

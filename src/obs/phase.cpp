@@ -1,0 +1,156 @@
+#include "obs/phase.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/span.h"
+
+namespace dtio::obs {
+namespace {
+
+using Interval = std::pair<SimTime, SimTime>;
+
+/// Sum of the union of `intervals` (modified in place: sorted).
+double union_ns(std::vector<Interval>& intervals) {
+  if (intervals.empty()) return 0;
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0;
+  SimTime lo = intervals[0].first;
+  SimTime hi = intervals[0].second;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first > hi) {
+      total += static_cast<double>(hi - lo);
+      lo = intervals[i].first;
+      hi = intervals[i].second;
+    } else {
+      hi = std::max(hi, intervals[i].second);
+    }
+  }
+  total += static_cast<double>(hi - lo);
+  return total;
+}
+
+}  // namespace
+
+std::vector<OpBreakdown> decompose_ops(const std::vector<Span>& spans) {
+  // Group typed spans and roots by trace in one pass.
+  std::unordered_map<std::uint64_t, std::vector<const Span*>> typed;
+  std::vector<const Span*> roots;
+  for (const Span& s : spans) {
+    if (s.trace == 0) continue;
+    if (s.parent == 0) {
+      roots.push_back(&s);
+      continue;
+    }
+    if (s.phase != Phase::kNone && s.end >= s.start) {
+      typed[s.trace].push_back(&s);
+    }
+  }
+
+  std::vector<OpBreakdown> out;
+  for (const Span* root : roots) {
+    if (root->end < root->start) continue;  // open: run truncated mid-op
+    const auto it = typed.find(root->trace);
+    if (it == typed.end()) continue;  // no typed work (method-layer roots)
+
+    OpBreakdown op;
+    op.root = root->id;
+    op.trace = root->trace;
+    op.name = root->name;
+    op.node = root->node;
+    op.start = root->start;
+    op.end = root->end;
+
+    std::array<std::vector<Interval>, kPhaseCount> by_phase;
+    std::vector<Interval> all;
+    for (const Span* s : it->second) {
+      // Clip to the op window: server work that outlived the op (the
+      // client gave up and retried elsewhere) counts only while the op
+      // was still waiting on it.
+      const SimTime lo = std::max(s->start, op.start);
+      const SimTime hi = std::min(s->end, op.end);
+      if (hi <= lo) continue;
+      by_phase[static_cast<std::size_t>(s->phase)].emplace_back(lo, hi);
+      all.emplace_back(lo, hi);
+    }
+    for (int p = 0; p < kPhaseCount; ++p) {
+      op.phase_ns[static_cast<std::size_t>(p)] =
+          union_ns(by_phase[static_cast<std::size_t>(p)]);
+    }
+    op.attributed_ns = union_ns(all);
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+std::vector<OpBreakdown> decompose_ops(const SpanCollector& spans) {
+  return decompose_ops(spans.spans());
+}
+
+PhaseReport summarize_phases(std::vector<OpBreakdown> ops) {
+  PhaseReport report;
+  report.ops = ops.size();
+  if (ops.empty()) return report;
+
+  std::sort(ops.begin(), ops.end(),
+            [](const OpBreakdown& a, const OpBreakdown& b) {
+              return a.duration_ns() < b.duration_ns();
+            });
+
+  double dur_sum = 0;
+  for (const OpBreakdown& op : ops) {
+    dur_sum += op.duration_ns();
+    report.mean_attributed_ns += op.attributed_ns;
+    for (int p = 0; p < kPhaseCount; ++p) {
+      report.mean_phase_ns[static_cast<std::size_t>(p)] +=
+          op.phase_ns[static_cast<std::size_t>(p)];
+    }
+  }
+  const auto n = static_cast<double>(ops.size());
+  report.mean_ns = dur_sum / n;
+  report.mean_coverage = dur_sum <= 0 ? 0 : report.mean_attributed_ns / dur_sum;
+  report.mean_attributed_ns /= n;
+  for (double& v : report.mean_phase_ns) v /= n;
+
+  // Tail sets: every op at or above the nearest-rank quantile. p50
+  // averages the slowest half, p99 the slowest 1% — the ops whose latency
+  // IS the quantile, so "p99 is 83% queue-wait" describes those ops.
+  for (const double q : {50.0, 99.0, 99.9}) {
+    PhaseQuantile pq;
+    pq.quantile = q;
+    auto rank = static_cast<std::size_t>(
+        q / 100.0 * static_cast<double>(ops.size()) + 0.5);
+    rank = rank == 0 ? 0 : rank - 1;
+    rank = std::min(rank, ops.size() - 1);
+    pq.latency_ns = ops[rank].duration_ns();
+
+    double tail_dur = 0, tail_attr = 0;
+    std::size_t count = 0;
+    for (std::size_t i = rank; i < ops.size(); ++i) {
+      const OpBreakdown& op = ops[i];
+      tail_dur += op.duration_ns();
+      tail_attr += op.attributed_ns;
+      pq.attributed_ns += op.attributed_ns;
+      for (int p = 0; p < kPhaseCount; ++p) {
+        pq.phase_ns[static_cast<std::size_t>(p)] +=
+            op.phase_ns[static_cast<std::size_t>(p)];
+      }
+      ++count;
+    }
+    const auto c = static_cast<double>(count);
+    pq.attributed_ns /= c;
+    for (double& v : pq.phase_ns) v /= c;
+    pq.coverage = tail_dur <= 0 ? 0 : tail_attr / tail_dur;
+    for (int p = 1; p < kPhaseCount; ++p) {
+      if (pq.phase_ns[static_cast<std::size_t>(p)] >
+          pq.phase_ns[static_cast<std::size_t>(pq.dominant)]) {
+        pq.dominant = static_cast<Phase>(p);
+      }
+    }
+    report.quantiles.push_back(pq);
+  }
+  return report;
+}
+
+}  // namespace dtio::obs

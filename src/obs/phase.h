@@ -1,0 +1,94 @@
+// Per-request latency attribution: decomposes each client op's span tree
+// into typed phase contributions (span.h's Phase), producing the
+// "where did the p99 go" table the PVFS papers argued with — request time
+// split into client posting, transfer, server queue-wait, decode/expand,
+// and disk.
+//
+// Method: for every closed root span (a client op), collect the typed
+// spans of its trace, clip their intervals to the op's window, and take
+// the per-phase interval UNION — so three overlapping disk spans from a
+// fan-out count once, and an abandoned attempt's server work counts only
+// while the op was still waiting. Retry and hedge attempts contribute
+// naturally: their spans share the op's trace. `attributed` is the union
+// across ALL typed phases; attributed/duration is the coverage figure CI
+// gates on (>= 95% on the overload convoy).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/span.h"
+
+namespace dtio::obs {
+
+class SpanCollector;
+
+/// One analyzed client op (a closed root span with at least one typed
+/// span on its trace).
+struct OpBreakdown {
+  SpanId root = 0;
+  std::uint64_t trace = 0;
+  std::string name;  ///< root span name ("contig_read", ...)
+  int node = -1;
+  SimTime start = 0;
+  SimTime end = 0;
+  /// Per-phase interval union, clipped to [start, end], in ns.
+  std::array<double, kPhaseCount> phase_ns{};
+  /// Union across all typed phases, clipped to [start, end], in ns.
+  double attributed_ns = 0;
+
+  [[nodiscard]] double duration_ns() const noexcept {
+    return static_cast<double>(end - start);
+  }
+  [[nodiscard]] double coverage() const noexcept {
+    const double d = duration_ns();
+    return d <= 0 ? 0 : attributed_ns / d;
+  }
+};
+
+/// Phase contributions for one latency quantile: nearest-rank op latency
+/// plus mean per-phase time and time-weighted coverage over the tail set
+/// (every op at or above the quantile — p99 averages the slowest 1%).
+struct PhaseQuantile {
+  double quantile = 0;      ///< 50, 99, 99.9
+  double latency_ns = 0;    ///< nearest-rank op latency
+  std::array<double, kPhaseCount> phase_ns{};  ///< mean over the tail set
+  double attributed_ns = 0;  ///< mean over the tail set
+  double coverage = 0;       ///< sum(attributed) / sum(duration), tail set
+  Phase dominant = Phase::kNone;  ///< largest mean phase in the tail set
+};
+
+/// The phase-breakdown table for a set of ops.
+struct PhaseReport {
+  std::uint64_t ops = 0;
+  double mean_ns = 0;
+  std::array<double, kPhaseCount> mean_phase_ns{};
+  double mean_attributed_ns = 0;
+  double mean_coverage = 0;  ///< sum(attributed) / sum(duration), all ops
+  std::vector<PhaseQuantile> quantiles;  ///< p50, p99, p999
+
+  [[nodiscard]] const PhaseQuantile* quantile(double q) const noexcept {
+    for (const PhaseQuantile& pq : quantiles) {
+      if (pq.quantile == q) return &pq;
+    }
+    return nullptr;
+  }
+};
+
+/// Analyzes every closed root span (parent == 0, trace != 0, end >= start)
+/// that has at least one typed span on its trace. Works on a raw span
+/// vector so dtio_inspect can feed spans parsed back from a trace file.
+[[nodiscard]] std::vector<OpBreakdown> decompose_ops(
+    const std::vector<Span>& spans);
+[[nodiscard]] std::vector<OpBreakdown> decompose_ops(
+    const SpanCollector& spans);
+
+/// Aggregates breakdowns into the p50/p99/p999 table. The caller filters
+/// `ops` first (e.g. to data ops only) so quantiles match the measured
+/// latency distribution of interest.
+[[nodiscard]] PhaseReport summarize_phases(std::vector<OpBreakdown> ops);
+
+}  // namespace dtio::obs

@@ -5,21 +5,31 @@
 // consume structured output instead of scraping stdout tables.
 //
 // Schema (see EXPERIMENTS.md):
-//   { "schema": "dtio-bench-report-v1", "bench": ..., "params": {...},
-//     "methods": [...], "scalars": {...} }
+//   { "schema": "dtio-bench-report-v2", "schema_version": 2, "bench": ...,
+//     "params": {...}, "methods": [...], "scalars": {...},
+//     "timeline": [...], "phases": {...} }
+// v2 adds: schema_version, per-method span accounting ("spans"), and the
+// optional "timeline" (sampler series) and "phases" (latency attribution)
+// sections, emitted only when populated.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/phase.h"
+#include "obs/timeline.h"
 
 namespace dtio::obs {
 
 class Histogram;
 class JsonWriter;
+
+/// Current report schema version, mirrored in the "schema" string.
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Latency distribution in microseconds, extracted from a nanosecond
 /// histogram (typically the merged "client_op_latency_ns" metric).
@@ -43,6 +53,23 @@ struct MethodReport {
   std::uint64_t events = 0;   ///< simulator events consumed
   IoStats per_client;         ///< rank 0's counters
   LatencySummary latency;     ///< client op latency (empty when obs is off)
+  /// Span-collector accounting for this arm: how many spans were kept and
+  /// how many begin() calls were refused at capacity. A nonzero dropped
+  /// means the trace (and any phase attribution over it) is truncated.
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+};
+
+/// Value snapshot of one sampler series, for the report's "timeline"
+/// section (the live Timeline holds ring buffers; the report is a copy).
+struct TimelineSeriesReport {
+  std::string name;
+  int node = -1;
+  std::uint64_t total = 0;    ///< samples ever pushed
+  std::uint64_t dropped = 0;  ///< overwritten by the ring
+  double min = 0, max = 0, mean = 0;
+  SimTime peak_time = 0;  ///< when the all-time max was first reached
+  std::vector<TimelinePoint> points;
 };
 
 struct RunReport {
@@ -50,6 +77,15 @@ struct RunReport {
   std::map<std::string, double> params;   ///< run configuration
   std::vector<MethodReport> methods;
   std::map<std::string, double> scalars;  ///< bench-specific extras
+  /// Sampler series snapshots; empty (and omitted from JSON) unless the
+  /// bench called add_timeline().
+  std::vector<TimelineSeriesReport> timeline;
+  /// Phase-attribution tables keyed by op filter (e.g. "contig_read");
+  /// empty (and omitted from JSON) unless the bench attached one.
+  std::vector<std::pair<std::string, PhaseReport>> phases;
+
+  /// Snapshots every series of `tl` into the timeline section.
+  void add_timeline(const Timeline& tl);
 
   void write_json(JsonWriter& writer) const;
   [[nodiscard]] std::string to_json() const;

@@ -2,8 +2,33 @@
 
 namespace dtio::obs {
 
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kNone: return "none";
+    case Phase::kClientPrep: return "client_prep";
+    case Phase::kClientQueue: return "client_queue";
+    case Phase::kClientBackoff: return "client_backoff";
+    case Phase::kNetRequest: return "net_request";
+    case Phase::kServerQueue: return "server_queue";
+    case Phase::kServerDecode: return "server_decode";
+    case Phase::kServerExpand: return "server_expand";
+    case Phase::kServerCache: return "server_cache";
+    case Phase::kServerDisk: return "server_disk";
+    case Phase::kNetReply: return "net_reply";
+  }
+  return "none";
+}
+
+Phase phase_from_name(std::string_view name) noexcept {
+  for (int i = 1; i < kPhaseCount; ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (name == phase_name(p)) return p;
+  }
+  return Phase::kNone;
+}
+
 SpanId SpanCollector::begin(std::string_view name, int node, SimTime start,
-                            SpanId parent, std::uint64_t trace) {
+                            SpanId parent, std::uint64_t trace, Phase phase) {
   if (spans_.size() >= capacity_) {
     ++dropped_;
     return 0;
@@ -15,6 +40,7 @@ SpanId SpanCollector::begin(std::string_view name, int node, SimTime start,
   span.name = name;
   span.node = node;
   span.start = start;
+  span.phase = phase;
   spans_.push_back(std::move(span));
   return spans_.back().id;
 }

@@ -24,6 +24,32 @@ namespace dtio::obs {
 /// (and ignored) everywhere, so disabled paths can pass it through.
 using SpanId = std::uint64_t;
 
+/// Typed latency phase of a span, for per-request attribution: the
+/// analyzer (phase.h) decomposes a client op's latency into the union of
+/// its typed descendant intervals, so "p99 is 83% server queue-wait" is a
+/// computed fact. kNone marks structural spans (op root, rpc, rpc_attempt,
+/// server_handle) that group children but claim no time of their own.
+enum class Phase : std::uint8_t {
+  kNone = 0,
+  kClientPrep,     ///< issue overhead + segment/reassemble processing
+  kClientQueue,    ///< AIMD flow-window wait before an RPC may start
+  kClientBackoff,  ///< retry backoff sleep between attempts
+  kNetRequest,     ///< request transit: first byte out -> mailbox delivery
+  kServerQueue,    ///< delivered to the server mailbox -> dequeued
+  kServerDecode,   ///< request decode overhead + dataloop decode
+  kServerExpand,   ///< region walk / dataloop expansion CPU
+  kServerCache,    ///< buffer-cache synchronous disk segments (miss fills)
+  kServerDisk,     ///< uncached synchronous disk charge
+  kNetReply,       ///< reply transit: first byte out -> mailbox delivery
+};
+inline constexpr int kPhaseCount = 11;
+
+/// Stable wire name ("server_queue", ...); "none" for kNone.
+[[nodiscard]] const char* phase_name(Phase p) noexcept;
+
+/// Inverse of phase_name; kNone for unknown names (tolerant parsing).
+[[nodiscard]] Phase phase_from_name(std::string_view name) noexcept;
+
 struct Span {
   SpanId id = 0;
   SpanId parent = 0;          ///< 0 = root
@@ -33,6 +59,7 @@ struct Span {
   SimTime start = 0;
   SimTime end = -1;           ///< -1 while open
   std::int64_t value = 0;     ///< span-specific payload (e.g. bytes)
+  Phase phase = Phase::kNone; ///< typed latency phase (kNone = structural)
 };
 
 struct CounterSample {
@@ -52,7 +79,8 @@ class SpanCollector {
 
   /// Opens a span; returns 0 (and records nothing) once at capacity.
   SpanId begin(std::string_view name, int node, SimTime start,
-               SpanId parent = 0, std::uint64_t trace = 0);
+               SpanId parent = 0, std::uint64_t trace = 0,
+               Phase phase = Phase::kNone);
 
   /// Closes a span; id 0 and out-of-range ids are ignored.
   void end(SpanId id, SimTime end) noexcept;

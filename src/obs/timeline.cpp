@@ -1,0 +1,45 @@
+#include "obs/timeline.h"
+
+namespace dtio::obs {
+
+void TimelineSeries::push(SimTime t, double v) {
+  if (total_ == 0) {
+    min_ = max_ = v;
+    peak_time_ = t;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) {
+      max_ = v;
+      peak_time_ = t;
+    }
+  }
+  sum_ += v;
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(TimelinePoint{t, v});
+  } else {
+    ring_[head_] = TimelinePoint{t, v};
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<TimelinePoint> TimelineSeries::points() const {
+  std::vector<TimelinePoint> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest retained point once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+TimelineSeries& Timeline::series(std::string_view name, int node) {
+  for (auto& s : series_) {
+    if (s->node() == node && s->name() == name) return *s;
+  }
+  series_.push_back(
+      std::make_unique<TimelineSeries>(std::string(name), node, capacity_));
+  return *series_.back();
+}
+
+}  // namespace dtio::obs

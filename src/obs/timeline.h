@@ -1,0 +1,103 @@
+// Time-resolved telemetry: bounded ring-buffer time series fed by the
+// cluster's sim-clock-driven sampler (Cluster::set_observability arms it
+// when ObsConfig::sample_period > 0). Each series is one counter on one
+// node — mailbox queue depth/bytes, disk/cpu busy fraction over the
+// sample window, cache occupancy and dirty bytes, client flow windows and
+// breaker states, network in-flight bytes. Series are exported as
+// Perfetto counter tracks (chrome_trace.h) and as the `timeline` section
+// of BENCH_*.json (run_report.h).
+//
+// The sampler runs on the scheduler's telemetry side-channel
+// (Scheduler::schedule_telemetry): it consumes no event-queue sequence
+// numbers, so a run with sampling attached is bit-identical to a
+// detached run — the "record, never perturb" contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dtio::obs {
+
+/// Observability tuning knobs, carried on the Observability context.
+struct ObsConfig {
+  /// Timeline sampling period in simulated time; 0 (default) disables the
+  /// sampler entirely — no series, no telemetry callbacks.
+  SimTime sample_period = 0;
+  /// Retained points per timeline series (ring buffer; oldest overwritten).
+  std::size_t timeline_capacity = 4096;
+};
+
+struct TimelinePoint {
+  SimTime time = 0;
+  double value = 0;
+};
+
+/// One bounded counter series. Summary statistics (min/max/mean/peak)
+/// cover every point ever pushed; the ring retains only the newest
+/// `capacity` points, counting the overwritten ones as dropped.
+class TimelineSeries {
+ public:
+  TimelineSeries(std::string name, int node, std::size_t capacity)
+      : name_(std::move(name)), node_(node),
+        capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(SimTime t, double v);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int node() const noexcept { return node_; }
+  /// Points ever pushed (>= points().size()).
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Points overwritten by the ring.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - static_cast<std::uint64_t>(ring_.size());
+  }
+  /// Retained points in time order (unwinds the ring).
+  [[nodiscard]] std::vector<TimelinePoint> points() const;
+
+  [[nodiscard]] double min() const noexcept { return total_ ? min_ : 0; }
+  [[nodiscard]] double max() const noexcept { return total_ ? max_ : 0; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0;
+  }
+  [[nodiscard]] double peak_value() const noexcept { return total_ ? max_ : 0; }
+  /// Time of the first sample that reached the all-time maximum.
+  [[nodiscard]] SimTime peak_time() const noexcept { return peak_time_; }
+
+ private:
+  std::string name_;
+  int node_;
+  std::size_t capacity_;
+  std::vector<TimelinePoint> ring_;
+  std::size_t head_ = 0;  ///< next overwrite position once full
+  std::uint64_t total_ = 0;
+  double min_ = 0, max_ = 0, sum_ = 0;
+  SimTime peak_time_ = 0;
+};
+
+/// The set of series for one run. Lookup creates on first use; export
+/// order is insertion order, which the sampler keeps deterministic.
+class Timeline {
+ public:
+  [[nodiscard]] TimelineSeries& series(std::string_view name, int node);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<TimelineSeries>>& all()
+      const noexcept {
+    return series_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return series_.empty(); }
+
+  /// Capacity applied to series created after this call.
+  void set_capacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_ = 4096;
+  std::vector<std::unique_ptr<TimelineSeries>> series_;
+};
+
+}  // namespace dtio::obs

@@ -110,6 +110,7 @@ sim::Task<Status> Client::lock(std::uint64_t handle) {
   sim::Message msg(node_, kTagRequest, 48, std::move(request));
   msg.trace = t.trace;
   msg.span = t.span;
+  msg.phase = static_cast<std::uint8_t>(obs::Phase::kNetRequest);
   co_await network_->send(node_, 0, std::move(msg));
   (void)co_await network_->mailbox(node_).recv(0, tag);  // grant
   finish_op(OpKind::kMetaLock, t);
@@ -129,6 +130,7 @@ sim::Task<Status> Client::unlock(std::uint64_t handle) {
   sim::Message msg(node_, kTagRequest, 48, std::move(request));
   msg.trace = t.trace;
   msg.span = t.span;
+  msg.phase = static_cast<std::uint8_t>(obs::Phase::kNetRequest);
   co_await network_->send(node_, 0, std::move(msg));
   (void)co_await network_->mailbox(node_).recv(0, tag);
   finish_op(OpKind::kMetaUnlock, t);
@@ -321,7 +323,15 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
   // every exit path.
   LaneReleaser window_slot;
   if (reliable && cc.flow_window > 0) {
+    obs::SpanId queue_span = 0;
+    if (obs_ != nullptr) {
+      queue_span = obs_->spans.begin(
+          "client_queue", node_, sched_->now(),
+          slot->rpc_span != 0 ? slot->rpc_span : slot->request.parent_span,
+          slot->request.trace_id, obs::Phase::kClientQueue);
+    }
     co_await LaneGate{this, slot->server};
+    if (obs_ != nullptr) obs_->spans.end(queue_span, sched_->now());
     window_slot.client = this;
     window_slot.server = slot->server;
   }
@@ -354,7 +364,15 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
       }
       DTIO_DEBUG("cli" << node_ << " rpc retry " << attempt << "/"
                        << max_attempts << " to srv" << slot->server);
+      obs::SpanId backoff_span = 0;
+      if (obs_ != nullptr) {
+        backoff_span = obs_->spans.begin(
+            "client_backoff", node_, sched_->now(),
+            slot->rpc_span != 0 ? slot->rpc_span : slot->request.parent_span,
+            slot->request.trace_id, obs::Phase::kClientBackoff);
+      }
       co_await sched_->delay(backoff);
+      if (obs_ != nullptr) obs_->spans.end(backoff_span, sched_->now());
     }
 
     // Fresh reply tag per attempt: a delayed duplicate reply to an earlier
@@ -380,6 +398,7 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
                    ? attempt_span
                    : (slot->rpc_span != 0 ? slot->rpc_span
                                           : slot->request.parent_span);
+    out.phase = static_cast<std::uint8_t>(obs::Phase::kNetRequest);
     co_await network_->send(node_, slot->server, std::move(out));
 
     sim::Message msg;
@@ -433,6 +452,7 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
                           ? attempt_span
                           : (slot->rpc_span != 0 ? slot->rpc_span
                                                  : slot->request.parent_span);
+          out2.phase = static_cast<std::uint8_t>(obs::Phase::kNetRequest);
           co_await network_->send(node_, slot->server, std::move(out2));
           maybe = co_await network_->mailbox(node_).recv2_for(
               slot->server, tag, hedge_tag, cc.rpc_timeout);
@@ -576,6 +596,7 @@ sim::Task<MetaResult> Client::stat_handle(std::uint64_t handle) {
                        std::move(request));
       out.trace = t.trace;
       out.span = t.span;
+      out.phase = static_cast<std::uint8_t>(obs::Phase::kNetRequest);
       co_await network_->send(node_, slot.server, std::move(out));
     }
     for (RpcSlot& slot : *slots) {
@@ -820,10 +841,17 @@ sim::Task<Status> Client::run_requests(
 
   // Client-side processing: building the per-server job/access lists plus
   // one buffer copy to segment (write) or reassemble (read) the stream.
+  obs::SpanId prep_span = 0;
+  if (obs_ != nullptr) {
+    prep_span = obs_->spans.begin("client_prep", node_, sched_->now(),
+                                  op_trace.span, op_trace.trace,
+                                  obs::Phase::kClientPrep);
+  }
   co_await sched_->delay(
       config_->client.issue_overhead + client_cpu_cost +
       transfer_time(static_cast<std::uint64_t>(total_bytes),
                     config_->client.memcpy_bandwidth_bytes_per_s));
+  if (obs_ != nullptr) obs_->spans.end(prep_span, sched_->now());
 
   // Build one RpcSlot per involved server. Start at this rank's "home"
   // server and walk the ring: staggering the per-client server order
@@ -908,6 +936,7 @@ sim::Task<Status> Client::run_requests(
                        std::move(request));
       out.trace = op_trace.trace;
       out.span = slot.rpc_span;
+      out.phase = static_cast<std::uint8_t>(obs::Phase::kNetRequest);
       sched_->start(send_fire(slot.server, Box<sim::Message>(std::move(out))));
     }
     for (RpcSlot& slot : *slots) {

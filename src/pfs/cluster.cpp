@@ -65,6 +65,88 @@ void Cluster::record_utilization_gauges() {
   }
 }
 
+// ---- Timeline sampler -------------------------------------------------------
+//
+// Runs on the scheduler's telemetry side-channel: callbacks consume no
+// event-queue sequence numbers and are not counted in events_processed(),
+// so a run with sampling attached is bit-identical to a detached run.
+// Sampling stops by itself when the regular event queue drains (pending
+// telemetry past the last real event never fires).
+
+void Cluster::arm_sampler() {
+  if (sampler_armed_) return;
+  sampler_armed_ = true;
+  sampler_last_.assign(servers_.size(), ResourceWindow{});
+  sampler_last_time_ = scheduler_.now();
+  schedule_next_sample();
+}
+
+void Cluster::schedule_next_sample() {
+  scheduler_.schedule_telemetry(
+      scheduler_.now() + obs_->config.sample_period, [this] {
+        take_sample();
+        if (obs_ != nullptr && obs_->config.sample_period > 0) {
+          schedule_next_sample();
+        }
+      });
+}
+
+void Cluster::take_sample() {
+  if (obs_ == nullptr) return;
+  obs::Timeline& tl = obs_->timeline;
+  const SimTime now = scheduler_.now();
+  const auto window = static_cast<double>(now - sampler_last_time_);
+
+  for (int s = 0; s < config_.num_servers; ++s) {
+    const sim::Mailbox& mb = network_.mailbox(s);
+    tl.series("queue_depth", s).push(now, static_cast<double>(mb.queued()));
+    tl.series("queued_bytes", s)
+        .push(now, static_cast<double>(mb.queued_bytes()));
+
+    auto& last = sampler_last_[static_cast<std::size_t>(s)];
+    const double disk = server(s).disk().busy_integral();
+    const double cpu = server(s).cpu().busy_integral();
+    if (window > 0) {
+      tl.series("disk_util", s).push(now, (disk - last.disk) / window);
+      tl.series("cpu_util", s).push(now, (cpu - last.cpu) / window);
+    }
+    last.disk = disk;
+    last.cpu = cpu;
+
+    if (const cache::BlockCache* cache = server(s).block_cache()) {
+      tl.series("cache_bytes", s)
+          .push(now, static_cast<double>(cache->resident_blocks()) *
+                         static_cast<double>(cache->block_bytes()));
+      tl.series("cache_dirty_bytes", s)
+          .push(now, static_cast<double>(cache->dirty_bytes()));
+    }
+  }
+
+  for (const Client* client : clients_) {
+    int window_sum = 0;
+    int outstanding = 0;
+    int breakers_open = 0;
+    for (int s = 0; s < config_.num_servers; ++s) {
+      const Client::LaneHealth h = client->lane_health(s);
+      window_sum += h.window;
+      outstanding += h.outstanding;
+      if (h.breaker != 0) ++breakers_open;
+    }
+    const int node = client->node_id();
+    tl.series("cli_flow_window", node)
+        .push(now, static_cast<double>(window_sum));
+    tl.series("cli_outstanding", node)
+        .push(now, static_cast<double>(outstanding));
+    tl.series("cli_breakers_open", node)
+        .push(now, static_cast<double>(breakers_open));
+  }
+
+  tl.series("net_inflight_bytes", -1)
+      .push(now, static_cast<double>(network_.inflight_wire_bytes()));
+
+  sampler_last_time_ = now;
+}
+
 bool Cluster::write_trace(const std::string& path) {
   if (obs_ == nullptr) return false;
   obs::ChromeTraceOptions options;

@@ -58,12 +58,16 @@ class Cluster {
   }
 
   /// A client for application rank `rank` (node num_servers + rank).
-  /// Inherits the cluster's observability context, if attached.
+  /// Inherits the cluster's observability context, if attached. The
+  /// cluster keeps a non-owning pointer for the timeline sampler, so
+  /// clients must outlive the run (they already must: they own the
+  /// running coroutines).
   [[nodiscard]] std::unique_ptr<Client> make_client(int rank) {
     auto client = std::make_unique<Client>(scheduler_, network_, config_,
                                            rank);
     if (obs_ != nullptr) client->set_observability(obs_);
     if (tracer_ != nullptr) client->set_tracer(tracer_);
+    clients_.push_back(client.get());
     return client;
   }
 
@@ -84,6 +88,9 @@ class Cluster {
   /// Attach the observability context (metrics + spans) to the network,
   /// every server, and every client created afterwards. Call before
   /// make_client; nullptr detaches. Not owned — must outlive the run.
+  /// When obs->config.sample_period > 0 this also arms the timeline
+  /// sampler on the scheduler's telemetry side-channel — a pure observer
+  /// that perturbs neither the event sequence nor events_processed().
   void set_observability(obs::Observability* obs) {
     obs_ = obs;
     network_.set_observability(obs);
@@ -91,6 +98,7 @@ class Cluster {
     if (network_.fault_plan() != nullptr) {
       network_.fault_plan()->set_observability(obs);
     }
+    if (obs != nullptr && obs->config.sample_period > 0) arm_sampler();
   }
   [[nodiscard]] obs::Observability* observability() noexcept { return obs_; }
 
@@ -142,12 +150,28 @@ class Cluster {
   [[nodiscard]] std::string utilization_report(SimTime t0 = 0);
 
  private:
+  /// Arms the periodic timeline sampler (idempotent). Samples are pushed
+  /// into obs_->timeline every obs_->config.sample_period of simulated
+  /// time, on the telemetry side-channel.
+  void arm_sampler();
+  void schedule_next_sample();
+  void take_sample();
+
   net::ClusterConfig config_;
   sim::Scheduler scheduler_;
   net::Network network_;
   std::vector<std::unique_ptr<IOServer>> servers_;
+  std::vector<Client*> clients_;  ///< registered by make_client; not owned
   obs::Observability* obs_ = nullptr;
   sim::Tracer* tracer_ = nullptr;
+  /// Utilization is sampled as busy_integral deltas over the last window.
+  struct ResourceWindow {
+    double disk = 0;
+    double cpu = 0;
+  };
+  std::vector<ResourceWindow> sampler_last_;
+  SimTime sampler_last_time_ = 0;
+  bool sampler_armed_ = false;
 };
 
 }  // namespace dtio::pfs

@@ -19,6 +19,7 @@
 
 #include "common/region.h"
 #include "common/status.h"
+#include "common/units.h"
 
 namespace dtio {
 class Rng;
@@ -106,6 +107,10 @@ struct Request {
   /// work under. Pure annotations — no effect on simulated behavior.
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span = 0;
+  /// Host-side copy of Message::delivered_at, filled by the server's run
+  /// loop when it pulls the carrying message from its mailbox; -1 when
+  /// unknown. Feeds the retroactive server_queue span. No sim effect.
+  SimTime delivered_at = -1;
   /// Logical-operation sequence number for idempotent replay (0 = replay
   /// protection off). Identical across retry attempts of the same logical
   /// op — only the reply_tag is fresh per attempt — so the server can

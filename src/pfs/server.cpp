@@ -313,6 +313,7 @@ sim::Task<void> IOServer::shed_request(Box<Request> boxed, const char* reason) {
   req_span_ = 0;
   req_epoch_ = epoch_;
   req_degrade_ = degraded_factor_now();
+  if (obs_ != nullptr) record_queue_wait(request);
   const bool by_bytes = reason[0] == 'b';
   if (by_bytes) {
     ++stats_.sheds_bytes;
@@ -341,6 +342,18 @@ sim::Task<void> IOServer::shed_request(Box<Request> boxed, const char* reason) {
   reply.error = std::string("shed: queue ") + reason + " bound exceeded";
   reply.retry_after = backlog_drain_estimate();
   send_reply(request.client_node, request.reply_tag, std::move(reply), 0);
+}
+
+void IOServer::record_queue_wait(const Request& request) {
+  // Retroactive: by the time the handler dequeues the request its wait is
+  // already over, so the span is opened at delivery time and closed at
+  // now. Parented beside server_handle (both under the client rpc span),
+  // since the wait precedes the handling.
+  if (request.delivered_at < 0 || sched_->now() <= request.delivered_at) return;
+  const obs::SpanId q = obs_->spans.begin(
+      "server_queue", server_index_, request.delivered_at,
+      request.parent_span, request.trace_id, obs::Phase::kServerQueue);
+  obs_->spans.end(q, sched_->now());
 }
 
 void IOServer::sample_counters() {
@@ -398,12 +411,16 @@ sim::Task<void> IOServer::run() {
     if (over_admission_bounds(shed_reason)) {
       const OpKind op = msg.as<Request>().op;
       if (op != OpKind::kMetaLock && op != OpKind::kMetaUnlock) {
-        co_await shed_request(Box<Request>(msg.take<Request>()), shed_reason);
+        Request shed = msg.take<Request>();
+        shed.delivered_at = msg.delivered_at;
+        co_await shed_request(Box<Request>(std::move(shed)), shed_reason);
         continue;
       }
     }
     // Requests are handled sequentially: one CPU, one disk per server.
-    co_await handle_request(Box<Request>(msg.take<Request>()));
+    Request request = msg.take<Request>();
+    request.delivered_at = msg.delivered_at;
+    co_await handle_request(Box<Request>(std::move(request)));
   }
 }
 
@@ -426,12 +443,20 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
   if (req_degrade_ > 1.0) ++stats_.degraded_requests;
   if (obs_ != nullptr) {
     obs_requests_->add(1);
+    record_queue_wait(request);
     req_span_ = obs_->spans.begin("server_handle", server_index_,
                                   sched_->now(), request.parent_span,
                                   req_trace_);
     sample_counters();
   }
+  obs::SpanId decode_span = 0;
+  if (obs_ != nullptr) {
+    decode_span = obs_->spans.begin("request_decode", server_index_,
+                                    sched_->now(), req_span_, req_trace_,
+                                    obs::Phase::kServerDecode);
+  }
   co_await sched_->delay(scaled(config_->server.request_overhead));
+  if (obs_ != nullptr) obs_->spans.end(decode_span, sched_->now());
   if (crashed_ || req_epoch_ != epoch_) {
     // Crashed while decoding this request: the work evaporates.
     if (obs_ != nullptr) obs_->spans.end(req_span_, sched_->now());
@@ -662,7 +687,8 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
     obs::SpanId decode_span = 0;
     if (obs_ != nullptr) {
       decode_span = obs_->spans.begin("dataloop_decode", server_index_,
-                                      sched_->now(), req_span_, req_trace_);
+                                      sched_->now(), req_span_, req_trace_,
+                                      obs::Phase::kServerDecode);
       obs_->spans.set_value(decode_span, p.loop_node_count);
     }
     co_await sched_->delay(scaled(config_->server.dataloop_decode_cost_per_node *
@@ -853,7 +879,8 @@ sim::Task<void> IOServer::charge_disk(std::int64_t bytes) {
   if (obs_ != nullptr) {
     obs_disk_bytes_->add(static_cast<std::uint64_t>(bytes));
     disk_span = obs_->spans.begin("disk", server_index_, sched_->now(),
-                                  req_span_, req_trace_);
+                                  req_span_, req_trace_,
+                                  obs::Phase::kServerDisk);
     obs_->spans.set_value(disk_span, bytes);
   }
   // The iod streams between disk and network: the request handler blocks
@@ -925,8 +952,11 @@ sim::Task<void> IOServer::charge_cache_plan(cache::AccessPlan plan) {
   obs::SpanId disk_span = 0;
   if (obs_ != nullptr && sync_bytes > 0) {
     obs_disk_bytes_->add(static_cast<std::uint64_t>(sync_bytes));
+    // Typed kServerCache (not kServerDisk): this is the cache-mediated
+    // portion — miss fills and write-through stores the reply waited on.
     disk_span = obs_->spans.begin("disk", server_index_, sched_->now(),
-                                  req_span_, req_trace_);
+                                  req_span_, req_trace_,
+                                  obs::Phase::kServerCache);
     obs_->spans.set_value(disk_span, sync_bytes);
   }
   constexpr std::int64_t kPipelineChunk = 64 * 1024;
@@ -975,7 +1005,8 @@ sim::Task<void> IOServer::charge_regions(std::int64_t pieces,
   obs::SpanId regions_span = 0;
   if (obs_ != nullptr) {
     regions_span = obs_->spans.begin("regions", server_index_, sched_->now(),
-                                     req_span_, req_trace_);
+                                     req_span_, req_trace_,
+                                     obs::Phase::kServerExpand);
     obs_->spans.set_value(regions_span, pieces);
   }
   constexpr std::int64_t kPrimeBatch = 64;  // regions walked before data flows
@@ -997,6 +1028,7 @@ void IOServer::send_reply(int dst, std::uint64_t tag, Reply reply,
   // parents under this server's handling span.
   msg.trace = req_trace_;
   msg.span = req_span_;
+  msg.phase = static_cast<std::uint8_t>(obs::Phase::kNetReply);
   // Replies stream in the background so the server can start the next
   // request while its tx link drains (PVFS iod overlapped I/O behaviour).
   sched_->start(send_reply_fire(dst, Box<sim::Message>(std::move(msg))));

@@ -178,6 +178,11 @@ class IOServer {
   /// utilization from busy_integral deltas), taken at request entry.
   void sample_counters();
 
+  /// Emits the retroactive, typed "server_queue" span covering
+  /// [request.delivered_at, now) — the time the request sat in the mailbox
+  /// before the handler (or the shedder) picked it up. Caller checks obs_.
+  void record_queue_wait(const Request& request);
+
   sim::Scheduler* sched_;
   net::Network* network_;
   const net::ClusterConfig* config_;

@@ -35,6 +35,14 @@ struct Message {
   /// network layer can parent its transmission spans; no semantic effect.
   std::uint64_t trace = 0;
   std::uint64_t span = 0;
+  /// Observability phase tag (obs::Phase as uint8_t; 0 = untyped). Stamped
+  /// by the sender so the network can type its transmission span without a
+  /// net -> pfs dependency. No semantic effect.
+  std::uint8_t phase = 0;
+  /// Simulated time this message reached the destination mailbox, stamped
+  /// by Mailbox::deliver(); -1 until delivered. Receivers use it to measure
+  /// queue-wait. No semantic effect.
+  SimTime delivered_at = -1;
   std::any body;
 
   Message() = default;
@@ -52,6 +60,8 @@ struct Message {
         wire_bytes(other.wire_bytes),
         trace(other.trace),
         span(other.span),
+        phase(other.phase),
+        delivered_at(other.delivered_at),
         body(std::move(other.body)) {}
   Message& operator=(Message&& other) noexcept {
     src = other.src;
@@ -59,6 +69,8 @@ struct Message {
     wire_bytes = other.wire_bytes;
     trace = other.trace;
     span = other.span;
+    phase = other.phase;
+    delivered_at = other.delivered_at;
     body = std::move(other.body);
     return *this;
   }
@@ -185,6 +197,7 @@ class Mailbox {
   /// Hand a fully-arrived message to this mailbox. If a parked receiver
   /// matches, it is resumed through the event queue at the current time.
   void deliver(Message msg) {
+    msg.delivered_at = sched_->now();
     for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
       if (matches(msg, it->src_filter, it->tag_filter) ||
           (it->has_alt_tag && matches(msg, it->src_filter, it->tag_alt))) {

@@ -23,6 +23,11 @@ void Scheduler::schedule_call(SimTime t, std::function<void()> fn) {
   queue_.push(Event{t, next_seq_++, nullptr, std::move(fn)});
 }
 
+void Scheduler::schedule_telemetry(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the simulated past");
+  telemetry_.push(TelemetryEvent{t, next_telemetry_seq_++, std::move(fn)});
+}
+
 void Scheduler::spawn(Task<void> process) {
   auto h = process.release();
   assert(h && "spawn of an empty task");
@@ -34,6 +39,20 @@ void Scheduler::start(Fire fire) { schedule_at(now_, fire.handle()); }
 
 void Scheduler::run() {
   while (!queue_.empty()) {
+    // Telemetry due at or before the next regular event observes the
+    // simulation between events, at its own timestamp. Pure observation:
+    // running it cannot change the regular queue, so the event sequence
+    // is identical with or without telemetry attached. A telemetry
+    // callback may schedule the next sample (periodic samplers), which
+    // the loop picks up immediately if still due.
+    const SimTime next_time = queue_.top().time;
+    while (!telemetry_.empty() && telemetry_.top().time <= next_time) {
+      TelemetryEvent t = std::move(const_cast<TelemetryEvent&>(
+          telemetry_.top()));
+      telemetry_.pop();
+      now_ = t.time;
+      t.fn();
+    }
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;

@@ -34,6 +34,18 @@ class Scheduler {
   /// Run an arbitrary callback at absolute time `t`.
   void schedule_call(SimTime t, std::function<void()> fn);
 
+  /// Telemetry side-channel: run `fn` once the simulated clock first
+  /// reaches `t`, BEFORE the next regular event at or after `t`. Unlike
+  /// schedule_call, telemetry callbacks consume no event-queue sequence
+  /// numbers and do not count toward events_processed(), so attaching a
+  /// periodic sampler leaves the simulation's event sequence and every
+  /// reported event count bit-identical ("record, never perturb"). The
+  /// callback MUST be a pure observer: it may read simulation state and
+  /// schedule further telemetry, but never resume coroutines or schedule
+  /// regular events. Pending telemetry past the last regular event never
+  /// fires (the run is over; there is nothing left to observe).
+  void schedule_telemetry(SimTime t, std::function<void()> fn);
+
   /// Awaitable pause of `dt` simulated time. dt == 0 still round-trips
   /// through the event queue, yielding to same-time events queued earlier.
   struct DelayAwaiter {
@@ -81,12 +93,29 @@ class Scheduler {
     }
   };
 
+  struct TelemetryEvent {
+    SimTime time;
+    std::uint64_t seq;  ///< separate counter: never touches next_seq_
+    std::function<void()> fn;
+  };
+  struct TelemetryLater {
+    bool operator()(const TelemetryEvent& a,
+                    const TelemetryEvent& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
   void check_process_exceptions();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_telemetry_seq_ = 0;
+  std::priority_queue<TelemetryEvent, std::vector<TelemetryEvent>,
+                      TelemetryLater>
+      telemetry_;
   std::vector<std::coroutine_handle<Task<void>::promise_type>> processes_;
 };
 

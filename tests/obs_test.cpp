@@ -13,6 +13,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
+#include "obs/phase.h"
 #include "obs/run_report.h"
 #include "obs/span.h"
 #include "pfs/cluster.h"
@@ -302,8 +303,10 @@ TEST(RunReport, ToJsonMatchesSchema) {
 
   const std::string doc = report.to_json();
   EXPECT_TRUE(json_valid(doc)) << doc;
-  EXPECT_NE(doc.find("\"schema\":\"dtio-bench-report-v1\""),
+  EXPECT_NE(doc.find("\"schema\":\"dtio-bench-report-v2\""),
             std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"spans\""), std::string::npos);
   EXPECT_NE(doc.find("\"bench\":\"unit\""), std::string::npos);
   EXPECT_NE(doc.find("\"Datatype I/O\""), std::string::npos);
   EXPECT_NE(doc.find("\"scalars\""), std::string::npos);
@@ -319,6 +322,342 @@ TEST(JsonValidator, AcceptsAndRejects) {
   EXPECT_FALSE(json_valid("{} trailing"));
   EXPECT_FALSE(json_valid("{\"a\":}"));
   EXPECT_FALSE(json_valid("[1,]"));
+}
+
+TEST(JsonParser, ParsesDocumentsAndRejectsMalformed) {
+  const auto doc = json_parse(
+      "{\"a\":[1,2,{\"b\":\"x\\ny\"}],\"n\":-2.5e3,\"t\":true,\"z\":null}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items[1].number, 2.0);
+  EXPECT_EQ(a->items[2].str("b"), "x\ny");
+  EXPECT_DOUBLE_EQ(doc->num("n"), -2500.0);
+  EXPECT_TRUE(doc->find("t")->boolean);
+  EXPECT_EQ(doc->find("z")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->num("missing", 7.0), 7.0);
+
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("{} trailing").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":}").has_value());
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  std::string text;
+  JsonWriter w(text);
+  w.begin_object();
+  w.kv("name", "sp\"an\n");
+  w.kv("count", std::uint64_t{42});
+  w.key("xs").begin_array().value(1.5).value(-3).end_array();
+  w.end_object();
+  const auto doc = json_parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+  EXPECT_EQ(doc->str("name"), "sp\"an\n");
+  EXPECT_DOUBLE_EQ(doc->num("count"), 42.0);
+  EXPECT_DOUBLE_EQ(doc->find("xs")->items[0].number, 1.5);
+}
+
+// ---- Histogram quantile edge cases -------------------------------------------
+
+TEST(Histogram, MergedAcrossManyLabelSetsKeepsQuantiles) {
+  MetricsRegistry reg;
+  // Three label sets contributing disjoint ranges; the merged histogram
+  // must see all of them for its quantiles to make sense.
+  for (std::int64_t v = 1; v <= 400; ++v) {
+    reg.histogram("lat", "node=0").record(v);
+  }
+  for (std::int64_t v = 401; v <= 800; ++v) {
+    reg.histogram("lat", "op=read").record(v);
+  }
+  for (std::int64_t v = 801; v <= 1000; ++v) {
+    reg.histogram("lat", "").record(v);
+  }
+  const Histogram merged = reg.merged_histogram("lat");
+  EXPECT_EQ(merged.count(), 1000u);
+  EXPECT_EQ(merged.min(), 1);
+  EXPECT_EQ(merged.max(), 1000);
+  for (const double p : {50.0, 99.0}) {
+    const double exact = p * 10.0;
+    EXPECT_NEAR(merged.percentile(p), exact, exact / 8.0) << "p" << p;
+  }
+}
+
+TEST(Histogram, P999OnSparseBuckets) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 0.0);  // empty
+  h.record(5'000'000);
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 5'000'000.0);  // single sample
+  // 999 fast ops and one 100x outlier: p99.9 must land in the outlier's
+  // bucket even though every intermediate bucket is empty.
+  Histogram sparse;
+  for (int i = 0; i < 999; ++i) sparse.record(1000);
+  sparse.record(100'000);
+  EXPECT_NEAR(sparse.percentile(50), 1000.0, 1000.0 / 8.0);
+  EXPECT_NEAR(sparse.percentile(99.9), 100'000.0, 100'000.0 / 8.0);
+}
+
+// ---- Timeline ring buffer ----------------------------------------------------
+
+TEST(Timeline, RingRetainsNewestAndTracksAllTimeStats) {
+  TimelineSeries s("queue_depth", 3, /*capacity=*/4);
+  for (int i = 1; i <= 10; ++i) {
+    s.push(i * 100, static_cast<double>(i == 7 ? 99 : i));
+  }
+  EXPECT_EQ(s.total(), 10u);
+  EXPECT_EQ(s.dropped(), 6u);
+  const std::vector<TimelinePoint> pts = s.points();
+  ASSERT_EQ(pts.size(), 4u);  // newest four, in time order
+  EXPECT_EQ(pts.front().time, 700);
+  EXPECT_EQ(pts.back().time, 1000);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1].time, pts[i].time);
+  }
+  // Summary stats cover every point ever pushed, not just the ring.
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 99.0);
+  EXPECT_EQ(s.peak_time(), 700);
+  EXPECT_DOUBLE_EQ(s.mean(), (1 + 2 + 3 + 4 + 5 + 6 + 99 + 8 + 9 + 10) / 10.0);
+}
+
+TEST(Timeline, SeriesCreatedOnFirstUseInInsertionOrder) {
+  Timeline tl;
+  tl.set_capacity(2);
+  TimelineSeries& a = tl.series("queue_depth", 0);
+  TimelineSeries& b = tl.series("queue_depth", 1);
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&tl.series("queue_depth", 0), &a);
+  ASSERT_EQ(tl.all().size(), 2u);
+  EXPECT_EQ(tl.all()[0]->node(), 0);
+  EXPECT_EQ(tl.all()[1]->node(), 1);
+}
+
+// ---- Phase attribution -------------------------------------------------------
+
+Span make_span(SpanId id, SpanId parent, std::uint64_t trace,
+               const char* name, SimTime start, SimTime end,
+               Phase phase = Phase::kNone) {
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.trace = trace;
+  s.name = name;
+  s.start = start;
+  s.end = end;
+  s.phase = phase;
+  return s;
+}
+
+TEST(PhaseAnalysis, UnionsOverlapsAndClipsToOpWindow) {
+  std::vector<Span> spans;
+  spans.push_back(make_span(1, 0, 10, "contig_read", 0, 100));
+  // Two overlapping disk spans: union is [10, 40) = 30 ns, not 40.
+  spans.push_back(make_span(2, 1, 10, "disk", 10, 30, Phase::kServerDisk));
+  spans.push_back(make_span(3, 1, 10, "disk", 20, 40, Phase::kServerDisk));
+  // Queue wait, partly outside the op window: clipped to [40, 100).
+  spans.push_back(
+      make_span(4, 1, 10, "server_queue", 40, 120, Phase::kServerQueue));
+  // A different trace must not leak in.
+  spans.push_back(make_span(5, 0, 11, "contig_read", 0, 50));
+  spans.push_back(
+      make_span(6, 5, 11, "disk", 0, 50, Phase::kServerDisk));
+
+  std::vector<OpBreakdown> ops = decompose_ops(spans);
+  ASSERT_EQ(ops.size(), 2u);
+  const OpBreakdown* op = nullptr;
+  for (const OpBreakdown& o : ops) {
+    if (o.trace == 10) op = &o;
+  }
+  ASSERT_NE(op, nullptr);
+  EXPECT_DOUBLE_EQ(op->phase_ns[static_cast<std::size_t>(Phase::kServerDisk)],
+                   30.0);
+  EXPECT_DOUBLE_EQ(op->phase_ns[static_cast<std::size_t>(Phase::kServerQueue)],
+                   60.0);
+  // Disk and queue don't overlap, so attributed is their sum.
+  EXPECT_DOUBLE_EQ(op->attributed_ns, 90.0);
+  EXPECT_DOUBLE_EQ(op->coverage(), 0.9);
+}
+
+TEST(PhaseAnalysis, SkipsOpenRootsAndUntypedTraces) {
+  std::vector<Span> spans;
+  // Open root (end < start sentinel): not analyzable.
+  spans.push_back(make_span(1, 0, 10, "contig_read", 50, -1));
+  spans.push_back(make_span(2, 1, 10, "disk", 60, 70, Phase::kServerDisk));
+  // Closed root whose trace has only untyped spans: skipped too.
+  spans.push_back(make_span(3, 0, 11, "contig_read", 0, 100));
+  spans.push_back(make_span(4, 3, 11, "rpc", 10, 90));
+  EXPECT_TRUE(decompose_ops(spans).empty());
+}
+
+TEST(PhaseAnalysis, SummaryQuantilesAndDominantPhase) {
+  // 100 ops of 100 ns each, fully queue-bound, plus one 2'000 ns op that
+  // is disk-bound. The p50 tail set (the slowest half) is dominated by
+  // queue time (50 x 100 ns vs 1'800 ns of disk); the p99.9 tail set is
+  // just the outlier, so disk wins there.
+  std::vector<Span> spans;
+  SpanId next = 1;
+  for (std::uint64_t t = 1; t <= 100; ++t) {
+    const SpanId root = next++;
+    spans.push_back(make_span(root, 0, t, "contig_read", 0, 100));
+    spans.push_back(make_span(next++, root, t, "server_queue", 0, 100,
+                              Phase::kServerQueue));
+  }
+  const SpanId big = next++;
+  spans.push_back(make_span(big, 0, 999, "contig_read", 0, 2'000));
+  spans.push_back(
+      make_span(next++, big, 999, "disk", 0, 1'800, Phase::kServerDisk));
+
+  const PhaseReport report = summarize_phases(decompose_ops(spans));
+  EXPECT_EQ(report.ops, 101u);
+  ASSERT_EQ(report.quantiles.size(), 3u);
+  const PhaseQuantile* p50 = report.quantile(50);
+  const PhaseQuantile* p999 = report.quantile(99.9);
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p999, nullptr);
+  EXPECT_DOUBLE_EQ(p50->latency_ns, 100.0);
+  EXPECT_EQ(p50->dominant, Phase::kServerQueue);
+  EXPECT_DOUBLE_EQ(p999->latency_ns, 2'000.0);
+  EXPECT_EQ(p999->dominant, Phase::kServerDisk);
+  EXPECT_DOUBLE_EQ(p999->coverage, 0.9);
+  EXPECT_EQ(summarize_phases({}).ops, 0u);
+}
+
+TEST(PhaseAnalysis, PhaseNamesRoundTrip) {
+  for (int p = 0; p < kPhaseCount; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    EXPECT_EQ(phase_from_name(phase_name(phase)), phase);
+  }
+  EXPECT_EQ(phase_from_name("no_such_phase"), Phase::kNone);
+  EXPECT_EQ(phase_from_name(""), Phase::kNone);
+}
+
+// ---- Sampler and typed spans through a live cluster --------------------------
+
+TEST(Observability, SamplerDoesNotPerturbSimulation) {
+  const auto run = [](Observability* obs, std::uint64_t* events) {
+    net::ClusterConfig cfg;
+    cfg.num_servers = 2;
+    cfg.num_clients = 1;
+    pfs::Cluster cluster(cfg);
+    if (obs != nullptr) cluster.set_observability(obs);
+    auto client = cluster.make_client(0);
+    cluster.scheduler().spawn([](pfs::Client& c) -> Task<void> {
+      pfs::MetaResult f = co_await c.create("/sampled");
+      (void)co_await c.write_contig(f.handle, 0, nullptr, 1 << 20);
+      (void)co_await c.read_contig(f.handle, 4096, nullptr, 1 << 18);
+    }(*client));
+    cluster.run();
+    *events = cluster.scheduler().events_processed();
+    return cluster.scheduler().now();
+  };
+  ObsConfig cfg;
+  cfg.sample_period = 10 * kMicrosecond;
+  Observability obs(cfg);
+  std::uint64_t detached_events = 0, attached_events = 0;
+  const SimTime detached = run(nullptr, &detached_events);
+  const SimTime attached = run(&obs, &attached_events);
+  // The telemetry side-channel must not shift time or consume events.
+  EXPECT_EQ(detached, attached);
+  EXPECT_EQ(detached_events, attached_events);
+  EXPECT_FALSE(obs.timeline.empty());
+  // The sampler covered the run: per-server queue depth plus the
+  // cluster-wide network series, each with more than one point.
+  const TimelineSeries* queue = nullptr;
+  const TimelineSeries* net = nullptr;
+  for (const auto& s : obs.timeline.all()) {
+    if (s->name() == "queue_depth" && s->node() == 0) queue = s.get();
+    if (s->name() == "net_inflight_bytes") net = s.get();
+  }
+  ASSERT_NE(queue, nullptr);
+  ASSERT_NE(net, nullptr);
+  EXPECT_GT(queue->total(), 1u);
+  EXPECT_GT(net->max(), 0.0);
+}
+
+TEST(Observability, QueueWaitSpanEmittedUnderBacklog) {
+  // Two clients against one slow server: the second request must wait in
+  // the mailbox while the first is decoded, producing a retroactive
+  // server_queue span on its trace.
+  net::ClusterConfig cfg;
+  cfg.num_servers = 1;
+  cfg.num_clients = 2;
+  cfg.server.request_overhead = kMillisecond;
+  pfs::Cluster cluster(cfg);
+  Observability obs;
+  cluster.set_observability(&obs);
+  auto c0 = cluster.make_client(0);
+  auto c1 = cluster.make_client(1);
+  std::uint64_t handle = 0;
+  cluster.scheduler().spawn(
+      [](pfs::Client& c, std::uint64_t& h) -> Task<void> {
+        pfs::MetaResult f = co_await c.create("/wait");
+        h = f.handle;
+        (void)co_await c.write_contig(f.handle, 0, nullptr, 65536);
+      }(*c0, handle));
+  cluster.run();
+  for (pfs::Client* c : {c0.get(), c1.get()}) {
+    cluster.scheduler().spawn(
+        [](pfs::Client& cl, std::uint64_t h) -> Task<void> {
+          (void)co_await cl.read_contig(h, 0, nullptr, 4096);
+        }(*c, handle));
+  }
+  cluster.run();
+
+  const Span* queue = find_span(obs, "server_queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->phase, Phase::kServerQueue);
+  EXPECT_GT(queue->end, queue->start);
+  EXPECT_NE(queue->trace, 0u);
+  // Parented as a sibling of server_handle under the op's rpc span.
+  const Span* parent = obs.spans.find(queue->parent);
+  ASSERT_NE(parent, nullptr);
+  // Typed phases now cover most of that read; the analyzer sees it.
+  std::vector<OpBreakdown> ops = decompose_ops(obs.spans);
+  bool queued_read = false;
+  for (const OpBreakdown& op : ops) {
+    if (op.name == "contig_read" &&
+        op.phase_ns[static_cast<std::size_t>(Phase::kServerQueue)] > 0) {
+      queued_read = true;
+      EXPECT_GT(op.coverage(), 0.5);
+    }
+  }
+  EXPECT_TRUE(queued_read);
+}
+
+TEST(RunReport, TimelineAndPhasesSections) {
+  RunReport report;
+  report.bench = "unit";
+  Timeline tl;
+  tl.series("queue_depth", 0).push(1000, 3.0);
+  tl.series("queue_depth", 0).push(2000, 5.0);
+  report.add_timeline(tl);
+
+  std::vector<Span> spans;
+  spans.push_back(make_span(1, 0, 10, "contig_read", 0, 100));
+  spans.push_back(
+      make_span(2, 1, 10, "server_queue", 0, 80, Phase::kServerQueue));
+  report.phases.emplace_back("contig_read",
+                             summarize_phases(decompose_ops(spans)));
+
+  const std::string doc = report.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  const auto parsed = json_parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* timeline = parsed->find("timeline");
+  ASSERT_NE(timeline, nullptr);
+  ASSERT_EQ(timeline->items.size(), 1u);
+  EXPECT_EQ(timeline->items[0].str("name"), "queue_depth");
+  EXPECT_DOUBLE_EQ(timeline->items[0].num("max"), 5.0);
+  const JsonValue* phases = parsed->find("phases");
+  ASSERT_NE(phases, nullptr);
+  const JsonValue* read = phases->find("contig_read");
+  ASSERT_NE(read, nullptr);
+  EXPECT_DOUBLE_EQ(read->num("ops"), 1.0);
+  EXPECT_DOUBLE_EQ(read->num("mean_coverage"), 0.8);
 }
 
 }  // namespace

@@ -1,0 +1,489 @@
+// dtio_inspect: offline analysis of dtio bench output.
+//
+// Reads any mix of Chrome trace files (trace.json, as written by
+// Cluster::write_trace) and run reports (BENCH_*.json) and answers "where
+// did the time go": the per-phase latency breakdown at p50/p99/p999, the
+// slowest individual requests with their span trees, and timeline
+// summaries (peak backlog, time over a watermark). With --json it emits a
+// machine-readable summary for CI gating.
+//
+// Spans are rebuilt from the trace's exact integer args (start_ns/dur_ns),
+// not the lossy microsecond ts/dur doubles, so the analysis here matches
+// the in-process analyzer bit for bit.
+//
+// Usage:
+//   dtio_inspect [options] <trace.json|BENCH_*.json>...
+//     --op NAME      analyze only root spans named NAME (e.g. contig_read)
+//     --top N        show the N slowest requests with span trees (default 5)
+//     --watermark V  report time fraction queue_depth series spent above V
+//     --json         machine-readable output
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/phase.h"
+#include "obs/span.h"
+
+namespace {
+
+using dtio::SimTime;
+using dtio::obs::JsonValue;
+using dtio::obs::JsonWriter;
+using dtio::obs::OpBreakdown;
+using dtio::obs::Phase;
+using dtio::obs::PhaseQuantile;
+using dtio::obs::PhaseReport;
+using dtio::obs::Span;
+using dtio::obs::kPhaseCount;
+using dtio::obs::phase_from_name;
+using dtio::obs::phase_name;
+
+struct TimelineSummary {
+  std::string name;
+  int node = -1;
+  std::uint64_t total = 0;
+  double min = 0, max = 0, mean = 0;
+  SimTime peak_time = 0;
+  double over_watermark = -1;  ///< time fraction above --watermark; -1 unset
+};
+
+struct Inputs {
+  std::vector<Span> spans;
+  std::vector<TimelineSummary> timeline;
+  std::string bench;                  ///< from the run report, if given
+  std::optional<JsonValue> report;    ///< full report DOM, if given
+};
+
+struct Options {
+  std::string op_filter;
+  int top = 5;
+  double watermark = -1;
+  bool json = false;
+};
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---- Trace ingestion --------------------------------------------------------
+
+void load_trace_events(const JsonValue& root, const Options& opt, Inputs& in) {
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return;
+
+  // Timeline counter points, accumulated per (name, node) in first-seen
+  // order so output is deterministic.
+  struct SeriesAcc {
+    std::string name;
+    int node;
+    std::vector<std::pair<SimTime, double>> points;
+  };
+  std::vector<SeriesAcc> series;
+
+  for (const JsonValue& ev : events->items) {
+    const std::string_view ph = ev.str("ph");
+    if (ph == "X") {
+      const JsonValue* args = ev.find("args");
+      Span s;
+      s.node = static_cast<int>(ev.num("pid", -1));
+      s.trace = static_cast<std::uint64_t>(ev.num("tid", 0));
+      const JsonValue* name = ev.find("name");
+      if (name != nullptr) s.name = name->string;
+      if (args != nullptr && args->find("start_ns") != nullptr) {
+        s.start = static_cast<SimTime>(args->num("start_ns"));
+        s.end = s.start + static_cast<SimTime>(args->num("dur_ns"));
+      } else {  // fall back to the lossy microsecond fields
+        s.start = static_cast<SimTime>(ev.num("ts") * 1000.0);
+        s.end = s.start + static_cast<SimTime>(ev.num("dur") * 1000.0);
+      }
+      if (args != nullptr) {
+        s.id = static_cast<std::uint64_t>(args->num("span"));
+        s.parent = static_cast<std::uint64_t>(args->num("parent"));
+        s.value = static_cast<std::int64_t>(args->num("value"));
+        s.phase = phase_from_name(args->str("phase"));
+      }
+      in.spans.push_back(std::move(s));
+    } else if (ph == "C") {
+      const std::string_view name = ev.str("name");
+      constexpr std::string_view kPrefix = "timeline.";
+      if (name.substr(0, kPrefix.size()) != kPrefix) continue;
+      const JsonValue* args = ev.find("args");
+      if (args == nullptr) continue;
+      const int node = static_cast<int>(ev.num("pid", -1));
+      const auto t = static_cast<SimTime>(ev.num("ts") * 1000.0);
+      const double v = args->num("value");
+      const std::string bare(name.substr(kPrefix.size()));
+      SeriesAcc* acc = nullptr;
+      for (SeriesAcc& s : series) {
+        if (s.node == node && s.name == bare) {
+          acc = &s;
+          break;
+        }
+      }
+      if (acc == nullptr) {
+        series.push_back(SeriesAcc{bare, node, {}});
+        acc = &series.back();
+      }
+      acc->points.emplace_back(t, v);
+    }
+  }
+
+  for (const SeriesAcc& acc : series) {
+    TimelineSummary s;
+    s.name = acc.name;
+    s.node = acc.node;
+    s.total = acc.points.size();
+    double sum = 0;
+    SimTime above = 0;
+    for (std::size_t i = 0; i < acc.points.size(); ++i) {
+      const auto [t, v] = acc.points[i];
+      if (i == 0) {
+        s.min = s.max = v;
+        s.peak_time = t;
+      } else {
+        if (v < s.min) s.min = v;
+        if (v > s.max) {
+          s.max = v;
+          s.peak_time = t;
+        }
+      }
+      sum += v;
+      if (opt.watermark >= 0 && i + 1 < acc.points.size() &&
+          v > opt.watermark) {
+        above += acc.points[i + 1].first - t;
+      }
+    }
+    if (!acc.points.empty()) {
+      s.mean = sum / static_cast<double>(acc.points.size());
+      const SimTime window = acc.points.back().first - acc.points.front().first;
+      if (opt.watermark >= 0 && window > 0) {
+        s.over_watermark = static_cast<double>(above) /
+                           static_cast<double>(window);
+      }
+    }
+    in.timeline.push_back(std::move(s));
+  }
+}
+
+// ---- Run-report ingestion ---------------------------------------------------
+
+void load_report(JsonValue root, const Options& opt, Inputs& in) {
+  in.bench = root.str("bench");
+  const JsonValue* timeline = root.find("timeline");
+  if (timeline != nullptr && timeline->is_array()) {
+    for (const JsonValue& sv : timeline->items) {
+      TimelineSummary s;
+      s.name = sv.str("name");
+      s.node = static_cast<int>(sv.num("node", -1));
+      s.total = static_cast<std::uint64_t>(sv.num("total"));
+      s.min = sv.num("min");
+      s.max = sv.num("max");
+      s.mean = sv.num("mean");
+      s.peak_time = static_cast<SimTime>(sv.num("peak_time_ns"));
+      const JsonValue* points = sv.find("points");
+      if (opt.watermark >= 0 && points != nullptr && points->is_array() &&
+          points->items.size() > 1) {
+        SimTime above = 0;
+        for (std::size_t i = 0; i + 1 < points->items.size(); ++i) {
+          const JsonValue& p = points->items[i];
+          if (p.items.size() == 2 &&
+              p.items[1].number > opt.watermark) {
+            above += static_cast<SimTime>(points->items[i + 1].items[0].number -
+                                          p.items[0].number);
+          }
+        }
+        const auto window = static_cast<SimTime>(
+            points->items.back().items[0].number -
+            points->items.front().items[0].number);
+        if (window > 0) {
+          s.over_watermark =
+              static_cast<double>(above) / static_cast<double>(window);
+        }
+      }
+      in.timeline.push_back(std::move(s));
+    }
+  }
+  in.report = std::move(root);
+}
+
+// ---- Output helpers ---------------------------------------------------------
+
+std::string fmt_ns(double ns) {
+  char buf[48];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+  }
+  return buf;
+}
+
+void print_phase_table(const PhaseReport& r, const std::string& filter) {
+  std::printf("phase breakdown%s%s: %llu ops, mean %s (%.1f%% attributed)\n",
+              filter.empty() ? "" : " for ", filter.c_str(),
+              static_cast<unsigned long long>(r.ops),
+              fmt_ns(r.mean_ns).c_str(), 100.0 * r.mean_coverage);
+  std::printf("  %-16s %12s", "phase", "mean");
+  for (const PhaseQuantile& q : r.quantiles) {
+    char head[16];
+    std::snprintf(head, sizeof head, "p%g", q.quantile);
+    std::printf(" %12s", head);
+  }
+  std::printf("\n");
+  std::printf("  %-16s %12s", "latency", fmt_ns(r.mean_ns).c_str());
+  for (const PhaseQuantile& q : r.quantiles) {
+    std::printf(" %12s", fmt_ns(q.latency_ns).c_str());
+  }
+  std::printf("\n");
+  for (int p = 1; p < kPhaseCount; ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    double any = r.mean_phase_ns[idx];
+    for (const PhaseQuantile& q : r.quantiles) any += q.phase_ns[idx];
+    if (any <= 0) continue;
+    std::printf("  %-16s %12s", phase_name(static_cast<Phase>(p)),
+                fmt_ns(r.mean_phase_ns[idx]).c_str());
+    for (const PhaseQuantile& q : r.quantiles) {
+      std::printf(" %12s", fmt_ns(q.phase_ns[idx]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("  %-16s %12.1f%%", "coverage", 100.0 * r.mean_coverage);
+  for (const PhaseQuantile& q : r.quantiles) {
+    std::printf(" %11.1f%%", 100.0 * q.coverage);
+  }
+  std::printf("\n");
+  for (const PhaseQuantile& q : r.quantiles) {
+    std::printf("  p%-5g dominant: %s\n", q.quantile, phase_name(q.dominant));
+  }
+}
+
+void print_span_tree(const std::vector<const Span*>& trace_spans,
+                     const Span* node, int depth) {
+  std::printf("    %*s%s [%s] %s (node %d)\n", 2 * depth, "",
+              node->name.c_str(),
+              node->phase == Phase::kNone ? "-" : phase_name(node->phase),
+              fmt_ns(static_cast<double>(node->end - node->start)).c_str(),
+              node->node);
+  for (const Span* s : trace_spans) {
+    if (s->parent == node->id && s != node) {
+      print_span_tree(trace_spans, s, depth + 1);
+    }
+  }
+}
+
+void print_slowest(const std::vector<Span>& spans,
+                   std::vector<OpBreakdown> ops, int top) {
+  std::sort(ops.begin(), ops.end(),
+            [](const OpBreakdown& a, const OpBreakdown& b) {
+              return a.duration_ns() > b.duration_ns();
+            });
+  if (ops.size() > static_cast<std::size_t>(top)) {
+    ops.resize(static_cast<std::size_t>(top));
+  }
+  std::printf("\nslowest %zu requests:\n", ops.size());
+  for (const OpBreakdown& op : ops) {
+    std::printf("  %s trace %llu: %s (%.1f%% attributed)\n", op.name.c_str(),
+                static_cast<unsigned long long>(op.trace),
+                fmt_ns(op.duration_ns()).c_str(), 100.0 * op.coverage());
+    std::vector<const Span*> trace_spans;
+    const Span* root = nullptr;
+    for (const Span& s : spans) {
+      if (s.trace != op.trace) continue;
+      trace_spans.push_back(&s);
+      if (s.id == op.root) root = &s;
+    }
+    if (root != nullptr) print_span_tree(trace_spans, root, 0);
+  }
+}
+
+void print_timeline(const std::vector<TimelineSummary>& timeline,
+                    const Options& opt) {
+  if (timeline.empty()) return;
+  std::printf("\ntimeline series:\n");
+  for (const TimelineSummary& s : timeline) {
+    std::printf(
+        "  %-20s node %3d: %6llu samples  mean %10.1f  peak %10.1f @ %s",
+        s.name.c_str(), s.node, static_cast<unsigned long long>(s.total),
+        s.mean, s.max, fmt_ns(static_cast<double>(s.peak_time)).c_str());
+    if (s.over_watermark >= 0) {
+      std::printf("  %5.1f%% above %g", 100.0 * s.over_watermark,
+                  opt.watermark);
+    }
+    std::printf("\n");
+  }
+}
+
+void write_phase_json(JsonWriter& w, const PhaseReport& r) {
+  w.begin_object();
+  w.kv("ops", r.ops);
+  w.kv("mean_ns", r.mean_ns);
+  w.kv("mean_coverage", r.mean_coverage);
+  w.key("quantiles").begin_array();
+  for (const PhaseQuantile& q : r.quantiles) {
+    w.begin_object();
+    w.kv("quantile", q.quantile);
+    w.kv("latency_ns", q.latency_ns);
+    w.kv("attributed_ns", q.attributed_ns);
+    w.kv("coverage", q.coverage);
+    w.kv("dominant", phase_name(q.dominant));
+    w.key("phase_ns").begin_object();
+    for (int p = 1; p < kPhaseCount; ++p) {
+      const double v = q.phase_ns[static_cast<std::size_t>(p)];
+      if (v > 0) w.kv(phase_name(static_cast<Phase>(p)), v);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dtio_inspect [--op NAME] [--top N] [--watermark V] "
+               "[--json] <trace.json|BENCH_*.json>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--op" && i + 1 < argc) {
+      opt.op_filter = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      opt.top = std::atoi(argv[++i]);
+    } else if (arg == "--watermark" && i + 1 < argc) {
+      opt.watermark = std::atof(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  Inputs in;
+  for (const std::string& path : files) {
+    const auto text = read_file(path);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "dtio_inspect: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    auto doc = dtio::obs::json_parse(*text);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "dtio_inspect: %s is not valid JSON\n",
+                   path.c_str());
+      return 1;
+    }
+    if (doc->find("traceEvents") != nullptr) {
+      load_trace_events(*doc, opt, in);
+    } else if (doc->str("schema").substr(0, 17) == "dtio-bench-report") {
+      load_report(std::move(*doc), opt, in);
+    } else {
+      std::fprintf(stderr, "dtio_inspect: %s: unrecognized document\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+
+  // Phase analysis over the trace spans (if a trace was given).
+  std::vector<OpBreakdown> ops = dtio::obs::decompose_ops(in.spans);
+  if (!opt.op_filter.empty()) {
+    std::erase_if(ops, [&](const OpBreakdown& op) {
+      return op.name != opt.op_filter;
+    });
+  }
+  const PhaseReport report = dtio::obs::summarize_phases(ops);
+
+  if (opt.json) {
+    std::string out;
+    JsonWriter w(out);
+    w.begin_object();
+    w.kv("tool", "dtio_inspect");
+    if (!in.bench.empty()) w.kv("bench", std::string_view(in.bench));
+    if (!opt.op_filter.empty()) {
+      w.kv("op_filter", std::string_view(opt.op_filter));
+    }
+    w.kv("spans", static_cast<std::uint64_t>(in.spans.size()));
+    w.key("phases");
+    write_phase_json(w, report);
+    // Convenience scalars for shell-level CI gates.
+    if (const PhaseQuantile* p99 = report.quantile(99)) {
+      w.kv("coverage_p99", p99->coverage);
+      w.kv("dominant_p99", phase_name(p99->dominant));
+    }
+    w.key("timeline").begin_array();
+    for (const TimelineSummary& s : in.timeline) {
+      w.begin_object();
+      w.kv("name", std::string_view(s.name));
+      w.kv("node", s.node);
+      w.kv("samples", s.total);
+      w.kv("min", s.min);
+      w.kv("max", s.max);
+      w.kv("mean", s.mean);
+      w.kv("peak_time_ns", static_cast<std::int64_t>(s.peak_time));
+      if (s.over_watermark >= 0) {
+        w.kv("watermark", opt.watermark);
+        w.kv("over_watermark", s.over_watermark);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  if (!in.bench.empty()) std::printf("bench: %s\n", in.bench.c_str());
+  if (in.report.has_value()) {
+    const JsonValue* methods = in.report->find("methods");
+    if (methods != nullptr && methods->is_array()) {
+      for (const JsonValue& m : methods->items) {
+        const JsonValue* lat = m.find("latency_us");
+        const JsonValue* spans = m.find("spans");
+        std::printf(
+            "  method %-16s %8.2f MB/s  p99 %10.1f us  spans %llu (%llu "
+            "dropped)\n",
+            std::string(m.str("method")).c_str(), m.num("bandwidth_mb_s"),
+            lat != nullptr ? lat->num("p99_us") : 0.0,
+            static_cast<unsigned long long>(
+                spans != nullptr ? spans->num("recorded") : 0.0),
+            static_cast<unsigned long long>(
+                spans != nullptr ? spans->num("dropped") : 0.0));
+      }
+    }
+  }
+  if (report.ops > 0) {
+    if (in.report.has_value()) std::printf("\n");
+    print_phase_table(report, opt.op_filter);
+    if (opt.top > 0) print_slowest(in.spans, ops, opt.top);
+  } else if (!in.spans.empty()) {
+    std::printf("no analyzable ops (closed roots with typed phases)\n");
+  }
+  print_timeline(in.timeline, opt);
+  return 0;
+}
