@@ -13,6 +13,7 @@
 // Flags: --max-clients=N   (default 64; 128 matches the paper's sweep)
 //        --with-posix      include POSIX beyond 2 clients (very slow:
 //                          983 040 requests per client)
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -31,10 +32,20 @@ using bench::MethodResult;
 using mpiio::Method;
 using sim::Task;
 
+/// Aggregate write-behind counters across all clients of one run.
+struct WbTotals {
+  double flushes = 0;
+  double batches = 0;
+  double coalesced = 0;
+  double staged_ops = 0;
+};
+
 MethodResult run_flash(Method method, const workloads::FlashConfig& flash,
-                       int nclients, bool use_obs, bool utilization = false) {
+                       int nclients, bool use_obs, bool utilization = false,
+                       std::int64_t write_behind = 0, WbTotals* wb = nullptr) {
   net::ClusterConfig cfg;
   cfg.num_clients = nclients;
+  cfg.client.write_behind_bytes = write_behind;
 
   pfs::Cluster cluster(cfg);
   obs::Observability obs(1 << 16);
@@ -78,6 +89,14 @@ MethodResult run_flash(Method method, const workloads::FlashConfig& flash,
       static_cast<double>(flash.bytes_per_proc()) * nclients / result.seconds;
   result.per_client = clients[0]->stats();
   result.events = cluster.scheduler().events_processed();
+  if (wb != nullptr) {
+    for (const auto& client : clients) {
+      wb->flushes += static_cast<double>(client->wb_flushes());
+      wb->batches += static_cast<double>(client->wb_batches());
+      wb->coalesced += static_cast<double>(client->wb_coalesced_ops());
+      wb->staged_ops += static_cast<double>(client->wb_staged_ops());
+    }
+  }
   if (use_obs) bench::capture_latency(result, obs);
   if (utilization) {
     std::printf("%s", cluster.utilization_report(t0).c_str());
@@ -142,6 +161,42 @@ int flash_main(int argc, char** argv) {
   std::printf("  paper shape: two-phase leads at small n; datatype "
               "overtakes (~37%% faster by 96 procs); list never catches "
               "two-phase\n");
+
+  // Write-behind ablation (--write-behind): list I/O at 16 clients with the
+  // client staging layer off vs on. Off ships one list RPC per envelope of
+  // pieces; on absorbs every piece into per-server staging buffers and
+  // drains each as a single kBatchWrite envelope at the collective's
+  // closing flush, paying request overhead once per server instead of once
+  // per list RPC.
+  if (bench::flag_set(argc, argv, "--write-behind")) {
+    const int wb_clients = 16;
+    const std::int64_t wb_bytes = std::int64_t{4} << 20;
+    std::printf("\n== Write-behind ablation: list I/O at %d clients ==\n",
+                wb_clients);
+    MethodResult off = run_flash(Method::kList, flash, wb_clients, false);
+    WbTotals totals;
+    MethodResult on = run_flash(Method::kList, flash, wb_clients, false,
+                                false, wb_bytes, &totals);
+    const double ratio = on.bandwidth / off.bandwidth;
+    std::printf("  off: %10.2f MB/s  (%.3f sim s)\n",
+                bench::to_mb(off.bandwidth), off.seconds);
+    std::printf("  on:  %10.2f MB/s  (%.3f sim s)  %.1fx\n",
+                bench::to_mb(on.bandwidth), on.seconds, ratio);
+    std::printf("       %.0f staged ops -> %.0f batch RPCs over %.0f "
+                "flushes (%.0f runs coalesced)\n",
+                totals.staged_ops, totals.batches, totals.flushes,
+                totals.coalesced);
+    report.scalars["wb_off_mbps"] = bench::to_mb(off.bandwidth);
+    report.scalars["wb_on_mbps"] = bench::to_mb(on.bandwidth);
+    report.scalars["wb_ratio"] = ratio;
+    report.scalars["wb_off_sim_seconds"] = off.seconds;
+    report.scalars["wb_on_sim_seconds"] = on.seconds;
+    report.scalars["wb_flushes"] = totals.flushes;
+    report.scalars["wb_batches"] = totals.batches;
+    report.scalars["wb_coalesced_ops"] = totals.coalesced;
+    report.scalars["wb_staged_ops"] = totals.staged_ops;
+  }
+
   bench::write_report(report, argc, argv, "BENCH_flash_io.json");
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "mpiio/file.h"
 
+#include <utility>
+
 namespace dtio::mpiio {
 
 std::string_view method_name(Method method) noexcept {
@@ -97,19 +99,127 @@ sim::Task<Status> File::read_at(std::int64_t offset, void* buf,
   }(ctx_);
 }
 
+// ---- Split-phase operations -------------------------------------------------
+
+sim::Fire File::io_fire(Box<std::shared_ptr<IoRequest::State>> state_box,
+                        std::int64_t offset, const void* wbuf, void* rbuf,
+                        std::int64_t count, Method method) {
+  std::shared_ptr<IoRequest::State> st = state_box.take();
+  Status status;
+  if (st->is_write) {
+    status = co_await write_at(offset, wbuf, count, st->memtype, method);
+  } else {
+    status = co_await read_at(offset, rbuf, count, st->memtype, method);
+  }
+  st->status = status;
+  st->done = true;
+  if (st->waiter) {
+    // Resume the parked wait() through the event queue, never inline:
+    // event ordering stays the single source of interleaving truth.
+    ctx_.sched.schedule_at(ctx_.sched.now(),
+                           std::exchange(st->waiter, nullptr));
+  }
+}
+
+IoRequest File::iwrite_at(std::int64_t offset, const void* buf,
+                          std::int64_t count, const types::Datatype& memtype,
+                          Method method) {
+  IoRequest req;
+  req.state_ = std::make_shared<IoRequest::State>();
+  req.state_->is_write = true;
+  req.state_->memtype = memtype;
+  ctx_.sched.start(io_fire(
+      Box<std::shared_ptr<IoRequest::State>>(
+          std::shared_ptr<IoRequest::State>(req.state_)),
+      offset, buf, nullptr, count, method));
+  return req;
+}
+
+IoRequest File::iread_at(std::int64_t offset, void* buf, std::int64_t count,
+                         const types::Datatype& memtype, Method method) {
+  IoRequest req;
+  req.state_ = std::make_shared<IoRequest::State>();
+  req.state_->is_write = false;
+  req.state_->memtype = memtype;
+  ctx_.sched.start(io_fire(
+      Box<std::shared_ptr<IoRequest::State>>(
+          std::shared_ptr<IoRequest::State>(req.state_)),
+      offset, nullptr, buf, count, method));
+  return req;
+}
+
+sim::Task<Status> File::wait(IoRequest& req) {
+  if (req.state_ == nullptr) co_return Status::ok();  // MPI_REQUEST_NULL
+  if (!req.state_->done) co_await IoWaiter{req.state_.get()};
+  const Status status = req.state_->status;
+  req.state_.reset();  // retire, like MPI_Wait freeing the request
+  co_return status;
+}
+
+bool File::test(IoRequest& req, Status* out) {
+  if (req.state_ == nullptr) {
+    if (out != nullptr) *out = Status::ok();
+    return true;
+  }
+  if (!req.state_->done) return false;
+  if (out != nullptr) *out = req.state_->status;
+  req.state_.reset();
+  return true;
+}
+
+sim::Task<Status> File::wait_all(std::vector<IoRequest>& reqs) {
+  Status result = Status::ok();
+  for (IoRequest& req : reqs) {
+    const Status status = co_await wait(req);
+    if (!status.is_ok() && result.is_ok()) result = status;
+  }
+  co_return result;
+}
+
+sim::Task<Status> File::flush() { return ctx_.client.flush_write_behind(); }
+
+sim::Task<Status> File::close() {
+  const Status flushed = co_await ctx_.client.flush_write_behind();
+  open_ = false;
+  co_return flushed;
+}
+
+// ---- Collective operations --------------------------------------------------
+
 sim::Task<Status> File::write_at_all(coll::Communicator& comm, int rank,
                                      std::int64_t offset, const void* buf,
                                      std::int64_t count,
                                      const types::Datatype& memtype,
                                      Method method) {
   if (method == Method::kTwoPhase) {
-    return coll::two_phase_write(ctx_, comm, rank, handle_, view_, offset,
-                                 buf, count, memtype);
+    if (!ctx_.client.write_behind_enabled()) {
+      return coll::two_phase_write(ctx_, comm, rank, handle_, view_, offset,
+                                   buf, count, memtype);
+    }
+    // Aggregator writes staged by write-behind drain before the closing
+    // barrier, so the collective returns with the data server-side.
+    return [](File& file, coll::Communicator& c, int r, std::int64_t off,
+              const void* b, std::int64_t n,
+              const types::Datatype& t) -> sim::Task<Status> {
+      Status status = co_await coll::two_phase_write(
+          file.ctx_, c, r, file.handle_, file.view_, off, b, n, t);
+      if (status.is_ok()) {
+        status = co_await file.ctx_.client.flush_write_behind();
+      }
+      co_await c.barrier(r);
+      co_return status;
+    }(*this, comm, rank, offset, buf, count, memtype);
   }
   return [](File& file, coll::Communicator& c, int r, std::int64_t off,
             const void* b, std::int64_t n, const types::Datatype& t,
             Method m) -> sim::Task<Status> {
     Status status = co_await file.write_at(off, b, n, t, m);
+    // Post-all fast path: with write-behind on, every rank's write above
+    // merely staged; one flush per rank at the closing barrier ships each
+    // rank's whole contribution as single per-server batch envelopes.
+    if (status.is_ok() && file.ctx_.client.write_behind_enabled()) {
+      status = co_await file.ctx_.client.flush_write_behind();
+    }
     co_await c.barrier(r);
     co_return status;
   }(*this, comm, rank, offset, buf, count, memtype, method);

@@ -7,8 +7,12 @@
 // evaluation is selectable so benches can sweep them.
 #pragma once
 
+#include <coroutine>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "collective/comm.h"
 #include "collective/two_phase.h"
@@ -26,6 +30,37 @@ enum class Method {
 };
 
 std::string_view method_name(Method method) noexcept;
+
+class File;
+
+/// Split-phase request handle (MPI_Request analogue) returned by
+/// File::iwrite_at / File::iread_at. The operation runs as a background
+/// simulated process; File::wait / File::test retire the handle and
+/// surface the operation's Status. Copyable (shared state); a retired
+/// handle becomes null, and wait/test on a null handle succeed trivially
+/// (MPI_REQUEST_NULL semantics). At most one waiter may block on a given
+/// request at a time.
+class IoRequest {
+ public:
+  IoRequest() = default;
+  /// False once retired by wait()/test() (or never issued).
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  /// Completion flag, observable without retiring the request.
+  [[nodiscard]] bool done() const noexcept {
+    return state_ == nullptr || state_->done;
+  }
+
+ private:
+  friend class File;
+  struct State {
+    bool done = false;
+    bool is_write = false;
+    Status status;
+    std::coroutine_handle<> waiter;  ///< parked wait(), resumed on finish
+    types::Datatype memtype;         ///< kept alive for the background op
+  };
+  std::shared_ptr<State> state_;
+};
 
 class File {
  public:
@@ -54,6 +89,36 @@ class File {
   sim::Task<Status> read_at(std::int64_t offset, void* buf, std::int64_t count,
                             const types::Datatype& memtype, Method method);
 
+  // ---- Split-phase (nonblocking) operations -----------------------------------
+  // MPI_File_iwrite_at / iread_at analogues: post the operation as a
+  // background simulated process and return immediately; the caller
+  // overlaps compute (sim::delay) and retires the handle with wait/test.
+  // The buffer must stay valid until the request is retired. Overlapping
+  // outstanding iwrites to the same bytes are undefined (as in MPI).
+  [[nodiscard]] IoRequest iwrite_at(std::int64_t offset, const void* buf,
+                                    std::int64_t count,
+                                    const types::Datatype& memtype,
+                                    Method method);
+  [[nodiscard]] IoRequest iread_at(std::int64_t offset, void* buf,
+                                   std::int64_t count,
+                                   const types::Datatype& memtype,
+                                   Method method);
+
+  /// Block until `req` completes; retires the handle and returns its
+  /// Status. Null/retired handles return OK immediately.
+  sim::Task<Status> wait(IoRequest& req);
+  /// Nonblocking probe: true (and retires `req`, filling `*out` when
+  /// non-null) if complete; false if still in flight.
+  static bool test(IoRequest& req, Status* out = nullptr);
+  /// Waits every request; first error wins.
+  sim::Task<Status> wait_all(std::vector<IoRequest>& reqs);
+
+  /// Drain this client's write-behind staging buffers (MPI_File_sync).
+  /// No-op when write-behind is off.
+  sim::Task<Status> flush();
+  /// Flush, then mark the file closed.
+  sim::Task<Status> close();
+
   // ---- Collective operations ----------------------------------------------------
   // All ranks of `comm` must call together. kTwoPhase aggregates; any other
   // method runs independently inside the collective (how ROMIO behaves when
@@ -70,6 +135,23 @@ class File {
 
  private:
   sim::Task<Status> open_impl(Box<std::string> path, bool create);
+
+  /// Background driver for a split-phase op. NOTE: coroutine parameters
+  /// must stay trivially destructible (see common/box.h); the shared state
+  /// rides in a Box and the datatype lives inside that state.
+  sim::Fire io_fire(Box<std::shared_ptr<IoRequest::State>> state_box,
+                    std::int64_t offset, const void* wbuf, void* rbuf,
+                    std::int64_t count, Method method);
+
+  /// Parks wait() until the background process flips `done`.
+  struct IoWaiter {
+    IoRequest::State* st;
+    [[nodiscard]] bool await_ready() const noexcept { return st->done; }
+    void await_suspend(std::coroutine_handle<> h) const noexcept {
+      st->waiter = h;
+    }
+    void await_resume() const noexcept {}
+  };
 
   io::Context ctx_;
   io::FileView view_;

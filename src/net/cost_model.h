@@ -181,6 +181,18 @@ struct ClientConfig {
   /// Fixed CPU cost to issue one file-system operation.
   dtio::SimTime issue_overhead = 100 * dtio::kMicrosecond;
 
+  /// Client write-behind: per-server staging-buffer high watermark in
+  /// bytes. 0 (default) = off — every write is a synchronous RPC round
+  /// and the legacy event sequence is bit-identical. Nonzero: write-class
+  /// ops are absorbed into per-server buffers (coalescing adjacent and
+  /// overlapping runs in arrival order) and flushed as one kBatchWrite
+  /// envelope per server when the buffer reaches this watermark, at an
+  /// explicit flush/close/barrier, at a lock boundary, or when a read
+  /// overlaps staged bytes (the read drains that server's buffer first,
+  /// preserving the byte-identical-vs-oracle contract). Write errors
+  /// surface at the flush that carries them.
+  std::int64_t write_behind_bytes = 0;
+
   /// Per-request reply deadline in simulated time. 0 (the default)
   /// disables the reliability layer entirely: requests wait forever,
   /// exactly the pre-fault-injection behaviour (and the behaviour PVFS

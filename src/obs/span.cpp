@@ -15,6 +15,7 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kServerCache: return "server_cache";
     case Phase::kServerDisk: return "server_disk";
     case Phase::kNetReply: return "net_reply";
+    case Phase::kClientFlush: return "client_flush";
   }
   return "none";
 }

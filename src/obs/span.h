@@ -41,8 +41,9 @@ enum class Phase : std::uint8_t {
   kServerCache,    ///< buffer-cache synchronous disk segments (miss fills)
   kServerDisk,     ///< uncached synchronous disk charge
   kNetReply,       ///< reply transit: first byte out -> mailbox delivery
+  kClientFlush,    ///< write-behind flush: batch build + staged-data memcpy
 };
-inline constexpr int kPhaseCount = 11;
+inline constexpr int kPhaseCount = 12;
 
 /// Stable wire name ("server_queue", ...); "none" for kNone.
 [[nodiscard]] const char* phase_name(Phase p) noexcept;

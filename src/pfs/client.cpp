@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <limits>
+#include <memory>
 
 #include "common/crc32.h"
 #include "common/logging.h"
@@ -27,6 +29,10 @@ Client::Client(sim::Scheduler& sched, net::Network& network,
 
 void Client::set_observability(obs::Observability* obs) {
   obs_ = obs;
+  // Write-behind metrics re-resolve lazily against the new context.
+  obs_wb_staged_ = nullptr;
+  obs_wb_coalesced_ = nullptr;
+  wb_batch_subops_ = nullptr;
   for (int i = 0; i < kNumOps; ++i) {
     op_latency_[i] =
         obs == nullptr
@@ -98,6 +104,12 @@ sim::Task<MetaResult> Client::stat(std::string path) {
 }
 
 sim::Task<Status> Client::lock(std::uint64_t handle) {
+  // Lock boundary: staged writes must be durable before lock-protected
+  // readers can be granted the file.
+  if (write_behind_enabled() && wb_total_bytes_ > 0) {
+    const Status flushed = co_await wb_flush_all("lock");
+    if (!flushed.is_ok()) co_return flushed;
+  }
   const OpTrace t = begin_op(OpKind::kMetaLock);
   Request request;
   request.op = OpKind::kMetaLock;
@@ -118,6 +130,11 @@ sim::Task<Status> Client::lock(std::uint64_t handle) {
 }
 
 sim::Task<Status> Client::unlock(std::uint64_t handle) {
+  // Data written under the lock lands before the lock is released.
+  if (write_behind_enabled() && wb_total_bytes_ > 0) {
+    const Status flushed = co_await wb_flush_all("lock");
+    if (!flushed.is_ok()) co_return flushed;
+  }
   const OpTrace t = begin_op(OpKind::kMetaUnlock);
   Request request;
   request.op = OpKind::kMetaUnlock;
@@ -138,6 +155,17 @@ sim::Task<Status> Client::unlock(std::uint64_t handle) {
 }
 
 sim::Task<MetaResult> Client::meta_op(OpKind op, Box<std::string> path) {
+  if (op == OpKind::kMetaRemove && write_behind_enabled() &&
+      wb_total_bytes_ > 0) {
+    // Settle staged data before namespace mutation; a flush after the
+    // remove would resurrect per-server bstream bytes for a dead name.
+    const Status flushed = co_await wb_flush_all("flush");
+    if (!flushed.is_ok()) {
+      MetaResult failed;
+      failed.status = flushed;
+      co_return failed;
+    }
+  }
   const OpTrace t = begin_op(op);
   RpcSlot slot;
   slot.server = 0;  // metadata server
@@ -521,15 +549,23 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
         // server alive — they do not count toward the breaker.
         ++overloads_seen_;
         if (obs_overloaded_ != nullptr) obs_overloaded_->add(1);
+        // One reply, one decrease: a shed batch halves the AIMD window
+        // once, regardless of how many sub-ops it carried.
         health_note(ln, 0, /*failed=*/true);
         note_window_decrease(ln);
         retry_after_hint = reply.retry_after;
-        if (attempt < max_attempts) continue;
+        if (attempt < max_attempts) {
+          wb_strip_acked(slot, reply);
+          continue;
+        }
       }
       // kDataLoss marks a transient corruption rejection — retry; every
-      // other error class is definitive.
+      // other error class is definitive. A partially-applied batch sheds
+      // its acknowledged sub-ops first so only the rejected remainder is
+      // resent.
       if (code == StatusCode::kDataLoss && reliable) {
         health_note(ln, 0, /*failed=*/true);
+        wb_strip_acked(slot, reply);
         continue;
       }
       slot->status = last;
@@ -570,6 +606,16 @@ sim::Task<MetaResult> Client::stat_impl(Box<std::string> path) {
 }
 
 sim::Task<MetaResult> Client::stat_handle(std::uint64_t handle) {
+  // The logical size must include staged-but-unflushed bytes; the servers
+  // can only report what they have.
+  if (write_behind_enabled() && wb_total_bytes_ > 0) {
+    const Status flushed = co_await wb_flush_all("stat");
+    if (!flushed.is_ok()) {
+      MetaResult failed;
+      failed.status = flushed;
+      co_return failed;
+    }
+  }
   const OpTrace t = begin_op(OpKind::kMetaStat);
   // Query every I/O server's bstream size for this handle; the logical
   // size is the highest logical byte implied by any server-local size.
@@ -833,6 +879,20 @@ sim::Task<Status> Client::run_requests(
   std::int64_t total_bytes = 0;
   for (const ServerAccess& acc : access) total_bytes += acc.total_bytes;
 
+  // Read-after-write overlap: a read touching staged bytes first drains
+  // that server's whole buffer, so the bytes it returns are the bytes the
+  // program wrote (the byte-identical-vs-oracle contract).
+  if (!is_write && write_behind_enabled() && wb_total_bytes_ > 0) {
+    for (int s = 0; s < config_->num_servers; ++s) {
+      const ServerAccess& acc = access[static_cast<std::size_t>(s)];
+      if (acc.total_bytes == 0) continue;
+      if (!wb_read_overlaps(s, prototype.handle, acc.pieces)) continue;
+      const Status flushed = co_await wb_flush_server(s, "read_overlap",
+                                                      /*charge_prep=*/true);
+      if (!flushed.is_ok()) co_return flushed;
+    }
+  }
+
   // Root span + latency histogram for the whole operation; one rpc child
   // span per involved server, which the network and server layers parent
   // their own spans under (via the request's trace fields).
@@ -852,6 +912,45 @@ sim::Task<Status> Client::run_requests(
       transfer_time(static_cast<std::uint64_t>(total_bytes),
                     config_->client.memcpy_bandwidth_bytes_per_s));
   if (obs_ != nullptr) obs_->spans.end(prep_span, sched_->now());
+
+  // Write-behind absorb: instead of sending per-server RPCs now, stage the
+  // already-clipped physical runs into the per-server buffers and return.
+  // The op completes immediately after the client-side prep charge; network
+  // and server costs are paid later, by flushes, in kBatchWrite envelopes.
+  if (is_write && write_behind_enabled()) {
+    wb_resolve_obs();
+    for (int s = 0; s < config_->num_servers; ++s) {
+      const ServerAccess& acc = access[static_cast<std::size_t>(s)];
+      if (acc.total_bytes == 0) continue;
+      for (std::size_t i = 0; i < acc.pieces.size(); ++i) {
+        const std::uint8_t* src =
+            (transfer_data_ && write_stream != nullptr)
+                ? write_stream + acc.stream_at[i]
+                : nullptr;
+        wb_stage_run(s, prototype.handle, acc.pieces[i], src);
+      }
+      stats_.accessed_bytes += static_cast<std::uint64_t>(acc.total_bytes);
+    }
+    ++wb_staged_ops_;
+    if (obs_wb_staged_ != nullptr) obs_wb_staged_->add(total_bytes);
+
+    // High watermark: any server whose staging buffer crossed the limit
+    // flushes now, inline, so a hot server cannot grow its buffer without
+    // bound while cold servers stay staged.
+    Status staged = Status::ok();
+    for (int s = 0; s < config_->num_servers; ++s) {
+      if (static_cast<std::size_t>(s) >= wb_.size()) break;
+      if (wb_[static_cast<std::size_t>(s)].bytes <
+          config_->client.write_behind_bytes) {
+        continue;
+      }
+      const Status flushed =
+          co_await wb_flush_server(s, "watermark", /*charge_prep=*/true);
+      if (!flushed.is_ok() && staged.is_ok()) staged = flushed;
+    }
+    finish_op(prototype.op, op_trace);
+    co_return staged;
+  }
 
   // Build one RpcSlot per involved server. Start at this rank's "home"
   // server and walk the ring: staggering the per-client server order
@@ -1000,6 +1099,279 @@ sim::Task<Status> Client::run_requests(
   }
   finish_op(prototype.op, op_trace);
   co_return result;
+}
+
+// ---- Write-behind staging ---------------------------------------------------
+//
+// Per-server buffers hold already-clipped PHYSICAL runs keyed by
+// (handle, physical offset) in a std::map, so flush order — and therefore
+// the whole event sequence — is deterministic. Staging merges overlapping
+// and adjacent runs in arrival order (new data overwrites old), and a flush
+// ships the buffer as one kBatchWrite envelope whose sub-ops each carry
+// their own op_seq + CRC: the server's idempotent-replay window then applies
+// each coalesced write exactly once even when the envelope is retried.
+
+sim::Task<Status> Client::flush_write_behind() {
+  co_return co_await wb_flush_all("explicit");
+}
+
+void Client::wb_stage_run(int server, std::uint64_t handle, Region phys,
+                          const std::uint8_t* src) {
+  if (phys.length <= 0) return;
+  if (wb_.size() < static_cast<std::size_t>(config_->num_servers)) {
+    wb_.resize(static_cast<std::size_t>(config_->num_servers));
+  }
+  WbServerBuf& buf = wb_[static_cast<std::size_t>(server)];
+
+  std::int64_t new_lo = phys.offset;
+  std::int64_t new_hi = phys.end();
+
+  // Find the first existing run that could touch [lo, hi]: step back one if
+  // the previous same-handle run reaches (or abuts) our start.
+  auto it = buf.runs.lower_bound({handle, new_lo});
+  if (it != buf.runs.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first.first == handle &&
+        prev->first.second + prev->second.length >= new_lo) {
+      it = prev;
+    }
+  }
+
+  // Absorb every run overlapping or adjacent to the new one. Old data is
+  // kept (copied into the merged buffer first); the new bytes land last so
+  // arrival order wins on overlap.
+  std::vector<std::pair<std::int64_t, WbRun>> absorbed;
+  std::uint64_t absorbed_ops = 0;
+  while (it != buf.runs.end() && it->first.first == handle &&
+         it->first.second <= new_hi) {
+    new_lo = std::min(new_lo, it->first.second);
+    new_hi = std::max(new_hi, it->first.second + it->second.length);
+    buf.bytes -= it->second.length;
+    wb_total_bytes_ -= it->second.length;
+    if (it->second.data) {
+      absorbed.emplace_back(it->first.second, std::move(it->second));
+    }
+    ++absorbed_ops;
+    it = buf.runs.erase(it);
+  }
+
+  WbRun merged;
+  merged.length = new_hi - new_lo;
+  if (src != nullptr) {
+    merged.data = std::make_shared<std::vector<std::uint8_t>>(
+        static_cast<std::size_t>(merged.length));
+    for (const auto& [off, old] : absorbed) {
+      std::memcpy(merged.data->data() + (off - new_lo), old.data->data(),
+                  static_cast<std::size_t>(old.length));
+    }
+    std::memcpy(merged.data->data() + (phys.offset - new_lo), src,
+                static_cast<std::size_t>(phys.length));
+  }
+  buf.bytes += merged.length;
+  wb_total_bytes_ += merged.length;
+  buf.runs.emplace(std::make_pair(handle, new_lo), std::move(merged));
+
+  wb_coalesced_ += absorbed_ops;
+  if (obs_wb_coalesced_ != nullptr && absorbed_ops > 0) {
+    obs_wb_coalesced_->add(static_cast<std::int64_t>(absorbed_ops));
+  }
+}
+
+bool Client::wb_read_overlaps(int server, std::uint64_t handle,
+                              const std::vector<Region>& pieces) const {
+  if (static_cast<std::size_t>(server) >= wb_.size()) return false;
+  const WbServerBuf& buf = wb_[static_cast<std::size_t>(server)];
+  if (buf.runs.empty()) return false;
+  for (const Region& piece : pieces) {
+    auto it = buf.runs.lower_bound({handle, piece.offset});
+    if (it != buf.runs.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first.first == handle &&
+          prev->first.second + prev->second.length > piece.offset) {
+        return true;
+      }
+    }
+    if (it != buf.runs.end() && it->first.first == handle &&
+        it->first.second < piece.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+sim::Task<Status> Client::wb_flush_server(int server, const char* reason,
+                                          bool charge_prep) {
+  if (static_cast<std::size_t>(server) >= wb_.size()) co_return Status::ok();
+  WbServerBuf& buf = wb_[static_cast<std::size_t>(server)];
+  if (buf.runs.empty()) co_return Status::ok();
+
+  // Detach the buffer before the first co_await: writes issued while this
+  // flush is in flight stage into a fresh buffer and ride the next flush.
+  std::map<std::pair<std::uint64_t, std::int64_t>, WbRun> runs;
+  runs.swap(buf.runs);
+  const std::int64_t flush_bytes = buf.bytes;
+  buf.bytes = 0;
+  wb_total_bytes_ -= flush_bytes;
+
+  ++wb_flushes_;
+  wb_note_flush(reason, runs.size());
+
+  // The flush is its own root trace: staged writes already closed their op
+  // spans, so deferred network/server time is attributed to client_flush.
+  obs::SpanId flush_span = 0;
+  std::uint64_t trace = 0;
+  const SimTime flush_start = sched_->now();
+  if (obs_ != nullptr) {
+    trace = obs_->spans.new_trace();
+    flush_span = obs_->spans.begin("client_flush", node_, flush_start, 0,
+                                   trace, obs::Phase::kClientFlush);
+    obs_->spans.set_value(flush_span, flush_bytes);
+  }
+
+  RpcSlot slot;
+  slot.server = server;
+  slot.request.op = OpKind::kBatchWrite;
+  slot.request.client_node = node_;
+  slot.request.carry_data = transfer_data_;
+  slot.request.trace_id = trace;
+  slot.request.parent_span = flush_span;
+
+  BatchPayload batch;
+  batch.sub_ops.reserve(runs.size());
+  for (auto& [key, run] : runs) {
+    BatchSubOp sub;
+    sub.handle = key.first;
+    sub.offset = key.second;
+    sub.length = run.length;
+    sub.data = std::move(run.data);
+    // Each sub-op is its own replay-protected logical write; the sequence
+    // stays fixed across envelope retries so the server dedups per sub-op.
+    sub.op_seq = ++op_seq_;
+    if (sub.data) {
+      sub.payload_crc = crc32(*sub.data);
+      sub.has_payload_crc = true;
+    }
+    batch.sub_ops.push_back(std::move(sub));
+  }
+  slot.request.payload = std::move(batch);
+
+  const std::uint64_t descriptor = request_descriptor_bytes(
+      slot.request, config_->list_io_bytes_per_region);
+  slot.wire_bytes = descriptor + static_cast<std::uint64_t>(flush_bytes);
+  ++stats_.requests_sent;
+  stats_.request_bytes += descriptor;
+
+  if (charge_prep) {
+    // Issue overhead plus one staging-buffer copy into the wire buffer.
+    // wb_flush_all charges a single combined prep instead.
+    co_await sched_->delay(
+        config_->client.issue_overhead +
+        transfer_time(static_cast<std::uint64_t>(flush_bytes),
+                      config_->client.memcpy_bandwidth_bytes_per_s));
+  }
+
+  if (obs_ != nullptr) {
+    slot.rpc_span = obs_->spans.begin("rpc", node_, sched_->now(), flush_span,
+                                      trace);
+    obs_->spans.set_value(slot.rpc_span, flush_bytes);
+    slot.request.parent_span = slot.rpc_span;
+  }
+  co_await rpc_attempts(&slot);
+  if (obs_ != nullptr) {
+    obs_->spans.end(slot.rpc_span, sched_->now());
+    obs_->spans.end(flush_span, sched_->now());
+  }
+  ++wb_batches_;
+  co_return slot.status;
+}
+
+sim::Fire Client::wb_flush_fire(int server, const char* reason, Status* out,
+                                sim::WaitGroup* wg) {
+  *out = co_await wb_flush_server(server, reason, /*charge_prep=*/false);
+  wg->done();
+}
+
+sim::Task<Status> Client::wb_flush_all(const char* reason) {
+  if (wb_.empty() || wb_total_bytes_ <= 0) co_return Status::ok();
+
+  // Staggered server order, like run_requests, so concurrent clients do not
+  // convoy their flush flows through the shared links in the same order.
+  const int nservers = config_->num_servers;
+  std::vector<int> involved;
+  for (int i = 0; i < nservers; ++i) {
+    const int s = (rank_ + i) % nservers;
+    if (static_cast<std::size_t>(s) < wb_.size() &&
+        !wb_[static_cast<std::size_t>(s)].runs.empty()) {
+      involved.push_back(s);
+    }
+  }
+  if (involved.empty()) co_return Status::ok();
+
+  // One combined prep charge for the whole drain; per-server flushes then
+  // run with charge_prep=false and overlap on the network.
+  co_await sched_->delay(
+      config_->client.issue_overhead +
+      transfer_time(static_cast<std::uint64_t>(wb_total_bytes_),
+                    config_->client.memcpy_bandwidth_bytes_per_s));
+
+  if (involved.size() == 1) {
+    co_return co_await wb_flush_server(involved[0], reason,
+                                       /*charge_prep=*/false);
+  }
+
+  auto results = std::make_unique<std::vector<Status>>(involved.size());
+  sim::WaitGroup wg(*sched_);
+  for (std::size_t i = 0; i < involved.size(); ++i) {
+    wg.add(1);
+    sched_->start(wb_flush_fire(involved[i], reason, &(*results)[i], &wg));
+  }
+  co_await wg.wait();
+  for (const Status& st : *results) {
+    if (!st.is_ok()) co_return st;
+  }
+  co_return Status::ok();
+}
+
+void Client::wb_strip_acked(RpcSlot* slot, const Reply& reply) {
+  auto* batch = std::get_if<BatchPayload>(&slot->request.payload);
+  if (batch == nullptr ||
+      reply.sub_acked.size() != batch->sub_ops.size()) {
+    return;
+  }
+  std::vector<BatchSubOp> rest;
+  std::uint64_t rest_bytes = 0;
+  for (std::size_t i = 0; i < batch->sub_ops.size(); ++i) {
+    if (reply.sub_acked[i] != 0) continue;
+    rest_bytes += static_cast<std::uint64_t>(batch->sub_ops[i].length);
+    rest.push_back(std::move(batch->sub_ops[i]));
+  }
+  if (rest.size() == batch->sub_ops.size()) return;  // nothing acked
+  batch->sub_ops = std::move(rest);
+  slot->wire_bytes = request_descriptor_bytes(slot->request,
+                                              config_->list_io_bytes_per_region) +
+                     rest_bytes;
+}
+
+void Client::wb_resolve_obs() {
+  if (obs_ == nullptr || wb_batch_subops_ != nullptr) return;
+  // Resolved lazily, on first staged write, so runs with write-behind off
+  // register no wb_* metrics and their exports stay byte-identical.
+  obs_wb_staged_ = &obs_->metrics.counter("client_wb_staged_bytes_total",
+                                          obs::label("node", node_));
+  obs_wb_coalesced_ = &obs_->metrics.counter("client_wb_coalesced_ops_total",
+                                             obs::label("node", node_));
+  wb_batch_subops_ = &obs_->metrics.histogram("client_wb_batch_subops",
+                                              obs::label("node", node_));
+}
+
+void Client::wb_note_flush(const char* reason, std::size_t sub_ops) {
+  if (obs_ == nullptr) return;
+  obs_->metrics
+      .counter("client_wb_flushes_total",
+               obs::label("reason", reason, "node", node_))
+      .add(1);
+  wb_resolve_obs();
+  wb_batch_subops_->record(static_cast<std::int64_t>(sub_ops));
 }
 
 }  // namespace dtio::pfs

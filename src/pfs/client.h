@@ -17,8 +17,10 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/box.h"
@@ -83,6 +85,39 @@ class Client {
   }
   [[nodiscard]] std::uint64_t breaker_fast_fails() const noexcept {
     return breaker_fast_fails_;
+  }
+
+  // ---- Write-behind staging --------------------------------------------------
+  // Armed by ClientConfig::write_behind_bytes > 0: write-class data ops
+  // are absorbed into per-server staging buffers (coalesced in arrival
+  // order) and flushed as kBatchWrite envelopes. Default off: every knob
+  // below reads zero and the legacy event sequence is untouched.
+
+  [[nodiscard]] bool write_behind_enabled() const noexcept {
+    return config_->client.write_behind_bytes > 0;
+  }
+  /// Bytes currently staged across all per-server buffers.
+  [[nodiscard]] std::int64_t write_behind_staged_bytes() const noexcept {
+    return wb_total_bytes_;
+  }
+  /// Drain every per-server staging buffer (one kBatchWrite per involved
+  /// server, issued concurrently). First error wins; ok when nothing is
+  /// staged. This is what File::flush()/close() and collective barriers
+  /// call — deferred write errors surface here.
+  sim::Task<Status> flush_write_behind();
+
+  /// Write-behind counters, for tests and benches.
+  [[nodiscard]] std::uint64_t wb_flushes() const noexcept {
+    return wb_flushes_;
+  }
+  [[nodiscard]] std::uint64_t wb_batches() const noexcept {
+    return wb_batches_;
+  }
+  [[nodiscard]] std::uint64_t wb_coalesced_ops() const noexcept {
+    return wb_coalesced_;
+  }
+  [[nodiscard]] std::uint64_t wb_staged_ops() const noexcept {
+    return wb_staged_ops_;
   }
 
   /// Snapshot of one per-server lane's health, for tests and benches.
@@ -274,6 +309,49 @@ class Client {
   void breaker_on_success(Lane& l, int server);
   void breaker_on_failure(Lane& l, int server);
 
+  // ---- Write-behind internals ------------------------------------------------
+
+  /// One coalesced staged run; its (handle, physical offset) key lives in
+  /// the owning map.
+  struct WbRun {
+    std::int64_t length = 0;
+    DataBuffer data;  ///< nullptr in timing-only mode
+  };
+  /// Per-server staging buffer. Runs are keyed by (handle, physical
+  /// offset): physical because staging happens after the layout walk, so
+  /// the flush ships runs the server applies directly, and map order makes
+  /// flush-time sub-op order deterministic.
+  struct WbServerBuf {
+    std::map<std::pair<std::uint64_t, std::int64_t>, WbRun> runs;
+    std::int64_t bytes = 0;
+  };
+
+  /// Stage one physical run, merging with overlapping/adjacent staged runs
+  /// of the same handle (new data overwrites — arrival order). `src` null
+  /// in timing-only mode (extents are still tracked).
+  void wb_stage_run(int server, std::uint64_t handle, Region phys,
+                    const std::uint8_t* src);
+  /// Any staged run of `handle` on `server` overlapping one of `pieces`?
+  [[nodiscard]] bool wb_read_overlaps(
+      int server, std::uint64_t handle,
+      const std::vector<Region>& pieces) const;
+  /// Flush one server's buffer as a kBatchWrite envelope. `charge_prep`
+  /// pays issue overhead + staged-bytes memcpy inline (flush_all charges
+  /// one combined prep for its whole fan-out instead).
+  sim::Task<Status> wb_flush_server(int server, const char* reason,
+                                    bool charge_prep);
+  sim::Fire wb_flush_fire(int server, const char* reason, Status* out,
+                          sim::WaitGroup* wg);
+  sim::Task<Status> wb_flush_all(const char* reason);
+  /// Strip sub-ops the reply already acknowledged from a batch slot so a
+  /// retry resends only the unacked remainder.
+  void wb_strip_acked(RpcSlot* slot, const Reply& reply);
+  /// Lazy metric resolution: write-behind counters only enter the registry
+  /// once staging actually happens, keeping default-config exports
+  /// untouched.
+  void wb_resolve_obs();
+  void wb_note_flush(const char* reason, std::size_t sub_ops);
+
   /// One client operation's trace context. begin_op is a no-op returning
   /// zeroes when observability is detached; finish_op closes the root span
   /// and records the op's latency histogram.
@@ -323,7 +401,17 @@ class Client {
   std::vector<Lane> lanes_;  ///< one per server
   sim::Tracer* tracer_ = nullptr;
 
-  static constexpr int kNumOps = 12;  ///< OpKind enumerator count
+  // Write-behind state (all dormant while write_behind_bytes == 0).
+  std::vector<WbServerBuf> wb_;  ///< sized lazily to num_servers
+  std::int64_t wb_total_bytes_ = 0;
+  std::uint64_t wb_flushes_ = 0;     ///< flush events (any reason)
+  std::uint64_t wb_batches_ = 0;     ///< kBatchWrite envelopes completed
+  std::uint64_t wb_coalesced_ = 0;   ///< staged runs merged away
+  std::uint64_t wb_staged_ops_ = 0;  ///< write ops absorbed without an RPC
+
+  /// Client-facing ops with latency histograms (kBatchWrite is internal:
+  /// flush latency is tracked by the client_flush span and wb counters).
+  static constexpr int kNumOps = 12;
   obs::Observability* obs_ = nullptr;
   /// client_op_latency_ns{op=...,node=...}, resolved in set_observability.
   obs::Histogram* op_latency_[kNumOps] = {};
@@ -335,6 +423,10 @@ class Client {
   obs::Counter* obs_hedges_won_ = nullptr;     ///< client_hedges_won_total
   obs::Counter* obs_overloaded_ = nullptr;     ///< client_overloaded_total
   obs::Counter* obs_fast_fails_ = nullptr;     ///< client_breaker_fast_fails_total
+  // Write-behind metrics, resolved lazily on first staging (wb_resolve_obs).
+  obs::Counter* obs_wb_staged_ = nullptr;      ///< client_wb_staged_bytes_total
+  obs::Counter* obs_wb_coalesced_ = nullptr;   ///< client_wb_coalesced_ops_total
+  obs::Histogram* wb_batch_subops_ = nullptr;  ///< client_wb_batch_subops
 };
 
 }  // namespace dtio::pfs

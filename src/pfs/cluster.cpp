@@ -139,6 +139,11 @@ void Cluster::take_sample() {
         .push(now, static_cast<double>(outstanding));
     tl.series("cli_breakers_open", node)
         .push(now, static_cast<double>(breakers_open));
+    // Gated on the knob so default-config exports stay byte-identical.
+    if (client->write_behind_enabled()) {
+      tl.series("cli_wb_staged_bytes", node)
+          .push(now, static_cast<double>(client->write_behind_staged_bytes()));
+    }
   }
 
   tl.series("net_inflight_bytes", -1)

@@ -22,6 +22,7 @@ const char* op_name(OpKind op) noexcept {
     case OpKind::kMetaStat: return "meta_stat";
     case OpKind::kMetaLock: return "meta_lock";
     case OpKind::kMetaUnlock: return "meta_unlock";
+    case OpKind::kBatchWrite: return "batch_write";
   }
   return "?";
 }
@@ -40,6 +41,10 @@ std::uint64_t request_descriptor_bytes(const Request& request,
     }
     std::uint64_t operator()(const MetaPayload& p) const {
       return p.path.size();
+    }
+    std::uint64_t operator()(const BatchPayload& p) const {
+      // Per sub-op: handle + offset + length + op_seq + crc/flags.
+      return p.sub_ops.size() * 36;
     }
   };
   return kHeader + std::visit(Visitor{list_bytes_per_region}, request.payload);
@@ -67,6 +72,18 @@ bool corrupt_message_payload(sim::Message& msg, Rng& rng) {
           using P = std::decay_t<decltype(payload)>;
           if constexpr (std::is_same_v<P, MetaPayload>) {
             return false;
+          } else if constexpr (std::is_same_v<P, BatchPayload>) {
+            // Flip a bit in one rng-chosen sub-op carrying data; the
+            // per-sub-op CRC rejects exactly that sub-op, not the batch.
+            std::vector<std::size_t> with_data;
+            for (std::size_t i = 0; i < payload.sub_ops.size(); ++i) {
+              const auto& d = payload.sub_ops[i].data;
+              if (d && !d->empty()) with_data.push_back(i);
+            }
+            if (with_data.empty()) return false;
+            const std::size_t pick = with_data[static_cast<std::size_t>(
+                rng.next_below(with_data.size()))];
+            return flip_bit(payload.sub_ops[pick].data, rng);
           } else if constexpr (std::is_same_v<P, DatatypePayload>) {
             // Prefer the bulk data; a timing-only or read request has
             // none, so the encoded descriptor takes the hit instead.

@@ -48,6 +48,7 @@ enum class OpKind : std::uint8_t {
   kMetaStat,
   kMetaLock,    ///< whole-file advisory lock (FIFO); PVFS itself has no
   kMetaUnlock,  ///< locks — the config gates whether methods may use these
+  kBatchWrite,  ///< write-behind flush: many coalesced sub-writes, one RPC
 };
 
 using DataBuffer = std::shared_ptr<std::vector<std::uint8_t>>;
@@ -94,6 +95,32 @@ struct MetaPayload {
   std::uint64_t handle = 0;
 };
 
+/// One coalesced write run inside a kBatchWrite envelope. Offsets are
+/// PHYSICAL (server-local): the client already clipped the logical access
+/// to this server's strips while staging, so the server applies the run
+/// directly — no layout walk, which is half the batching win. Each sub-op
+/// carries its own (client, op_seq) replay identity and payload CRC so the
+/// idempotent-replay and integrity machinery applies exactly-once per
+/// sub-op even though many share one envelope.
+struct BatchSubOp {
+  std::uint64_t handle = 0;
+  std::int64_t offset = 0;  ///< physical, server-local
+  std::int64_t length = 0;
+  DataBuffer data;          ///< nullptr in timing-only mode
+  std::uint64_t op_seq = 0;
+  std::uint32_t payload_crc = 0;
+  bool has_payload_crc = false;
+};
+
+/// Multi-op batch envelope: the unit a client's write-behind buffer
+/// flushes. The envelope itself is unsequenced (Request::op_seq == 0);
+/// replay protection lives per sub-op. Sub-ops are applied independently
+/// and atomically-per-sub-op; the reply's `sub_acked` bitmap tells a
+/// retrying client which sub-ops to strip before resending.
+struct BatchPayload {
+  std::vector<BatchSubOp> sub_ops;
+};
+
 struct Request {
   OpKind op = OpKind::kContigRead;
   std::uint64_t handle = 0;
@@ -120,7 +147,8 @@ struct Request {
   /// is true; the server rejects mismatches with kDataLoss.
   std::uint32_t payload_crc = 0;
   bool has_payload_crc = false;
-  std::variant<ContigPayload, ListPayload, DatatypePayload, MetaPayload>
+  std::variant<ContigPayload, ListPayload, DatatypePayload, MetaPayload,
+               BatchPayload>
       payload;
 };
 
@@ -142,6 +170,11 @@ struct Reply {
   /// backlog drain time — the client waits at least this long (instead of
   /// its own blind backoff) before retrying a shed request.
   std::int64_t retry_after = 0;  ///< simulated ns; 0 = no hint
+  /// kBatchWrite replies: parallel to the request's sub_ops; 1 = applied
+  /// (or replay-suppressed — effects stand either way). A retrying client
+  /// strips acked sub-ops so only the unacked remainder is resent. Empty
+  /// for every other op (and for shed replies, which saw no sub-ops).
+  std::vector<std::uint8_t> sub_acked;
 };
 
 /// Human-readable operation name ("contig_read", "meta_stat", ...), used

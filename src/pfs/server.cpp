@@ -249,11 +249,16 @@ bool IOServer::verify_integrity(const Request& request, Reply& reply) {
 }
 
 void IOServer::store_ack(const Request& request, const Reply& reply) {
-  if (request.op_seq == 0) return;
-  if (crashed_ || req_epoch_ != epoch_) return;  // this request's epoch died
   if (reply.code == StatusCode::kDataLoss) return;
+  store_sub_ack(request.client_node, request.op_seq, reply);
+}
+
+void IOServer::store_sub_ack(int client_node, std::uint64_t op_seq,
+                             const Reply& reply) {
+  if (op_seq == 0) return;
+  if (crashed_ || req_epoch_ != epoch_) return;  // this request's epoch died
   expire_replay_acks();
-  const std::uint64_t key = replay_key(request.client_node, request.op_seq);
+  const std::uint64_t key = replay_key(client_node, op_seq);
   if (!replay_acks_.emplace(key, reply).second) return;
   replay_order_.emplace_back(key, sched_->now());
   if (replay_order_.size() > config_->server.replay_window_entries) {
@@ -515,6 +520,9 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
     case OpKind::kDatatypeWrite:
       co_await handle_datatype(request);
       break;
+    case OpKind::kBatchWrite:
+      co_await handle_batch(request);
+      break;
     case OpKind::kMetaLock: {
       const auto handle = std::get<MetaPayload>(request.payload).handle;
       if (locked_.insert(handle).second) {
@@ -624,6 +632,101 @@ sim::Task<void> IOServer::handle_list(Request& request) {
   }
   finish_data_reply(request, is_write, applier.my_bytes,
                     std::move(applier.reply_data));
+}
+
+sim::Task<void> IOServer::handle_batch(Request& request) {
+  auto& p = std::get<BatchPayload>(request.payload);
+  const std::size_t n = p.sub_ops.size();
+  ++stats_.batch_requests;
+  stats_.batch_sub_ops += static_cast<std::uint64_t>(n);
+
+  // The envelope itself is unsequenced (op_seq 0, so it skipped the
+  // top-level replay check); each sub-op carries its own replay identity.
+  // Sub-op offsets are PHYSICAL — the client pre-clipped them to this
+  // server's strips — so application skips the layout walk entirely: one
+  // decode charge and one region charge per coalesced run is the win over
+  // per-write RPCs.
+  Reply reply;
+  reply.sub_acked.assign(n, 0);
+  std::int64_t applied_subs = 0;
+  std::int64_t applied_bytes = 0;
+  std::int64_t acked_bytes = 0;
+  bool crc_fail = false;
+  cache::AccessPlan plan;
+  expire_replay_acks();
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchSubOp& sub = p.sub_ops[i];
+    if (sub.op_seq != 0 &&
+        replay_acks_.find(replay_key(request.client_node, sub.op_seq)) !=
+            replay_acks_.end()) {
+      // Already applied by an earlier attempt of this envelope (or a
+      // previous envelope): re-ack without re-applying.
+      reply.sub_acked[i] = 1;
+      acked_bytes += sub.length;
+      ++stats_.replays_suppressed;
+      ++stats_.batch_subs_replayed;
+      if (obs_ != nullptr) obs_replays_->add(1);
+      continue;
+    }
+    if (sub.has_payload_crc && sub.data && crc32(*sub.data) != sub.payload_crc) {
+      // Leave this sub-op unacked: the retry resends it with clean data
+      // while the acked sub-ops are stripped client-side.
+      ++stats_.crc_rejects;
+      if (obs_ != nullptr) obs_crc_rejects_->add(1);
+      crc_fail = true;
+      continue;
+    }
+    if (cache_ != nullptr) {
+      cache_->write(sub.handle, sub.offset, sub.length,
+                    (request.carry_data && sub.data)
+                        ? std::span<const std::uint8_t>(sub.data->data(),
+                                                        sub.data->size())
+                        : std::span<const std::uint8_t>{},
+                    plan);
+    } else {
+      Bstream& bstream = store_[sub.handle];
+      if (request.carry_data && sub.data) {
+        bstream.write(sub.offset,
+                      std::span<const std::uint8_t>(sub.data->data(),
+                                                    sub.data->size()));
+      } else {
+        bstream.note_write(sub.offset, sub.length);
+      }
+    }
+    reply.sub_acked[i] = 1;
+    ++applied_subs;
+    applied_bytes += sub.length;
+    acked_bytes += sub.length;
+  }
+
+  stats_.regions_walked += static_cast<std::uint64_t>(applied_subs);
+  stats_.my_pieces += static_cast<std::uint64_t>(applied_subs);
+  stats_.bytes_written += static_cast<std::uint64_t>(applied_bytes);
+  co_await charge_regions(applied_subs, config_->server.per_region_cost_write);
+  if (cache_ != nullptr) {
+    cache_->maybe_background_flush(plan);
+    co_await charge_cache_plan(std::move(plan));
+  } else {
+    co_await charge_disk(applied_bytes);
+  }
+
+  // Per-sub-op acks land AFTER the charges, mirroring finish_data_reply:
+  // a crash during the disk charge must not leave acks for lost work.
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchSubOp& sub = p.sub_ops[i];
+    if (reply.sub_acked[i] == 0 || sub.op_seq == 0) continue;
+    Reply sub_ack;
+    sub_ack.bytes = sub.length;
+    store_sub_ack(request.client_node, sub.op_seq, sub_ack);
+  }
+
+  reply.bytes = acked_bytes;
+  if (crc_fail) {
+    reply.ok = false;
+    reply.code = StatusCode::kDataLoss;
+    reply.error = "batch sub-op payload CRC mismatch";
+  }
+  send_reply(request.client_node, request.reply_tag, std::move(reply), 0);
 }
 
 namespace {

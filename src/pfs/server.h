@@ -66,6 +66,9 @@ struct ServerStats {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_dirty_flushed_bytes = 0;
   std::uint64_t cache_dirty_lost_bytes = 0;  ///< write-back dirty lost to crash
+  std::uint64_t batch_requests = 0;      ///< kBatchWrite envelopes handled
+  std::uint64_t batch_sub_ops = 0;       ///< sub-ops carried by those envelopes
+  std::uint64_t batch_subs_replayed = 0; ///< sub-ops re-acked, not re-applied
 };
 
 class IOServer {
@@ -143,6 +146,10 @@ class IOServer {
   /// the retry carries clean data and must be re-executed), or when this
   /// request's epoch died in a crash.
   void store_ack(const Request& request, const Reply& reply);
+  /// Same, keyed directly: kBatchWrite envelopes store one ack per sub-op
+  /// (each sub-op carries its own op_seq) instead of one for the envelope.
+  void store_sub_ack(int client_node, std::uint64_t op_seq,
+                     const Reply& reply);
   [[nodiscard]] static std::uint64_t replay_key(int client_node,
                                                 std::uint64_t op_seq) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
@@ -151,6 +158,9 @@ class IOServer {
 
   sim::Task<void> handle_contig(Request& request);
   sim::Task<void> handle_list(Request& request);
+  /// Write-behind flush envelope: many pre-clipped physical sub-writes,
+  /// one decode charge, per-sub-op replay/CRC, applied atomically each.
+  sim::Task<void> handle_batch(Request& request);
   sim::Task<void> handle_datatype(Request& request);
   void handle_meta(Request& request, Reply& reply);
 

@@ -730,5 +730,167 @@ TEST(TileChaos, AllMethodsByteIdenticalToFaultFreeRun) {
   EXPECT_EQ(std::memcmp(clean.tiles[0][0].data(), frame.data(), row_bytes), 0);
 }
 
+// ---- Write-behind batch reliability ----------------------------------------
+//
+// A kBatchWrite envelope is unsequenced; each coalesced sub-op carries its
+// own (client, op_seq) replay identity. These tests pin the per-sub-op
+// exactly-once contract under duplication and crash, and the AIMD
+// regression that one shed/timeout reply halves the window once regardless
+// of how many sub-ops the envelope carried.
+
+TEST(WriteBehindFaults, DuplicatedEnvelopeAppliesEachSubOpOnce) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 1;
+  cfg.num_clients = 1;
+  cfg.client.write_behind_bytes = 1024 * 1024;  // nothing auto-flushes
+  cfg.client.rpc_timeout = 200 * kMillisecond;
+  cfg.client.rpc_max_attempts = 4;
+  pfs::Cluster cluster(cfg);
+
+  // Duplicate EVERY client<->server message: the flush envelope arrives
+  // twice, so the second copy must re-ack all sub-ops via the replay
+  // window without re-applying a byte.
+  FaultPlan plan(23);
+  plan.set_default_spec(FaultSpec{.duplicate = 1.0});
+  plan.set_scope_max_node(cfg.num_servers);
+  cluster.set_fault_plan(&plan);
+
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(256, 77);
+  constexpr int kRuns = 6;
+
+  std::vector<std::uint8_t> back(kRuns * 1024, 0xFF);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](Client& c, const std::vector<std::uint8_t>& src,
+         std::vector<std::uint8_t>& out, bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/wb-dup");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        // Disjoint runs with gaps: no coalescing, 6 sub-ops in one batch.
+        for (int i = 0; i < kRuns; ++i) {
+          Status w = co_await c.write_contig(f.handle, i * 1024, src.data(),
+                                             256);
+          EXPECT_TRUE(w.is_ok()) << w.to_string();
+        }
+        Status flushed = co_await c.flush_write_behind();
+        EXPECT_TRUE(flushed.is_ok()) << flushed.to_string();
+        Status r = co_await c.read_contig(
+            f.handle, 0, out.data(), static_cast<std::int64_t>(out.size()));
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        done = true;
+      }(*client, data, back, finished));
+  cluster.run();
+  ASSERT_TRUE(finished);
+
+  for (int i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(std::memcmp(back.data() + i * 1024, data.data(), 256), 0)
+        << "run " << i;
+  }
+  const pfs::ServerStats& st = cluster.server(0).stats();
+  // Envelope handled twice; every sub-op applied exactly once, the
+  // duplicate's copies all replay-suppressed.
+  EXPECT_EQ(st.batch_requests, 2u);
+  EXPECT_EQ(st.batch_sub_ops, 2u * kRuns);
+  EXPECT_EQ(st.batch_subs_replayed, static_cast<std::uint64_t>(kRuns));
+  EXPECT_EQ(st.bytes_written, static_cast<std::uint64_t>(kRuns) * 256u);
+  EXPECT_EQ(client->wb_batches(), 1u);
+}
+
+TEST(WriteBehindFaults, BatchFlushSurvivesMidFlushCrash) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 1;
+  cfg.num_clients = 1;
+  cfg.client.write_behind_bytes = 1024 * 1024;
+  cfg.client.rpc_timeout = 50 * kMillisecond;
+  cfg.client.rpc_max_attempts = 6;
+  cfg.client.rpc_backoff_base = 10 * kMillisecond;
+  pfs::Cluster cluster(cfg);
+  // The server dies just as the flush goes out and loses its replay
+  // window; the retried envelope re-applies the same physical bytes, so
+  // exactly-once degrades safely to idempotent-replay.
+  cluster.schedule_server_crash(/*index=*/0, /*at=*/10 * kMillisecond,
+                                /*restart_delay=*/30 * kMillisecond);
+
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(2048, 78);
+
+  std::vector<std::uint8_t> back(2048, 0xFF);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& src, std::vector<std::uint8_t>& out,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/wb-crash-flush");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        Status w = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        // Flush launched just before the crash fires: the first attempt
+        // dies with the server, retries carry it through the restart.
+        co_await sched.delay(9 * kMillisecond - sched.now());
+        Status flushed = co_await c.flush_write_behind();
+        EXPECT_TRUE(flushed.is_ok()) << flushed.to_string();
+        Status r = co_await c.read_contig(
+            f.handle, 0, out.data(), static_cast<std::int64_t>(out.size()));
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        done = true;
+      }(cluster.scheduler(), *client, data, back, finished));
+  cluster.run();
+  ASSERT_TRUE(finished);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(cluster.server(0).stats().crashes, 1u);
+  EXPECT_GE(client->rpc_retries(), 1u);
+}
+
+TEST(WriteBehindFaults, BatchTimeoutHalvesWindowOncePerReplyNotPerSubOp) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 1;
+  cfg.num_clients = 1;
+  cfg.client.write_behind_bytes = 1024 * 1024;
+  cfg.client.flow_window = 8;
+  cfg.client.rpc_timeout = 20 * kMillisecond;
+  cfg.client.rpc_max_attempts = 2;
+  cfg.client.rpc_backoff_base = 5 * kMillisecond;
+  cfg.client.rpc_backoff_jitter = 0;
+  pfs::Cluster cluster(cfg);
+  // Down for the whole flush: both attempts time out. With 10 sub-ops in
+  // the envelope, a per-sub-op decrease would slam the window to the floor
+  // (1); the correct one-decrease-per-reply leaves 8 -> 4 -> 2.
+  cluster.schedule_server_crash(/*index=*/0, /*at=*/10 * kMillisecond,
+                                /*restart_delay=*/5000 * kMillisecond);
+
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(128, 79);
+
+  Status flush_status;
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& src, Status& flush_out,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/wb-window");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        for (int i = 0; i < 10; ++i) {  // gaps: 10 distinct sub-ops
+          Status w = co_await c.write_contig(f.handle, i * 512, src.data(),
+                                             128);
+          EXPECT_TRUE(w.is_ok()) << w.to_string();
+        }
+        co_await sched.delay(12 * kMillisecond - sched.now());
+        flush_out = co_await c.flush_write_behind();
+        done = true;
+      }(cluster.scheduler(), *client, data, flush_status, finished));
+  cluster.run();
+  ASSERT_TRUE(finished);
+
+  // Retries exhausted against a dead server: typed reliability error.
+  EXPECT_FALSE(flush_status.is_ok());
+  EXPECT_TRUE(flush_status.code() == StatusCode::kUnavailable ||
+              flush_status.code() == StatusCode::kTimedOut)
+      << flush_status.to_string();
+  EXPECT_EQ(client->wb_batches(), 1u);
+  // Two timed-out attempts, two halvings — NOT ten.
+  EXPECT_EQ(client->lane_health(0).window, 2);
+}
+
 }  // namespace
 }  // namespace dtio

@@ -2,6 +2,7 @@
 // non-byte etypes, view offsets, file size queries, and misuse guards.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -196,6 +197,230 @@ TEST(MpiioFile, CollectiveOnViewWithDifferentMethodsAgrees) {
       }(*w.files[0], data, ok));
   w.cluster->run();
   EXPECT_TRUE(ok);
+}
+
+// ---- Split-phase (nonblocking) I/O ------------------------------------------
+
+TEST(SplitPhase, IwriteTestWaitRetiresAndDataLands) {
+  World w;
+  std::vector<std::uint8_t> src(4096);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<std::uint8_t> back(4096, 0xFF);
+  bool immediate_done = true;
+  bool finished = false;
+  w.cluster->scheduler().spawn(
+      [](mpiio::File& f, const std::vector<std::uint8_t>& data,
+         std::vector<std::uint8_t>& out, bool& early,
+         bool& done) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/iw", true)).is_ok());
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto bytes = types::contiguous(4096, types::byte_t());
+        mpiio::IoRequest req =
+            f.iwrite_at(0, data.data(), 1, bytes, Method::kDatatype);
+        EXPECT_TRUE(req.valid());
+        // The background op has not had a single event yet: test() must
+        // report in-flight without retiring the handle.
+        early = mpiio::File::test(req);
+        EXPECT_TRUE(req.valid());
+        const Status st = co_await f.wait(req);
+        EXPECT_TRUE(st.is_ok()) << st.to_string();
+        EXPECT_FALSE(req.valid());  // retired
+        // Waiting a retired handle is MPI_REQUEST_NULL: trivially ok.
+        EXPECT_TRUE((co_await f.wait(req)).is_ok());
+        mpiio::IoRequest rd =
+            f.iread_at(0, out.data(), 1, bytes, Method::kList);
+        EXPECT_TRUE((co_await f.wait(rd)).is_ok());
+        done = true;
+      }(*w.files[0], src, back, immediate_done, finished));
+  w.cluster->run();
+  ASSERT_TRUE(finished);
+  EXPECT_FALSE(immediate_done);
+  EXPECT_EQ(back, src);
+}
+
+TEST(SplitPhase, ComputeOverlapsIo) {
+  // iwrite + simulated compute + wait must finish sooner than the same
+  // write issued blocking before the same compute: the point of the
+  // split-phase API is that the RPC's network/server time and the compute
+  // delay share the same wall-clock (sim-clock) window.
+  constexpr SimTime kCompute = 5 * kMillisecond;
+  auto run = [](bool split) {
+    World w;
+    std::vector<std::uint8_t> src(256 * 1024, 7);
+    SimTime elapsed = -1;
+    w.cluster->scheduler().spawn(
+        [](mpiio::File& f, sim::Scheduler& sched,
+           const std::vector<std::uint8_t>& data, bool nonblocking,
+           SimTime& out) -> Task<void> {
+          EXPECT_TRUE((co_await f.open("/ov", true)).is_ok());
+          f.set_view(0, types::byte_t(), types::byte_t());
+          auto bytes = types::contiguous(
+              static_cast<std::int64_t>(data.size()), types::byte_t());
+          const SimTime start = sched.now();
+          if (nonblocking) {
+            mpiio::IoRequest req =
+                f.iwrite_at(0, data.data(), 1, bytes, Method::kDatatype);
+            co_await sched.delay(kCompute);
+            EXPECT_TRUE((co_await f.wait(req)).is_ok());
+          } else {
+            EXPECT_TRUE(
+                (co_await f.write_at(0, data.data(), 1, bytes,
+                                     Method::kDatatype))
+                    .is_ok());
+            co_await sched.delay(kCompute);
+          }
+          out = sched.now() - start;
+        }(*w.files[0], w.cluster->scheduler(), src, split, elapsed));
+    w.cluster->run();
+    return elapsed;
+  };
+  const SimTime overlapped = run(true);
+  const SimTime sequential = run(false);
+  ASSERT_GT(overlapped, 0);
+  ASSERT_GT(sequential, 0);
+  EXPECT_LT(overlapped, sequential);
+  // The overlap window is at least the compute delay, so the saving must
+  // be a real chunk of it, not scheduling noise.
+  EXPECT_GT(sequential - overlapped, kCompute / 2);
+}
+
+TEST(SplitPhase, ErrorsSurfaceThroughWaitAndWaitAll) {
+  World w;
+  std::vector<std::uint8_t> src(1024, 3);
+  Status bad_status;
+  Status all_status;
+  bool finished = false;
+  w.cluster->scheduler().spawn(
+      [](mpiio::File& f, const std::vector<std::uint8_t>& data, Status& bad,
+         Status& all, bool& done) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/ie", true)).is_ok());
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto bytes = types::contiguous(1024, types::byte_t());
+        // Two-phase is collective-only: the invalid_argument produced by
+        // the background op must come out of wait, not be swallowed.
+        mpiio::IoRequest bad_req =
+            f.iwrite_at(0, data.data(), 1, bytes, Method::kTwoPhase);
+        bad = co_await f.wait(bad_req);
+        // wait_all: good + bad + good — first error wins, all retired.
+        std::vector<mpiio::IoRequest> reqs;
+        reqs.push_back(f.iwrite_at(0, data.data(), 1, bytes, Method::kList));
+        reqs.push_back(
+            f.iwrite_at(4096, data.data(), 1, bytes, Method::kTwoPhase));
+        reqs.push_back(
+            f.iwrite_at(8192, data.data(), 1, bytes, Method::kPosix));
+        all = co_await f.wait_all(reqs);
+        for (const mpiio::IoRequest& r : reqs) EXPECT_FALSE(r.valid());
+        done = true;
+      }(*w.files[0], src, bad_status, all_status, finished));
+  w.cluster->run();
+  ASSERT_TRUE(finished);
+  EXPECT_EQ(bad_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(all_status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SplitPhase, OutOfOrderWaitAndPolledTest) {
+  World w;
+  std::vector<std::uint8_t> a(8192, 0xA5), b(512, 0x5A);
+  std::vector<std::uint8_t> back(8192 + 512, 0);
+  bool finished = false;
+  w.cluster->scheduler().spawn(
+      [](mpiio::File& f, sim::Scheduler& sched,
+         const std::vector<std::uint8_t>& big,
+         const std::vector<std::uint8_t>& small,
+         std::vector<std::uint8_t>& out, bool& done) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/ooo", true)).is_ok());
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto big_t = types::contiguous(8192, types::byte_t());
+        auto small_t = types::contiguous(512, types::byte_t());
+        // Issue big-then-small; retire small-then-big. The small write
+        // finishes first; waiting it must not disturb the big one.
+        mpiio::IoRequest r_big =
+            f.iwrite_at(0, big.data(), 1, big_t, Method::kDatatype);
+        mpiio::IoRequest r_small =
+            f.iwrite_at(8192, small.data(), 1, small_t, Method::kDatatype);
+        EXPECT_TRUE((co_await f.wait(r_small)).is_ok());
+        // Poll the big one to completion through test().
+        Status st;
+        while (!mpiio::File::test(r_big, &st)) {
+          co_await sched.delay(100 * kMicrosecond);
+        }
+        EXPECT_TRUE(st.is_ok()) << st.to_string();
+        auto whole = types::contiguous(8192 + 512, types::byte_t());
+        EXPECT_TRUE(
+            (co_await f.read_at(0, out.data(), 1, whole, Method::kPosix))
+                .is_ok());
+        done = true;
+      }(*w.files[0], w.cluster->scheduler(), a, b, back, finished));
+  w.cluster->run();
+  ASSERT_TRUE(finished);
+  EXPECT_EQ(std::memcmp(back.data(), a.data(), a.size()), 0);
+  EXPECT_EQ(std::memcmp(back.data() + a.size(), b.data(), b.size()), 0);
+}
+
+TEST(SplitPhase, CollectivePostAllFlushesOnceAtBarrier) {
+  // Write-behind on, watermark high: each rank's write_at_all stages
+  // locally and the collective's closing flush ships ONE batch envelope
+  // per involved server per rank.
+  net::ClusterConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_clients = 2;
+  cfg.strip_size = 1024;
+  cfg.client.write_behind_bytes = 1024 * 1024;
+  pfs::Cluster cluster(cfg);
+  std::vector<std::unique_ptr<pfs::Client>> clients;
+  std::vector<std::unique_ptr<io::Context>> contexts;
+  std::vector<std::unique_ptr<mpiio::File>> files;
+  for (int r = 0; r < 2; ++r) {
+    clients.push_back(cluster.make_client(r));
+    contexts.push_back(std::make_unique<io::Context>(io::Context{
+        cluster.scheduler(), *clients.back(), cluster.config()}));
+    files.push_back(std::make_unique<mpiio::File>(*contexts.back()));
+  }
+  coll::Communicator comm(cluster.scheduler(), cluster.network(),
+                          cluster.config(), 2);
+  std::vector<std::uint8_t> data(16384);
+  std::iota(data.begin(), data.end(), 0);
+  int done = 0;
+  for (int r = 0; r < 2; ++r) {
+    cluster.scheduler().spawn(
+        [](mpiio::File& f, coll::Communicator& c, int rank,
+           const std::vector<std::uint8_t>& src, int& finished) -> Task<void> {
+          EXPECT_TRUE((co_await f.open("/postall", rank == 0)).is_ok());
+          f.set_view(0, types::byte_t(), types::byte_t());
+          auto memtype = types::contiguous(8192, types::byte_t());
+          EXPECT_TRUE((co_await f.write_at_all(c, rank, rank * 8192,
+                                               src.data() + rank * 8192, 1,
+                                               memtype, Method::kList))
+                          .is_ok());
+          ++finished;
+        }(*files[r], comm, r, data, done));
+  }
+  cluster.run();
+  ASSERT_EQ(done, 2);
+  for (int r = 0; r < 2; ++r) {
+    // One flush event per rank (the collective's closing flush), which
+    // fanned out as one envelope per involved server.
+    EXPECT_EQ(clients[r]->wb_flushes(),
+              clients[r]->wb_batches());
+    EXPECT_GT(clients[r]->wb_batches(), 0u);
+    EXPECT_LE(clients[r]->wb_batches(),
+              static_cast<std::uint64_t>(cfg.num_servers));
+    EXPECT_EQ(clients[r]->write_behind_staged_bytes(), 0);
+  }
+  // The data is durable server-side after the collective returns.
+  std::vector<std::uint8_t> back(16384, 0xFF);
+  bool ok = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, std::vector<std::uint8_t>& out,
+         bool& done_flag) -> Task<void> {
+        auto whole = types::contiguous(16384, types::byte_t());
+        done_flag = (co_await f.read_at(0, out.data(), 1, whole,
+                                        Method::kPosix))
+                        .is_ok();
+      }(*files[0], back, ok));
+  cluster.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back, data);
 }
 
 TEST(Hints, ParsesRomioVocabulary) {

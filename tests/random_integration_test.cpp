@@ -442,6 +442,169 @@ TEST_P(CacheEquivalence, CacheOnOffByteIdenticalAcrossAllMethods) {
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, CacheEquivalence, ::testing::Range(0, 12));
 
+// ---- Write-behind equivalence ----------------------------------------------
+//
+// Client write-behind is a timing optimisation: with it on (tiny watermark
+// so mid-op flushes fire, or huge watermark so everything drains via
+// read-after-write overlap and the explicit flush) or off, the same
+// workload must leave byte-identical file contents and every read method
+// must return byte-identical data. The reads interleave with staged data,
+// exercising the RAW drain path; the final raw image is read after an
+// explicit flush.
+
+struct WbRunResult {
+  std::vector<std::uint8_t> raw;  ///< whole-file bytes after flush
+  std::vector<std::vector<std::uint8_t>> backs;  ///< per read method
+  std::uint64_t flushes = 0;
+  std::uint64_t batches = 0;
+  bool ok = true;
+};
+
+WbRunResult run_wb_scenario(const Scenario& sc,
+                            const std::vector<std::uint8_t>& mem_image,
+                            Method write_method, std::int64_t file_end,
+                            std::int64_t write_behind_bytes) {
+  net::ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.num_clients = 1;
+  cfg.strip_size = 256;
+  cfg.client.write_behind_bytes = write_behind_bytes;
+  pfs::Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+  io::Context ctx{cluster.scheduler(), *client, cluster.config()};
+  mpiio::File file(ctx);
+
+  WbRunResult run;
+  bool wrote = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, const Scenario& s,
+         const std::vector<std::uint8_t>& image, Method wm,
+         bool& done) -> Task<void> {
+        EXPECT_TRUE((co_await f.open("/wb", true)).is_ok());
+        f.set_view(s.displacement, types::byte_t(), s.filetype);
+        Status st = co_await f.write_at(s.offset_etypes, image.data(),
+                                        s.mem_count, s.memtype, wm);
+        EXPECT_TRUE(st.is_ok()) << st.to_string();
+        done = st.is_ok();
+      }(file, sc, mem_image, write_method, wrote));
+  cluster.run();
+  EXPECT_TRUE(wrote);
+  run.ok = wrote;
+
+  // Reads while data may still be staged: read-after-write overlap must
+  // drain the staging buffers first, so every method sees the new bytes.
+  for (const Method read_method :
+       {Method::kPosix, Method::kDataSieving, Method::kList,
+        Method::kDatatype}) {
+    std::vector<std::uint8_t> back(mem_image.size(), 0);
+    bool read_ok = false;
+    cluster.scheduler().spawn(
+        [](mpiio::File& f, const Scenario& s, std::vector<std::uint8_t>& out,
+           Method rm, bool& done) -> Task<void> {
+          f.set_view(s.displacement, types::byte_t(), s.filetype);
+          done = (co_await f.read_at(s.offset_etypes, out.data(), s.mem_count,
+                                     s.memtype, rm))
+                     .is_ok();
+        }(file, sc, back, read_method, read_ok));
+    cluster.run();
+    EXPECT_TRUE(read_ok) << mpiio::method_name(read_method);
+    run.ok = run.ok && read_ok;
+    run.backs.push_back(std::move(back));
+  }
+
+  // Explicit flush (MPI_File_sync analogue), then the raw file image.
+  bool flushed = false;
+  cluster.scheduler().spawn([](mpiio::File& f, bool& done) -> Task<void> {
+    done = (co_await f.flush()).is_ok();
+  }(file, flushed));
+  cluster.run();
+  EXPECT_TRUE(flushed);
+  run.ok = run.ok && flushed;
+  EXPECT_EQ(client->write_behind_staged_bytes(), 0);
+
+  run.raw.assign(static_cast<std::size_t>(file_end), 0);
+  bool raw_ok = false;
+  cluster.scheduler().spawn(
+      [](mpiio::File& f, std::vector<std::uint8_t>& out,
+         bool& done) -> Task<void> {
+        f.set_view(0, types::byte_t(), types::byte_t());
+        auto whole = types::contiguous(static_cast<std::int64_t>(out.size()),
+                                       types::byte_t());
+        done = (co_await f.read_at(0, out.data(), 1, whole, Method::kPosix))
+                   .is_ok();
+      }(file, run.raw, raw_ok));
+  cluster.run();
+  EXPECT_TRUE(raw_ok);
+  run.ok = run.ok && raw_ok;
+  run.flushes = client->wb_flushes();
+  run.batches = client->wb_batches();
+  return run;
+}
+
+class WriteBehindEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(WriteBehindEquivalence, OnOffByteIdenticalAcrossAllMethods) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 28629 + 5);
+  const Scenario sc = random_scenario(rng);
+  const std::int64_t mem_span = sc.memtype.extent() * sc.mem_count + 64;
+  std::vector<std::uint8_t> mem_image(static_cast<std::size_t>(mem_span));
+  for (auto& b : mem_image) b = static_cast<std::uint8_t>(rng.next());
+
+  // Oracle image (same walker as AllMethodsAgreeWithOracle).
+  std::map<std::int64_t, std::uint8_t> expected_file;
+  {
+    const std::int64_t total = sc.mem_count * sc.memtype.size();
+    io::FileView view{sc.displacement, types::byte_t(), sc.filetype};
+    const io::StreamWindow window =
+        io::make_window(view, sc.offset_etypes, total);
+    io::JointWalker walker(io::make_mem_cursor(sc.memtype, sc.mem_count),
+                           io::make_file_cursor(view, window));
+    io::JointWalker::Piece piece;
+    while (walker.next(piece)) {
+      for (std::int64_t i = 0; i < piece.length; ++i) {
+        expected_file[piece.file_offset + i] =
+            mem_image[static_cast<std::size_t>(piece.mem_offset + i)];
+      }
+    }
+  }
+  std::int64_t file_end = 0;
+  for (const auto& [off, byte] : expected_file) {
+    file_end = std::max(file_end, off + 1);
+  }
+
+  const Method write_methods[] = {Method::kPosix, Method::kList,
+                                  Method::kDatatype};
+  const Method wm = write_methods[rng.next_below(3)];
+
+  // off | tiny watermark (mid-op flushes fire constantly) | huge watermark
+  // (nothing auto-flushes: RAW drains + the explicit flush do all the work).
+  const WbRunResult off = run_wb_scenario(sc, mem_image, wm, file_end, 0);
+  const WbRunResult tiny = run_wb_scenario(sc, mem_image, wm, file_end, 512);
+  const WbRunResult big =
+      run_wb_scenario(sc, mem_image, wm, file_end, 16 * 1024 * 1024);
+  ASSERT_TRUE(off.ok && tiny.ok && big.ok);
+
+  EXPECT_EQ(off.raw, tiny.raw) << "tiny-watermark write-behind changed bytes";
+  EXPECT_EQ(off.raw, big.raw) << "big-watermark write-behind changed bytes";
+  for (const auto& [at, byte] : expected_file) {
+    ASSERT_EQ(off.raw[static_cast<std::size_t>(at)], byte)
+        << "file byte " << at;
+  }
+  ASSERT_EQ(off.backs.size(), tiny.backs.size());
+  for (std::size_t m = 0; m < off.backs.size(); ++m) {
+    EXPECT_EQ(off.backs[m], tiny.backs[m]) << "read method " << m;
+    EXPECT_EQ(off.backs[m], big.backs[m]) << "read method " << m;
+  }
+  // Write-behind genuinely engaged in the on-runs and not in the off-run.
+  EXPECT_EQ(off.flushes, 0u);
+  EXPECT_GT(tiny.flushes, 0u);
+  EXPECT_GT(big.flushes, 0u);
+  EXPECT_EQ(tiny.batches, tiny.flushes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, WriteBehindEquivalence,
+                         ::testing::Range(0, 12));
+
 // ---- Chaos sweep -----------------------------------------------------------
 //
 // The reliability contract under injected faults: with timeouts + retries
