@@ -432,6 +432,126 @@ CacheArm run_tile_cache(const workloads::TileConfig& tile, int frames,
   return out;
 }
 
+/// One arm of the --replication ablation: a single client doing open-loop
+/// paced 64 KiB reads of a 4-server striped file, first over a healthy
+/// fleet (the latency baseline), then with server 1 crashed for the whole
+/// degraded window. With replication on (r=2) every degraded read fails
+/// over to server 1's replica on server 2; with it off, reads that need
+/// server 1 burn their retries and fail. The breaker trips on the first
+/// timeout and stays open past the outage, so exactly one degraded read
+/// pays the full rpc_timeout before failing over — the rest fast-fail
+/// straight to the replica and stay near the healthy baseline.
+struct ReplicationArm {
+  std::vector<SimTime> healthy;
+  std::vector<SimTime> degraded;
+  int degraded_ok = 0;
+  int healthy_failures = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t quorum_writes = 0;
+  std::uint64_t fast_fails = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t resync_bytes = 0;
+};
+
+ReplicationArm run_replication_arm(int replication) {
+  constexpr int kHealthyReads = 100;
+  constexpr int kDegradedReads = 100;
+  constexpr SimTime kPace = 10 * kMillisecond;
+  constexpr std::size_t kReadBytes = 16384;  // 4 KiB per server
+
+  net::ClusterConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_clients = 1;
+  cfg.strip_size = 4096;
+  cfg.replication = replication;
+  // Timeout below the read pace, so the breaker (tripped by the first
+  // degraded read's timeout) is already open when the next read issues —
+  // exactly one read pays the full timeout before failing over.
+  cfg.client.rpc_timeout = 7 * kMillisecond;
+  cfg.client.rpc_max_attempts = 4;
+  cfg.client.rpc_backoff_base = 2 * kMillisecond;
+  cfg.client.breaker_failures = 1;
+  cfg.client.breaker_open_duration = 2 * kSecond;  // outlives the outage
+  // Write-back cache so the crash actually loses dirty bytes and the
+  // restart resync has something to pull back from the replicas.
+  cfg.server.cache_block_bytes = 4096;
+  cfg.server.cache_capacity_bytes = 64 * 4096;
+  cfg.server.cache_dirty_watermark = 1.0;
+  pfs::Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+
+  ReplicationArm out;
+  out.healthy.assign(kHealthyReads, 0);
+  out.degraded.assign(kDegradedReads, 0);
+
+  // Create + write one stripe-spanning block (quorum-replicated at r>1).
+  std::uint64_t handle = 0;
+  cluster.scheduler().spawn(
+      [](pfs::Client& c, std::uint64_t& h, int& fail) -> Task<void> {
+        pfs::MetaResult f = co_await c.create("/repl");
+        if (!f.status.is_ok()) {
+          ++fail;
+          co_return;
+        }
+        h = f.handle;
+        std::vector<std::uint8_t> buf(kReadBytes, 0x5A);
+        Status w = co_await c.write_contig(
+            h, 0, buf.data(), static_cast<std::int64_t>(buf.size()));
+        if (!w.is_ok()) ++fail;
+      }(*client, handle, out.healthy_failures));
+  cluster.run();
+
+  // Open-loop paced reads spawned at absolute times, so a slow op cannot
+  // shield the ops behind it from the outage window.
+  auto paced_reads = [&](SimTime t0, std::vector<SimTime>& lat, int* ok,
+                         int* fail) {
+    for (int i = 0; i < static_cast<int>(lat.size()); ++i) {
+      cluster.scheduler().spawn(
+          [](sim::Scheduler& sched, pfs::Client& c, std::uint64_t h,
+             SimTime due, SimTime& slot, int* ok, int* fail) -> Task<void> {
+            co_await sched.delay(due - sched.now());
+            std::vector<std::uint8_t> buf(kReadBytes);
+            const SimTime start = sched.now();
+            Status r = co_await c.read_contig(
+                h, 0, buf.data(), static_cast<std::int64_t>(buf.size()));
+            slot = sched.now() - start;
+            if (r.is_ok()) {
+              if (ok != nullptr) ++*ok;
+            } else if (fail != nullptr) {
+              ++*fail;
+            }
+          }(cluster.scheduler(), *client, handle, t0 + i * kPace, lat[i], ok,
+            fail));
+    }
+    cluster.run();
+  };
+
+  // Phase 1: healthy baseline.
+  paced_reads(cluster.scheduler().now() + kMillisecond, out.healthy, nullptr,
+              &out.healthy_failures);
+
+  // Phase 2: server 1 down for the entire degraded window, then restart
+  // (which triggers resync at r>1); the run drains through recovery.
+  const SimTime t_deg = cluster.scheduler().now() + 2 * kMillisecond;
+  const SimTime outage = kDegradedReads * kPace + 100 * kMillisecond;
+  cluster.schedule_server_crash(1, t_deg - kMillisecond, outage);
+  paced_reads(t_deg, out.degraded, &out.degraded_ok, nullptr);
+
+  out.failovers = client->read_failovers();
+  out.quorum_writes = client->quorum_writes();
+  out.fast_fails = client->breaker_fast_fails();
+  out.timeouts = client->rpc_timeouts();
+  const pfs::ServerStats totals = cluster.cache_stats_total();
+  out.resyncs = totals.resyncs;
+  out.resync_bytes = totals.resync_bytes_pulled;
+  for (int s = 0; s < cfg.num_servers; ++s) {
+    out.crashes += cluster.server(s).stats().crashes;
+  }
+  return out;
+}
+
 /// The instrumented convoy scenario (--overload): 8 clients in a closed
 /// loop hammering one decode-bound server (request_overhead raised to
 /// 2 ms) with small contiguous reads. The server's mailbox backs up, so
@@ -823,6 +943,73 @@ int tile_main(int argc, char** argv) {
     report.scalars["cache_on_dirty_flushed_bytes"] =
         static_cast<double>(on.totals.cache_dirty_flushed_bytes);
     report.scalars["cache_failures"] = off.failures + on.failures;
+  }
+
+  // Degraded-read ablation (--replication): open-loop paced reads with one
+  // server crashed for the whole window, replication off (r=1) vs on
+  // (r=2). Gated so the default report stays byte-identical. CI asserts
+  // 100% read availability under r=2 with degraded p99 within 3x of the
+  // healthy baseline.
+  if (bench::flag_set(argc, argv, "--replication")) {
+    // --replication-r=N sets the replicated arm's factor (CI runs a
+    // matrix over 1, 2, 3; N=1 degenerates to a second unreplicated arm
+    // that must reproduce the baseline arm exactly).
+    const int repl_r = static_cast<int>(
+        bench::flag_int(argc, argv, "--replication-r", 2));
+    const ReplicationArm off = run_replication_arm(1);
+    const ReplicationArm on = run_replication_arm(repl_r);
+    const double off_avail = static_cast<double>(off.degraded_ok) /
+                             static_cast<double>(off.degraded.size());
+    const double on_avail = static_cast<double>(on.degraded_ok) /
+                            static_cast<double>(on.degraded.size());
+    const SimTime on_healthy_p99 = percentile_exact(on.healthy, 99);
+    const SimTime on_degraded_p99 = percentile_exact(on.degraded, 99);
+    const double p99_ratio =
+        on_healthy_p99 == 0 ? 0.0
+                            : static_cast<double>(on_degraded_p99) /
+                                  static_cast<double>(on_healthy_p99);
+    std::printf("\nreplication ablation: 100 paced 16 KiB reads, server 1 "
+                "crashed for the window, r=1 vs r=%d\n",
+                repl_r);
+    std::printf("  r=1: availability=%.0f%% (%d/%zu ok) degraded "
+                "p99=%.0fus timeouts=%llu\n",
+                100.0 * off_avail, off.degraded_ok, off.degraded.size(),
+                percentile_exact(off.degraded, 99) / 1e3,
+                static_cast<unsigned long long>(off.timeouts));
+    std::printf("  r=%d: availability=%.0f%% (%d/%zu ok) healthy p99=%.0fus "
+                "degraded p99=%.0fus (%.2fx) failovers=%llu "
+                "fast_fails=%llu\n",
+                repl_r, 100.0 * on_avail, on.degraded_ok, on.degraded.size(),
+                on_healthy_p99 / 1e3, on_degraded_p99 / 1e3, p99_ratio,
+                static_cast<unsigned long long>(on.failovers),
+                static_cast<unsigned long long>(on.fast_fails));
+    std::printf("       quorum_writes=%llu crashes=%llu resyncs=%llu "
+                "resync_bytes=%llu\n",
+                static_cast<unsigned long long>(on.quorum_writes),
+                static_cast<unsigned long long>(on.crashes),
+                static_cast<unsigned long long>(on.resyncs),
+                static_cast<unsigned long long>(on.resync_bytes));
+    report.scalars["repl_factor"] = repl_r;
+    report.scalars["repl_off_read_availability"] = off_avail;
+    report.scalars["repl_on_read_availability"] = on_avail;
+    report.scalars["repl_off_degraded_p99_us"] =
+        percentile_exact(off.degraded, 99) / 1e3;
+    report.scalars["repl_on_healthy_p99_us"] = on_healthy_p99 / 1e3;
+    report.scalars["repl_on_degraded_p99_us"] = on_degraded_p99 / 1e3;
+    report.scalars["repl_on_degraded_p99_ratio"] = p99_ratio;
+    report.scalars["repl_on_read_failovers"] =
+        static_cast<double>(on.failovers);
+    report.scalars["repl_on_breaker_fast_fails"] =
+        static_cast<double>(on.fast_fails);
+    report.scalars["repl_on_quorum_writes"] =
+        static_cast<double>(on.quorum_writes);
+    report.scalars["repl_on_resyncs"] = static_cast<double>(on.resyncs);
+    report.scalars["repl_on_resync_bytes_pulled"] =
+        static_cast<double>(on.resync_bytes);
+    report.scalars["repl_crashes"] =
+        static_cast<double>(off.crashes + on.crashes);
+    report.scalars["repl_healthy_failures"] =
+        off.healthy_failures + on.healthy_failures;
   }
 
   bench::write_report(report, argc, argv, "BENCH_tile_reader.json");

@@ -344,9 +344,19 @@ void BlockCache::flush_keys(std::vector<BlockKey> keys, AccessPlan* plan) {
   }
 }
 
-std::uint64_t BlockCache::drop_all() {
+std::uint64_t BlockCache::drop_all(std::vector<IoSeg>* lost_extents) {
   const auto lost = static_cast<std::uint64_t>(dirty_bytes_);
   stats_.dirty_lost_bytes += lost;
+  if (lost_extents != nullptr) {
+    for (const BlockKey& key : dirty_order_) {
+      const Block& block = blocks_.at(key);
+      for (const ByteRange& r : block.dirty_ranges) {
+        lost_extents->push_back(
+            IoSeg{key.handle, key.index * config_.block_bytes + r.first,
+                  static_cast<std::int64_t>(r.second) - r.first});
+      }
+    }
+  }
   blocks_.clear();
   probation_.clear();
   protected_.clear();

@@ -154,6 +154,19 @@ struct ServerConfig {
   /// Dirty fraction of capacity that triggers a background flush of the
   /// oldest dirty blocks (write-back only).
   double cache_dirty_watermark = 0.5;
+
+  // ---- Restart resync (ClusterConfig::replication > 1 only; dormant —
+  // and the event sequence bit-identical — at replication 1).
+
+  /// Reply deadline per kResyncPull RPC issued during the restart resync
+  /// phase, and the retry_after hint attached to writes refused while the
+  /// phase runs.
+  dtio::SimTime resync_pull_timeout = 50 * dtio::kMillisecond;
+
+  /// Attempts per replica peer before the peer is skipped (bounds the
+  /// resync phase under an adversarial fault plan; skips are counted in
+  /// ServerStats::resync_peers_skipped and the next restart retries).
+  int resync_pull_attempts = 3;
 };
 
 struct ClientConfig {
@@ -247,6 +260,13 @@ struct ClientConfig {
   /// Successful samples required on a lane before hedging arms (a
   /// quantile of nothing is noise).
   int hedge_min_samples = 16;
+
+  /// Write quorum under replication (ClusterConfig::replication > 1): how
+  /// many replica acks a write needs before it completes. 0 (default) =
+  /// all replicas (w = r, strongest); values in [1, r) complete the write
+  /// early while the remaining replica RPCs drain in the background.
+  /// Ignored when replication is off.
+  int write_quorum = 0;
 };
 
 /// How two-phase aggregators write back rounds whose merged contributions
@@ -264,6 +284,17 @@ struct ClusterConfig {
   int num_servers = 16;       ///< I/O servers (one doubles as metadata server)
   int num_clients = 8;
   std::uint64_t strip_size = 64 * dtio::kKiB;  ///< PVFS striping unit
+
+  /// k-way strip replication factor. 1 (default) = off — single-copy PVFS
+  /// semantics and a bit-identical legacy event sequence. r > 1 mirrors
+  /// strip s's primary p onto servers (p+1 .. p+r-1) mod num_servers:
+  /// client writes fan out to every replica and complete on
+  /// ClientConfig::write_quorum acks; reads go to the primary and fail
+  /// over to the next replica on kUnavailable/timeout/breaker-open; a
+  /// restarting server resyncs diverged strips from its peers (kResyncPull)
+  /// before serving data again. Requires client.rpc_timeout > 0 on the
+  /// client side (the legacy no-timeout path never replicates).
+  int replication = 1;
 
   /// The single run seed. Every seeded component (client RPC jitter,
   /// fault plans, randomized workloads) derives its stream from this via

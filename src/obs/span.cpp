@@ -16,6 +16,7 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kServerDisk: return "server_disk";
     case Phase::kNetReply: return "net_reply";
     case Phase::kClientFlush: return "client_flush";
+    case Phase::kServerResync: return "server_resync";
   }
   return "none";
 }

@@ -42,8 +42,9 @@ enum class Phase : std::uint8_t {
   kServerDisk,     ///< uncached synchronous disk charge
   kNetReply,       ///< reply transit: first byte out -> mailbox delivery
   kClientFlush,    ///< write-behind flush: batch build + staged-data memcpy
+  kServerResync,   ///< restart resync: replica pull round-trips + apply
 };
-inline constexpr int kPhaseCount = 12;
+inline constexpr int kPhaseCount = 13;
 
 /// Stable wire name ("server_queue", ...); "none" for kNone.
 [[nodiscard]] const char* phase_name(Phase p) noexcept;

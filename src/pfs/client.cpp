@@ -49,14 +49,28 @@ void Client::set_observability(obs::Observability* obs) {
     retry_backoff_ = nullptr;
     obs_hedges_issued_ = nullptr;
     obs_hedges_won_ = nullptr;
+    obs_hedges_suppressed_ = nullptr;
     obs_overloaded_ = nullptr;
     obs_fast_fails_ = nullptr;
+    obs_read_failovers_ = nullptr;
+    obs_quorum_writes_ = nullptr;
     return;
   }
   obs_hedges_issued_ = &obs->metrics.counter("client_hedges_issued_total",
                                              obs::label("node", node_));
   obs_hedges_won_ = &obs->metrics.counter("client_hedges_won_total",
                                           obs::label("node", node_));
+  obs_hedges_suppressed_ = &obs->metrics.counter(
+      "client_hedges_suppressed_total", obs::label("node", node_));
+  if (effective_replication() > 1) {
+    obs_read_failovers_ = &obs->metrics.counter(
+        "client_read_failovers_total", obs::label("node", node_));
+    obs_quorum_writes_ = &obs->metrics.counter("client_quorum_writes_total",
+                                               obs::label("node", node_));
+  } else {
+    obs_read_failovers_ = nullptr;
+    obs_quorum_writes_ = nullptr;
+  }
   obs_overloaded_ = &obs->metrics.counter("client_overloaded_total",
                                           obs::label("node", node_));
   obs_fast_fails_ = &obs->metrics.counter("client_breaker_fast_fails_total",
@@ -328,7 +342,11 @@ void Client::breaker_on_failure(Lane& l, int server) {
 sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
   const net::ClientConfig& cc = config_->client;
   const bool reliable = cc.rpc_timeout > 0;
-  const int max_attempts = reliable ? std::max(1, cc.rpc_max_attempts) : 1;
+  const int max_attempts =
+      !reliable ? 1
+                : (slot->max_attempts_override > 0
+                       ? slot->max_attempts_override
+                       : std::max(1, cc.rpc_max_attempts));
   Status last = internal_error("rpc: no attempt ran");
   bool all_timeouts = true;
   // Set by a kOverloaded reply: the server's backlog-drain estimate, which
@@ -460,7 +478,21 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
       if (hedge_delay > 0) {
         maybe = co_await network_->mailbox(node_).recv_for(slot->server, tag,
                                                            hedge_delay);
-        if (!maybe.has_value()) {
+        if (!maybe.has_value() && ln.breaker != Lane::Breaker::kClosed) {
+          // The breaker opened while we waited out the hedge delay (a
+          // concurrent RPC to this server tripped it). Issuing the hedge
+          // now would aim a second copy at a server already judged
+          // unhealthy — the one place extra load cannot help. Suppress it
+          // and give the primary reply the full timeout instead.
+          ++hedges_suppressed_;
+          if (obs_hedges_suppressed_ != nullptr) obs_hedges_suppressed_->add(1);
+          if (tracer_ != nullptr) {
+            tracer_->record({sched_->now(), "hedge_suppressed", node_,
+                             slot->server, tag, 0, op_name(slot->request.op)});
+          }
+          maybe = co_await network_->mailbox(node_).recv_for(slot->server, tag,
+                                                             cc.rpc_timeout);
+        } else if (!maybe.has_value()) {
           Request hedge = slot->request;
           hedge.reply_tag = next_reply_tag();
           const std::uint64_t hedge_tag = hedge.reply_tag;
@@ -596,6 +628,148 @@ sim::Task<void> Client::rpc_attempts(RpcSlot* slot) {
 sim::Fire Client::rpc_fire(RpcSlot* slot, sim::WaitGroup* wg) {
   co_await rpc_attempts(slot);
   wg->done();
+}
+
+// ---- Replication: read failover and quorum writes ---------------------------
+
+sim::Task<void> Client::rpc_attempts_failover(RpcSlot* slot) {
+  const net::ClientConfig& cc = config_->client;
+  const int repl = effective_replication();
+  const bool is_data_read = slot->request.op == OpKind::kContigRead ||
+                            slot->request.op == OpKind::kListRead ||
+                            slot->request.op == OpKind::kDatatypeRead;
+  if (repl <= 1 || !is_data_read) {
+    co_await rpc_attempts(slot);
+    co_return;
+  }
+
+  // Walk the replica ring, one attempt per replica: a failed primary costs
+  // at most one rpc_timeout (or microseconds once its breaker is open)
+  // before the mirrored copy answers. Per-replica retry budget is 1 —
+  // retrying here, at the ring level, reaches a healthy copy sooner than
+  // hammering the same dead server rpc_max_attempts times would.
+  const int primary = slot->home;
+  const Request base = slot->request;
+  const int rounds = std::max(1, cc.rpc_max_attempts);
+  for (int round = 0; round < rounds; ++round) {
+    if (round > 0 && cc.rpc_backoff_base > 0) {
+      // Every replica refused or timed out: back off like a retry before
+      // sweeping the ring again (restarting servers finish resync, open
+      // breakers reach their cool-down).
+      SimTime backoff = cc.rpc_backoff_base;
+      for (int i = 1; i < round; ++i) {
+        backoff = static_cast<SimTime>(static_cast<double>(backoff) *
+                                       cc.rpc_backoff_multiplier);
+      }
+      co_await sched_->delay(backoff);
+    }
+    for (int k = 0; k < repl; ++k) {
+      slot->server = layout_.replica_server(primary, k);
+      slot->request = base;
+      slot->request.replica_of = k == 0 ? -1 : primary;
+      slot->max_attempts_override = 1;
+      if (k > 0 || round > 0) ++stats_.requests_sent;
+      if (k > 0) {
+        ++read_failovers_;
+        if (obs_read_failovers_ != nullptr) obs_read_failovers_->add(1);
+        if (tracer_ != nullptr) {
+          tracer_->record({sched_->now(), "read_failover", node_,
+                           slot->server, 0,
+                           static_cast<std::uint64_t>(primary),
+                           op_name(base.op)});
+        }
+      }
+      co_await rpc_attempts(slot);
+      if (slot->status.is_ok()) co_return;
+      const StatusCode code = slot->status.code();
+      // Only "this copy is unreachable" moves the read along the ring;
+      // every other error class is definitive for the whole read.
+      if (code != StatusCode::kUnavailable && code != StatusCode::kTimedOut) {
+        co_return;
+      }
+    }
+  }
+}
+
+sim::Fire Client::failover_fire(RpcSlot* slot, sim::WaitGroup* wg) {
+  co_await rpc_attempts_failover(slot);
+  wg->done();
+}
+
+std::shared_ptr<Client::QuorumGroup> Client::quorum_spawn(
+    const RpcSlot& base, sim::WaitGroup& wg) {
+  const int repl = effective_replication();
+  const int wq = config_->client.write_quorum;
+  auto group = std::make_shared<QuorumGroup>();
+  group->quorum = wq > 0 ? std::min(wq, repl) : repl;
+  group->wg = &wg;
+  group->slots.reserve(static_cast<std::size_t>(repl));
+  for (int k = 0; k < repl; ++k) {
+    auto slot = std::make_unique<RpcSlot>();
+    slot->home = base.home;
+    slot->server = layout_.replica_server(base.home, k);
+    // Same op_seq (and, for batches, per-sub-op op_seqs + CRCs) on every
+    // copy: each replica's replay window dedups its own retries, and the
+    // payload's data buffers are shared_ptr-shared across the copies.
+    slot->request = base.request;
+    if (k > 0) slot->request.replica_of = base.home;
+    slot->wire_bytes = base.wire_bytes;
+    if (k == 0) {
+      slot->rpc_span = base.rpc_span;
+    } else if (obs_ != nullptr) {
+      slot->rpc_span =
+          obs_->spans.begin("rpc_replica", node_, sched_->now(),
+                            base.rpc_span, base.request.trace_id);
+      slot->request.parent_span = slot->rpc_span;
+    }
+    if (k > 0) ++stats_.requests_sent;
+    group->slots.push_back(std::move(slot));
+  }
+  ++quorum_writes_;
+  if (obs_quorum_writes_ != nullptr) obs_quorum_writes_->add(1);
+  for (auto& slot : group->slots) {
+    sched_->start(quorum_fire(group, slot.get()));
+  }
+  return group;
+}
+
+sim::Fire Client::quorum_fire(std::shared_ptr<QuorumGroup> group,
+                              RpcSlot* slot) {
+  co_await rpc_attempts(slot);
+  if (obs_ != nullptr && slot->rpc_span != 0) {
+    obs_->spans.end(slot->rpc_span, sched_->now());
+  }
+  QuorumGroup& g = *group;
+  if (slot->status.is_ok()) {
+    ++g.acks;
+    if (!g.have_reply) {
+      g.reply = slot->reply;
+      g.have_reply = true;
+    }
+  } else {
+    ++g.fails;
+    if (g.error.is_ok()) g.error = slot->status;
+  }
+  // Settle exactly once: at quorum, or as soon as quorum is impossible.
+  // Laggard drivers (g.wg already null) just finish their delivery — that
+  // is the durability the quorum write promised the still-pending copies.
+  const int total = static_cast<int>(g.slots.size());
+  if (g.wg != nullptr && (g.acks >= g.quorum || g.fails > total - g.quorum)) {
+    sim::WaitGroup* wg = g.wg;
+    g.wg = nullptr;
+    wg->done();
+  }
+}
+
+void Client::quorum_outcome(const QuorumGroup& group, RpcSlot& slot) {
+  if (group.acks >= group.quorum) {
+    slot.status = Status::ok();
+    slot.reply = group.reply;
+  } else {
+    slot.status = group.error.is_ok()
+                      ? internal_error("write quorum unreachable")
+                      : group.error;
+  }
 }
 
 sim::Task<MetaResult> Client::stat_impl(Box<std::string> path) {
@@ -967,6 +1141,7 @@ sim::Task<Status> Client::run_requests(
 
     RpcSlot slot;
     slot.server = s;
+    slot.home = s;
     slot.request = prototype;
     slot.request.client_node = node_;
     // Each per-server request is its own replay-protected logical op:
@@ -1010,9 +1185,11 @@ sim::Task<Status> Client::run_requests(
     slots->push_back(std::move(slot));
   }
 
-  // Scatter one server's gathered bytes back into the stream buffer.
+  // Scatter one server's gathered bytes back into the stream buffer. The
+  // access list is indexed by the slot's HOME server: a failover read may
+  // have been answered by a replica, but the bytes are the home strips'.
   auto scatter = [&](const RpcSlot& slot) {
-    const ServerAccess& acc = access[static_cast<std::size_t>(slot.server)];
+    const ServerAccess& acc = access[static_cast<std::size_t>(slot.home)];
     std::size_t at = 0;
     for (std::size_t i = 0; i < acc.pieces.size(); ++i) {
       const auto len = static_cast<std::size_t>(acc.pieces[i].length);
@@ -1072,13 +1249,37 @@ sim::Task<Status> Client::run_requests(
 
   // Reliable path: one concurrent RPC driver per server, each with its own
   // timeout/retry loop (a straggler or outage on one server must not stall
-  // retries to the others); join, then validate and scatter.
+  // retries to the others); join, then validate and scatter. Under
+  // replication, writes fan out to every replica of their home server and
+  // join at write quorum (laggard copies finish in the background), and
+  // reads get the failover driver.
+  const int repl = effective_replication();
   sim::WaitGroup wg(*sched_);
-  for (RpcSlot& slot : *slots) {
-    wg.add(1);
-    sched_->start(rpc_fire(&slot, &wg));
+  std::vector<std::shared_ptr<QuorumGroup>> groups;
+  if (is_write && repl > 1) {
+    groups.reserve(slots->size());
+    for (RpcSlot& slot : *slots) {
+      wg.add(1);
+      groups.push_back(quorum_spawn(slot, wg));
+      // The replica drivers own the rpc spans now (a laggard may outlive
+      // this frame); ending span 0 below is a no-op.
+      slot.rpc_span = 0;
+    }
+  } else if (!is_write && repl > 1) {
+    for (RpcSlot& slot : *slots) {
+      wg.add(1);
+      sched_->start(failover_fire(&slot, &wg));
+    }
+  } else {
+    for (RpcSlot& slot : *slots) {
+      wg.add(1);
+      sched_->start(rpc_fire(&slot, &wg));
+    }
   }
   co_await wg.wait();
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    quorum_outcome(*groups[i], (*slots)[i]);
+  }
 
   Status result = Status::ok();
   for (RpcSlot& slot : *slots) {
@@ -1087,7 +1288,7 @@ sim::Task<Status> Client::run_requests(
       if (result.is_ok()) result = slot.status;
       continue;
     }
-    const ServerAccess& acc = access[static_cast<std::size_t>(slot.server)];
+    const ServerAccess& acc = access[static_cast<std::size_t>(slot.home)];
     if (slot.reply.bytes != acc.total_bytes) {
       if (result.is_ok()) result = internal_error("server byte count mismatch");
       continue;
@@ -1275,6 +1476,20 @@ sim::Task<Status> Client::wb_flush_server(int server, const char* reason,
                                       trace);
     obs_->spans.set_value(slot.rpc_span, flush_bytes);
     slot.request.parent_span = slot.rpc_span;
+  }
+  if (effective_replication() > 1) {
+    // Replicated flush: the batch envelope (same per-sub-op op_seqs and
+    // CRCs on every copy) fans out to all replicas of this server and
+    // completes at write quorum; laggard copies deliver in the background.
+    slot.home = server;
+    sim::WaitGroup wg(*sched_);
+    wg.add(1);
+    auto group = quorum_spawn(slot, wg);
+    co_await wg.wait();
+    quorum_outcome(*group, slot);
+    if (obs_ != nullptr) obs_->spans.end(flush_span, sched_->now());
+    ++wb_batches_;
+    co_return slot.status;
   }
   co_await rpc_attempts(&slot);
   if (obs_ != nullptr) {

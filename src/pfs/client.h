@@ -86,6 +86,35 @@ class Client {
   [[nodiscard]] std::uint64_t breaker_fast_fails() const noexcept {
     return breaker_fast_fails_;
   }
+  /// Hedges NOT issued because the lane breaker opened during the hedge
+  /// wait: aiming a second copy at a server already judged unhealthy would
+  /// add load exactly where it hurts, so the client waits out the primary
+  /// reply instead.
+  [[nodiscard]] std::uint64_t hedges_suppressed() const noexcept {
+    return hedges_suppressed_;
+  }
+
+  // ---- Replication (ClusterConfig::replication > 1) --------------------------
+
+  /// Replication factor this client acts on: the configured factor clamped
+  /// to the server count, and 1 (off) unless the reliability layer is armed
+  /// — quorum writes and read failover are meaningless without timeouts.
+  [[nodiscard]] int effective_replication() const noexcept {
+    const int cap = config_->num_servers;
+    int r = config_->replication;
+    if (r > cap) r = cap;
+    return (r > 1 && config_->client.rpc_timeout > 0) ? r : 1;
+  }
+  /// Read RPCs re-issued to a non-primary replica after the primary failed
+  /// with kUnavailable / kTimedOut (breaker-open fast-fails included).
+  [[nodiscard]] std::uint64_t read_failovers() const noexcept {
+    return read_failovers_;
+  }
+  /// Write fan-outs that completed at write quorum (one per primary-server
+  /// request, not per replica copy).
+  [[nodiscard]] std::uint64_t quorum_writes() const noexcept {
+    return quorum_writes_;
+  }
 
   // ---- Write-behind staging --------------------------------------------------
   // Armed by ClientConfig::write_behind_bytes > 0: write-class data ops
@@ -221,10 +250,18 @@ class Client {
   /// in the issuing coroutine's frame and are passed by pointer.
   struct RpcSlot {
     int server = 0;
+    /// The primary server this slot's data belongs to (the access-list
+    /// index). Equal to `server` unless read failover re-targeted the slot
+    /// at a replica; scatter/validation always index the access list by
+    /// `home`.
+    int home = 0;
     Request request;
     std::uint64_t wire_bytes = 0;
     obs::SpanId rpc_span = 0;
     int attempts = 0;
+    /// When > 0, caps rpc_attempts' retry loop below rpc_max_attempts —
+    /// read failover retries at the replica-ring level instead.
+    int max_attempts_override = 0;
     Status status;
     Reply reply;
   };
@@ -242,6 +279,42 @@ class Client {
   /// hint.
   sim::Task<void> rpc_attempts(RpcSlot* slot);
   sim::Fire rpc_fire(RpcSlot* slot, sim::WaitGroup* wg);
+
+  /// Replica-aware read driver (effective_replication() > 1, data reads
+  /// only; otherwise forwards to rpc_attempts unchanged). Walks the
+  /// replica ring starting at the slot's home server, one attempt per
+  /// replica per round: a primary that times out, fast-fails on an open
+  /// breaker, or answers kUnavailable (crashed-then-restarting servers
+  /// refuse reads while they resync) hands the read to the next replica,
+  /// which serves the mirrored bytes. Lane health lands on the lane of the
+  /// server each attempt actually targeted.
+  sim::Task<void> rpc_attempts_failover(RpcSlot* slot);
+  sim::Fire failover_fire(RpcSlot* slot, sim::WaitGroup* wg);
+
+  /// One write fanned out to every replica of its home server. The group
+  /// is heap-owned (shared by every per-replica driver) because the
+  /// spawning coroutine returns at write quorum while laggard drivers keep
+  /// delivering to the remaining replicas in the background.
+  struct QuorumGroup {
+    std::vector<std::unique_ptr<RpcSlot>> slots;  ///< one per replica
+    int quorum = 0;  ///< acks that settle the group
+    int acks = 0;
+    int fails = 0;
+    Status error;     ///< first definitive per-replica failure
+    Reply reply;      ///< first OK reply (all replicas report equal bytes)
+    bool have_reply = false;
+    sim::WaitGroup* wg = nullptr;  ///< nulled at settle; laggards skip it
+  };
+  /// Clone `base` onto every replica of base.home (same op_seq and payload
+  /// CRCs, so each server's replay window dedups retries independently)
+  /// and start one rpc driver per copy. wg must have been add(1)'d for
+  /// this group; the driver that reaches quorum — or makes it impossible —
+  /// calls done().
+  std::shared_ptr<QuorumGroup> quorum_spawn(const RpcSlot& base,
+                                            sim::WaitGroup& wg);
+  sim::Fire quorum_fire(std::shared_ptr<QuorumGroup> group, RpcSlot* slot);
+  /// Copy a settled group's outcome into the logical slot.
+  static void quorum_outcome(const QuorumGroup& group, RpcSlot& slot);
 
   /// Per-server robustness state ("lane"): AIMD congestion window, EWMA
   /// health, circuit breaker, and the attempt-latency histogram that
@@ -396,8 +469,11 @@ class Client {
   std::uint64_t rpc_timeouts_ = 0;
   std::uint64_t hedges_issued_ = 0;
   std::uint64_t hedges_won_ = 0;
+  std::uint64_t hedges_suppressed_ = 0;
   std::uint64_t overloads_seen_ = 0;
   std::uint64_t breaker_fast_fails_ = 0;
+  std::uint64_t read_failovers_ = 0;
+  std::uint64_t quorum_writes_ = 0;
   std::vector<Lane> lanes_;  ///< one per server
   sim::Tracer* tracer_ = nullptr;
 
@@ -423,6 +499,11 @@ class Client {
   obs::Counter* obs_hedges_won_ = nullptr;     ///< client_hedges_won_total
   obs::Counter* obs_overloaded_ = nullptr;     ///< client_overloaded_total
   obs::Counter* obs_fast_fails_ = nullptr;     ///< client_breaker_fast_fails_total
+  obs::Counter* obs_hedges_suppressed_ = nullptr;  ///< client_hedges_suppressed_total
+  // Replication metrics, registered only at effective_replication() > 1 so
+  // unreplicated runs keep their metric exports untouched.
+  obs::Counter* obs_read_failovers_ = nullptr;  ///< client_read_failovers_total
+  obs::Counter* obs_quorum_writes_ = nullptr;   ///< client_quorum_writes_total
   // Write-behind metrics, resolved lazily on first staging (wb_resolve_obs).
   obs::Counter* obs_wb_staged_ = nullptr;      ///< client_wb_staged_bytes_total
   obs::Counter* obs_wb_coalesced_ = nullptr;   ///< client_wb_coalesced_ops_total

@@ -38,6 +38,13 @@ ServerStats Cluster::cache_stats_total() const {
     total.cache_evictions += s.cache_evictions;
     total.cache_dirty_flushed_bytes += s.cache_dirty_flushed_bytes;
     total.cache_dirty_lost_bytes += s.cache_dirty_lost_bytes;
+    total.crash_discarded += s.crash_discarded;
+    total.resyncs += s.resyncs;
+    total.resync_strips_pulled += s.resync_strips_pulled;
+    total.resync_bytes_pulled += s.resync_bytes_pulled;
+    total.resync_peers_skipped += s.resync_peers_skipped;
+    total.resync_served += s.resync_served;
+    total.resync_refused += s.resync_refused;
   }
   return total;
 }
@@ -112,6 +119,13 @@ void Cluster::take_sample() {
     }
     last.disk = disk;
     last.cpu = cpu;
+
+    // Gated on the replication knob so unreplicated exports stay
+    // byte-identical: 1 while the server is in its restart resync phase.
+    if (config_.replication > 1) {
+      tl.series("srv_resyncing", s)
+          .push(now, server(s).resyncing() ? 1.0 : 0.0);
+    }
 
     if (const cache::BlockCache* cache = server(s).block_cache()) {
       tl.series("cache_bytes", s)

@@ -81,6 +81,22 @@ class FileLayout {
   /// Number of distinct servers a logical range touches.
   [[nodiscard]] int servers_touched(Region region) const noexcept;
 
+  /// k-th replica of a strip whose primary is `primary`: replica 0 is the
+  /// primary itself, replica k lives k servers along the ring. All
+  /// replicas of a strip store it at the SAME server-local physical
+  /// offsets (the primary's), so the replica bstream is an exact mirror.
+  [[nodiscard]] int replica_server(int primary, int k) const noexcept {
+    return (primary + k) % num_servers_;
+  }
+
+  /// Does `server` hold a replica (primary included) of strips whose
+  /// primary is `primary`, under replication factor `r`?
+  [[nodiscard]] bool holds_replica_of(int server, int primary,
+                                      int r) const noexcept {
+    const int delta = (server - primary + num_servers_) % num_servers_;
+    return delta < r;
+  }
+
   /// Does any byte of logical range [region.offset, region.end()) land on
   /// `server`? O(1): find the first strip of `server` at or after the
   /// range start and test it against the range end. This is the pruning

@@ -23,6 +23,7 @@ const char* op_name(OpKind op) noexcept {
     case OpKind::kMetaLock: return "meta_lock";
     case OpKind::kMetaUnlock: return "meta_unlock";
     case OpKind::kBatchWrite: return "batch_write";
+    case OpKind::kResyncPull: return "resync_pull";
   }
   return "?";
 }
@@ -45,6 +46,10 @@ std::uint64_t request_descriptor_bytes(const Request& request,
     std::uint64_t operator()(const BatchPayload& p) const {
       // Per sub-op: handle + offset + length + op_seq + crc/flags.
       return p.sub_ops.size() * 36;
+    }
+    std::uint64_t operator()(const ResyncPayload& p) const {
+      // Per strip epoch: handle + primary + strip index + epoch.
+      return 8 + p.epochs.size() * 28;
     }
   };
   return kHeader + std::visit(Visitor{list_bytes_per_region}, request.payload);
@@ -70,7 +75,11 @@ bool corrupt_message_payload(sim::Message& msg, Rng& rng) {
     return std::visit(
         [&rng](auto& payload) -> bool {
           using P = std::decay_t<decltype(payload)>;
-          if constexpr (std::is_same_v<P, MetaPayload>) {
+          if constexpr (std::is_same_v<P, MetaPayload> ||
+                        std::is_same_v<P, ResyncPayload>) {
+            // Control-plane descriptors: nothing corruptible. Resync pulls
+            // in particular must stay clean — a poisoned epoch map would
+            // silently skip recovery.
             return false;
           } else if constexpr (std::is_same_v<P, BatchPayload>) {
             // Flip a bit in one rng-chosen sub-op carrying data; the

@@ -49,6 +49,7 @@ enum class OpKind : std::uint8_t {
   kMetaLock,    ///< whole-file advisory lock (FIFO); PVFS itself has no
   kMetaUnlock,  ///< locks — the config gates whether methods may use these
   kBatchWrite,  ///< write-behind flush: many coalesced sub-writes, one RPC
+  kResyncPull,  ///< server-to-server: restarting replica pulls diverged strips
 };
 
 using DataBuffer = std::shared_ptr<std::vector<std::uint8_t>>;
@@ -93,6 +94,40 @@ struct MetaPayload {
   /// For kMetaStat to non-metadata servers: look up by handle (the
   /// namespace lives only on server 0); 0 = resolve `path` instead.
   std::uint64_t handle = 0;
+};
+
+/// Per-strip write epoch: a copy's logical-write count for the strip
+/// identified by (handle, primary server, primary-physical strip index).
+/// Every replica of a strip applies the same multiset of logical writes,
+/// so equal epochs imply identical bytes; a copy whose epoch trails a
+/// peer's is stale and must be re-pulled.
+struct StripEpoch {
+  std::uint64_t handle = 0;
+  int primary = 0;          ///< primary server of the strip
+  std::int64_t strip = 0;   ///< strip index in primary-physical space
+  std::uint64_t epoch = 0;
+  friend bool operator==(const StripEpoch&, const StripEpoch&) = default;
+};
+
+/// kResyncPull request payload: a restarting server ships its own strip
+/// epochs; the peer answers with the extents (and epochs) of every strip
+/// both servers replicate where the peer's epoch is ahead. Control-plane:
+/// carries no client data on the request side, and the fault corruptor
+/// leaves it alone (like MetaPayload).
+struct ResyncPayload {
+  int requester = -1;  ///< server index pulling (also the reply dst node)
+  std::vector<StripEpoch> epochs;  ///< requester's current epochs
+};
+
+/// One strip's worth of recovery data in a kResyncPull reply.
+struct ResyncExtent {
+  std::uint64_t handle = 0;
+  int primary = 0;
+  std::int64_t strip = 0;        ///< strip index in primary-physical space
+  std::uint64_t epoch = 0;       ///< peer's epoch for this strip
+  std::int64_t offset = 0;       ///< primary-physical byte offset
+  std::int64_t length = 0;       ///< bytes present at the peer
+  DataBuffer data;               ///< nullptr in timing-only runs
 };
 
 /// One coalesced write run inside a kBatchWrite envelope. Offsets are
@@ -147,8 +182,15 @@ struct Request {
   /// is true; the server rejects mismatches with kDataLoss.
   std::uint32_t payload_crc = 0;
   bool has_payload_crc = false;
+  /// Replication: -1 (default) targets the receiving server's own primary
+  /// strips — the single-copy legacy meaning. >= 0 names the PRIMARY whose
+  /// replica the receiving server holds: the server clips/prunes as that
+  /// primary and applies bytes to the (handle, primary) replica bstream
+  /// instead of its own store. Set by replica write fan-out and by read
+  /// fail-over; never set at replication factor 1.
+  int replica_of = -1;
   std::variant<ContigPayload, ListPayload, DatatypePayload, MetaPayload,
-               BatchPayload>
+               BatchPayload, ResyncPayload>
       payload;
 };
 
@@ -175,6 +217,9 @@ struct Reply {
   /// strips acked sub-ops so only the unacked remainder is resent. Empty
   /// for every other op (and for shed replies, which saw no sub-ops).
   std::vector<std::uint8_t> sub_acked;
+  /// kResyncPull replies: the strips the peer is ahead on, with their
+  /// bytes. Empty for every other op.
+  std::vector<ResyncExtent> resync;
 };
 
 /// Human-readable operation name ("contig_read", "meta_stat", ...), used

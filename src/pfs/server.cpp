@@ -32,6 +32,9 @@ struct Applier {
   cache::BlockCache* cache = nullptr;
   cache::AccessPlan* plan = nullptr;
   std::uint64_t handle = 0;
+  /// When set (replicated writes), every applied physical region is
+  /// recorded so the handler can advance the covered strips' write epochs.
+  std::vector<Region>* applied_out = nullptr;
 
   std::int64_t my_pos = 0;     ///< bytes of MY data consumed/produced
   std::int64_t pieces = 0;     ///< every piece walked (all servers)
@@ -61,6 +64,7 @@ struct Applier {
         } else {
           bstream.note_write(phys.offset, phys.length);
         }
+        if (applied_out != nullptr) applied_out->push_back(phys);
       } else if (cache != nullptr) {
         std::span<std::uint8_t> out;
         if (carry_data && reply_data) {
@@ -131,6 +135,9 @@ void IOServer::set_observability(obs::Observability* obs) {
     obs_cache_flushed_ = nullptr;
     obs_dl_cache_hits_ = nullptr;
     obs_dl_cache_misses_ = nullptr;
+    obs_crash_discarded_ = nullptr;
+    obs_resync_strips_ = nullptr;
+    obs_resync_bytes_ = nullptr;
     return;
   }
   obs_requests_ = &obs->metrics.counter(
@@ -166,6 +173,14 @@ void IOServer::set_observability(obs::Observability* obs) {
       "server_dataloop_cache_hits_total", obs::label("node", server_index_));
   obs_dl_cache_misses_ = &obs->metrics.counter(
       "server_dataloop_cache_misses_total", obs::label("node", server_index_));
+  obs_crash_discarded_ = &obs->metrics.counter(
+      "server_crash_discarded_total", obs::label("node", server_index_));
+  if (config_->replication > 1) {
+    obs_resync_strips_ = &obs->metrics.counter(
+        "server_resync_strips_pulled_total", obs::label("node", server_index_));
+    obs_resync_bytes_ = &obs->metrics.counter(
+        "server_resync_bytes_pulled_total", obs::label("node", server_index_));
+  }
 }
 
 void IOServer::schedule_crash(SimTime at, SimTime restart_delay) {
@@ -181,6 +196,9 @@ void IOServer::crash() {
   if (obs_ != nullptr) obs_crashes_->add(1);
   const std::size_t dropped = network_->mailbox(server_index_).clear_queue();
   stats_.crash_discarded += dropped;
+  if (obs_ != nullptr && dropped > 0) {
+    obs_crash_discarded_->add(static_cast<std::uint64_t>(dropped));
+  }
   // Process state dies with the process: decoded-datatype cache and the
   // replay window restart cold. Namespace, bstreams, and the lock table
   // model durable storage and survive.
@@ -191,8 +209,23 @@ void IOServer::crash() {
   if (cache_ != nullptr) {
     // The buffer cache is process memory. Write-through has nothing
     // pending; write-back loses whatever was staged but never flushed.
-    const std::uint64_t lost = cache_->drop_all();
+    std::vector<cache::IoSeg> lost_extents;
+    const std::uint64_t lost = cache_->drop_all(
+        config_->replication > 1 ? &lost_extents : nullptr);
     stats_.cache_dirty_lost_bytes += lost;
+    // Replication: the lost dirty bytes never reached this server's
+    // bstream, so its copy of every covered strip trails the epoch it
+    // already advertised. Zero those epochs — restart resync then
+    // re-pulls the whole strip from a replica peer, whose copy is
+    // write-through and therefore complete.
+    const auto strip_size = static_cast<std::int64_t>(config_->strip_size);
+    for (const cache::IoSeg& seg : lost_extents) {
+      const std::int64_t first = seg.offset / strip_size;
+      const std::int64_t last = (seg.offset + seg.bytes - 1) / strip_size;
+      for (std::int64_t s = first; s <= last; ++s) {
+        strip_epochs_[{seg.handle, server_index_, s}] = 0;
+      }
+    }
     if (tracer_ != nullptr && lost > 0) {
       tracer_->record({sched_->now(), "cache_lost", server_index_, -1, 0,
                        lost, ""});
@@ -213,6 +246,213 @@ void IOServer::restart() {
     tracer_->record({sched_->now(), "restart", server_index_, -1, 0, 0, ""});
   }
   DTIO_DEBUG("srv" << server_index_ << " restart");
+  if (std::min(config_->replication, config_->num_servers) > 1) {
+    // Replicated restart: the outage may have left this server's copies
+    // behind its peers (writes it missed, dirty write-back data the crash
+    // destroyed). Refuse data ops until the resync pull settles.
+    resyncing_ = true;
+    sched_->spawn(resync());
+  }
+}
+
+void IOServer::note_strip_writes(std::uint64_t handle, int primary,
+                                 std::int64_t offset, std::int64_t length) {
+  if (config_->replication <= 1 || length <= 0) return;
+  const auto strip_size = static_cast<std::int64_t>(config_->strip_size);
+  const std::int64_t first = offset / strip_size;
+  const std::int64_t last = (offset + length - 1) / strip_size;
+  for (std::int64_t s = first; s <= last; ++s) {
+    ++strip_epochs_[{handle, primary, s}];
+  }
+}
+
+sim::Task<void> IOServer::resync() {
+  ++stats_.resyncs;
+  const std::uint64_t my_epoch = epoch_;
+  obs::SpanId span = 0;
+  if (obs_ != nullptr) {
+    span = obs_->spans.begin("server_resync", server_index_, sched_->now(), 0,
+                             0, obs::Phase::kServerResync);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record({sched_->now(), "resync_begin", server_index_, -1, 0, 0,
+                     ""});
+  }
+  const int n = config_->num_servers;
+  const int r = std::min(config_->replication, n);
+  std::uint64_t pulled_strips = 0;
+  std::uint64_t pulled_bytes = 0;
+  // Peers sharing strips with this server: the r-1 servers before it (we
+  // replicate their primaries) and the r-1 after (they replicate ours).
+  std::vector<int> peers;
+  for (int d = -(r - 1); d <= r - 1; ++d) {
+    if (d == 0) continue;
+    const int peer = ((server_index_ + d) % n + n) % n;
+    if (peer != server_index_ &&
+        std::find(peers.begin(), peers.end(), peer) == peers.end()) {
+      peers.push_back(peer);
+    }
+  }
+  for (const int peer : peers) {
+    bool ok = false;
+    const int attempts = std::max(1, config_->server.resync_pull_attempts);
+    for (int attempt = 0; attempt < attempts && !ok; ++attempt) {
+      // Rebuilt per attempt: extents already applied from an earlier peer
+      // raised our epochs, so later peers only ship what is still stale.
+      Request req;
+      req.op = OpKind::kResyncPull;
+      req.client_node = server_index_;
+      req.reply_tag = kTagReplyBase + (++resync_reply_seq_);
+      ResyncPayload payload;
+      payload.requester = server_index_;
+      payload.epochs.reserve(strip_epochs_.size());
+      for (const auto& [key, epoch] : strip_epochs_) {
+        payload.epochs.push_back(StripEpoch{std::get<0>(key), std::get<1>(key),
+                                            std::get<2>(key), epoch});
+      }
+      req.payload = std::move(payload);
+      const std::uint64_t tag = req.reply_tag;
+      const std::uint64_t wire =
+          config_->net.per_message_overhead_bytes +
+          request_descriptor_bytes(req, config_->list_io_bytes_per_region);
+      co_await network_->send(
+          server_index_, peer,
+          sim::Message(server_index_, kTagRequest, wire, std::move(req)));
+      auto maybe = co_await network_->mailbox(server_index_).recv_for(
+          peer, tag, config_->server.resync_pull_timeout);
+      if (crashed_ || epoch_ != my_epoch) {
+        // Crashed again mid-resync: the next restart owns recovery.
+        if (obs_ != nullptr) obs_->spans.end(span, sched_->now());
+        co_return;
+      }
+      if (!maybe.has_value()) continue;  // pull timed out; retry
+      Reply reply = maybe->take<Reply>();
+      if (!reply.ok) {
+        // Peer refused — typically because it is resyncing itself. Give it
+        // one deadline's worth of time and try again.
+        co_await sched_->delay(config_->server.resync_pull_timeout);
+        if (crashed_ || epoch_ != my_epoch) {
+          if (obs_ != nullptr) obs_->spans.end(span, sched_->now());
+          co_return;
+        }
+        continue;
+      }
+      for (ResyncExtent& ext : reply.resync) {
+        auto& current = strip_epochs_[{ext.handle, ext.primary, ext.strip}];
+        if (ext.epoch <= current) continue;  // an earlier peer caught us up
+        Bstream& target =
+            ext.primary == server_index_
+                ? store_[ext.handle]
+                : replica_store_[{ext.handle, ext.primary}];
+        if (ext.data && !ext.data->empty()) {
+          target.write(ext.offset,
+                       std::span<const std::uint8_t>(ext.data->data(),
+                                                     ext.data->size()));
+        } else {
+          target.note_write(ext.offset, ext.length);
+        }
+        current = ext.epoch;
+        ++pulled_strips;
+        pulled_bytes += static_cast<std::uint64_t>(ext.length);
+        ++stats_.disk_accesses;
+        co_await disk_.use(
+            config_->server.disk_access_overhead +
+            transfer_time(static_cast<std::uint64_t>(ext.length),
+                          config_->server.disk_bandwidth_bytes_per_s));
+        if (crashed_ || epoch_ != my_epoch) {
+          if (obs_ != nullptr) obs_->spans.end(span, sched_->now());
+          co_return;
+        }
+      }
+      ok = true;
+    }
+    if (!ok) ++stats_.resync_peers_skipped;
+  }
+  stats_.resync_strips_pulled += pulled_strips;
+  stats_.resync_bytes_pulled += pulled_bytes;
+  if (obs_ != nullptr) {
+    if (obs_resync_strips_ != nullptr && pulled_strips > 0) {
+      obs_resync_strips_->add(pulled_strips);
+      obs_resync_bytes_->add(pulled_bytes);
+    }
+    obs_->spans.set_value(span, static_cast<std::int64_t>(pulled_bytes));
+    obs_->spans.end(span, sched_->now());
+  }
+  resyncing_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->record({sched_->now(), "resync_done", server_index_, -1, 0,
+                     pulled_bytes, ""});
+  }
+  DTIO_DEBUG("srv" << server_index_ << " resync done: " << pulled_strips
+                   << " strips, " << pulled_bytes << " bytes");
+}
+
+sim::Task<void> IOServer::handle_resync_pull(Request& request) {
+  const auto& p = std::get<ResyncPayload>(request.payload);
+  ++stats_.resync_served;
+  const int r = std::min(config_->replication, config_->num_servers);
+  // Requester epochs by strip; an absent key means the requester has never
+  // seen a write for the strip (epoch 0).
+  std::map<std::tuple<std::uint64_t, int, std::int64_t>, std::uint64_t>
+      theirs;
+  for (const StripEpoch& e : p.epochs) {
+    theirs[{e.handle, e.primary, e.strip}] = e.epoch;
+  }
+  Reply reply;
+  std::int64_t wire_bytes = 0;
+  std::int64_t direct_bytes = 0;  // bstream reads outside the cache
+  const auto strip_size = static_cast<std::int64_t>(config_->strip_size);
+  cache::AccessPlan plan;
+  for (const auto& [key, my_strip_epoch] : strip_epochs_) {
+    if (my_strip_epoch == 0) continue;
+    const auto& [handle, primary, strip] = key;
+    // Only strips the requester also replicates can help it.
+    if (!layout_.holds_replica_of(p.requester, primary, r)) continue;
+    const auto it = theirs.find(key);
+    if (my_strip_epoch <= (it == theirs.end() ? 0 : it->second)) continue;
+    const bool mine = primary == server_index_;
+    Bstream* bs = nullptr;
+    if (mine) {
+      bs = &store_[handle];
+    } else {
+      const auto rit = replica_store_.find({handle, primary});
+      if (rit == replica_store_.end()) continue;
+      bs = &rit->second;
+    }
+    const std::int64_t begin = strip * strip_size;
+    const std::int64_t end = std::min(begin + strip_size, bs->size());
+    if (end <= begin) continue;
+    ResyncExtent ext;
+    ext.handle = handle;
+    ext.primary = primary;
+    ext.strip = strip;
+    ext.epoch = my_strip_epoch;
+    ext.offset = begin;
+    ext.length = end - begin;
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(
+        static_cast<std::size_t>(ext.length));
+    if (mine && cache_ != nullptr) {
+      // Primary strips read through the cache: staged write-back dirty
+      // data overlays the bstream, so the donor ships read-your-writes
+      // bytes (and pays the miss fills it causes).
+      cache_->read(handle, begin, ext.length,
+                   std::span<std::uint8_t>(buf->data(), buf->size()), plan);
+    } else {
+      bs->read(begin, std::span<std::uint8_t>(buf->data(), buf->size()));
+      direct_bytes += ext.length;
+    }
+    ext.data = std::move(buf);
+    wire_bytes += ext.length;
+    reply.resync.push_back(std::move(ext));
+  }
+  if (cache_ != nullptr) {
+    cache_->maybe_background_flush(plan);
+    co_await charge_cache_plan(std::move(plan));
+  }
+  co_await charge_disk(direct_bytes);
+  reply.bytes = wire_bytes;
+  send_reply(request.client_node, request.reply_tag, std::move(reply),
+             static_cast<std::uint64_t>(wire_bytes));
 }
 
 bool IOServer::verify_integrity(const Request& request, Reply& reply) {
@@ -394,6 +634,12 @@ const Bstream* IOServer::find_bstream(std::uint64_t handle) const {
   return it == store_.end() ? nullptr : &it->second;
 }
 
+const Bstream* IOServer::find_replica_bstream(std::uint64_t handle,
+                                              int primary) const {
+  const auto it = replica_store_.find({handle, primary});
+  return it == replica_store_.end() ? nullptr : &it->second;
+}
+
 sim::Task<void> IOServer::run() {
   sim::Mailbox& mailbox = network_->mailbox(server_index_);
   while (true) {
@@ -402,6 +648,7 @@ sim::Task<void> IOServer::run() {
       // The process is down: the message was consumed off the wire but
       // nobody is listening. The client's timeout will notice.
       ++stats_.crash_discarded;
+      if (obs_ != nullptr) obs_crash_discarded_->add(1);
       continue;
     }
     const auto backlog = static_cast<std::uint64_t>(mailbox.queued());
@@ -412,10 +659,14 @@ sim::Task<void> IOServer::run() {
     // the head waited longest, so its client is the most likely to have
     // timed out and retried already. Lock traffic is never shed: the
     // client lock path has no retry layer and a shed would strand it.
+    // Resync pulls are recovery-critical control traffic, exempt for the
+    // same reason — shedding one stalls a peer's restart for a full
+    // timeout.
     const char* shed_reason = nullptr;
     if (over_admission_bounds(shed_reason)) {
       const OpKind op = msg.as<Request>().op;
-      if (op != OpKind::kMetaLock && op != OpKind::kMetaUnlock) {
+      if (op != OpKind::kMetaLock && op != OpKind::kMetaUnlock &&
+          op != OpKind::kResyncPull) {
         Request shed = msg.take<Request>();
         shed.delivered_at = msg.delivered_at;
         co_await shed_request(Box<Request>(std::move(shed)), shed_reason);
@@ -466,6 +717,45 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
     // Crashed while decoding this request: the work evaporates.
     if (obs_ != nullptr) obs_->spans.end(req_span_, sched_->now());
     co_return;
+  }
+
+  if (resyncing_) {
+    // Restart resync in progress: this server's copies may still trail its
+    // replica peers, so data ops are refused. Reads get a fast, typed
+    // kUnavailable — the client fails over to a replica, keeping read
+    // availability at 100% through the phase. Writes get kOverloaded with
+    // a retry_after hint and retry HERE later: accepting a write that a
+    // concurrent resync pull could then overwrite with pre-crash bytes
+    // would silently diverge the copies. Peer resync pulls are refused
+    // too — a copy that is itself catching up is not a donor.
+    const bool is_write = request.op == OpKind::kContigWrite ||
+                          request.op == OpKind::kListWrite ||
+                          request.op == OpKind::kDatatypeWrite ||
+                          request.op == OpKind::kBatchWrite;
+    const bool is_read = request.op == OpKind::kContigRead ||
+                         request.op == OpKind::kListRead ||
+                         request.op == OpKind::kDatatypeRead ||
+                         request.op == OpKind::kResyncPull;
+    if (is_write || is_read) {
+      ++stats_.resync_refused;
+      Reply reply;
+      reply.ok = false;
+      reply.error = "resync in progress";
+      if (is_write) {
+        reply.code = StatusCode::kOverloaded;
+        reply.retry_after = config_->server.resync_pull_timeout;
+      } else {
+        reply.code = StatusCode::kUnavailable;
+      }
+      if (tracer_ != nullptr) {
+        tracer_->record({sched_->now(), "resync_refuse", server_index_,
+                         request.client_node, request.reply_tag, 0,
+                         op_name(request.op)});
+      }
+      send_reply(request.client_node, request.reply_tag, std::move(reply), 0);
+      if (obs_ != nullptr) obs_->spans.end(req_span_, sched_->now());
+      co_return;
+    }
   }
 
   // Idempotent replay: a retried logical op whose ack is still in the
@@ -523,6 +813,9 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
     case OpKind::kBatchWrite:
       co_await handle_batch(request);
       break;
+    case OpKind::kResyncPull:
+      co_await handle_resync_pull(request);
+      break;
     case OpKind::kMetaLock: {
       const auto handle = std::get<MetaPayload>(request.payload).handle;
       if (locked_.insert(handle).second) {
@@ -561,32 +854,47 @@ sim::Task<void> IOServer::handle_request(Box<Request> boxed) {
 sim::Task<void> IOServer::handle_contig(Request& request) {
   const auto& p = std::get<ContigPayload>(request.payload);
   const bool is_write = request.op == OpKind::kContigWrite;
+  // Replica traffic (replica_of >= 0) acts AS the primary for clipping and
+  // routes bytes to the (handle, primary) replica bstream, bypassing the
+  // buffer cache: replica copies are the crash-durability backstop, so
+  // they go write-through.
+  const bool replica = request.replica_of >= 0;
+  const int acting = replica ? request.replica_of : server_index_;
+  cache::BlockCache* cache = replica ? nullptr : cache_.get();
+  Bstream& target = replica
+                        ? replica_store_[{request.handle, request.replica_of}]
+                        : store_[request.handle];
+  std::vector<Region> applied;
   cache::AccessPlan plan;
   Applier applier{layout_,
-                  server_index_,
-                  store_[request.handle],
+                  acting,
+                  target,
                   is_write,
                   request.carry_data,
                   p.data,
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
                       : nullptr,
-                  cache_.get(),
+                  cache,
                   &plan,
-                  request.handle};
+                  request.handle,
+                  (is_write && config_->replication > 1) ? &applied : nullptr};
   if (applier.reply_data) {
     applier.reply_data->reserve(
         static_cast<std::size_t>(layout_.max_server_bytes(p.length)));
   }
   applier.apply(Region{p.offset, p.length});
+  for (const Region& reg : applied) {
+    note_strip_writes(request.handle, acting, reg.offset, reg.length);
+  }
 
   stats_.regions_walked += static_cast<std::uint64_t>(applier.pieces);
   stats_.my_pieces += static_cast<std::uint64_t>(applier.my_pieces);
   co_await charge_regions(applier.pieces,
                           is_write ? config_->server.per_region_cost_write
                                    : config_->server.per_region_cost);
-  if (cache_ != nullptr) {
-    cache_->maybe_background_flush(plan);
+  if (cache != nullptr) {
+    cache->maybe_background_flush(plan);
     co_await charge_cache_plan(std::move(plan));
   } else {
     co_await charge_disk(applier.my_bytes);
@@ -598,19 +906,27 @@ sim::Task<void> IOServer::handle_contig(Request& request) {
 sim::Task<void> IOServer::handle_list(Request& request) {
   const auto& p = std::get<ListPayload>(request.payload);
   const bool is_write = request.op == OpKind::kListWrite;
+  const bool replica = request.replica_of >= 0;
+  const int acting = replica ? request.replica_of : server_index_;
+  cache::BlockCache* cache = replica ? nullptr : cache_.get();
+  Bstream& target = replica
+                        ? replica_store_[{request.handle, request.replica_of}]
+                        : store_[request.handle];
+  std::vector<Region> applied;
   cache::AccessPlan plan;
   Applier applier{layout_,
-                  server_index_,
-                  store_[request.handle],
+                  acting,
+                  target,
                   is_write,
                   request.carry_data,
                   p.data,
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
                       : nullptr,
-                  cache_.get(),
+                  cache,
                   &plan,
-                  request.handle};
+                  request.handle,
+                  (is_write && config_->replication > 1) ? &applied : nullptr};
   if (applier.reply_data) {
     std::int64_t window = 0;
     for (const Region& r : p.regions) window += r.length;
@@ -618,14 +934,17 @@ sim::Task<void> IOServer::handle_list(Request& request) {
         static_cast<std::size_t>(layout_.max_server_bytes(window)));
   }
   for (const Region& r : p.regions) applier.apply(r);
+  for (const Region& reg : applied) {
+    note_strip_writes(request.handle, acting, reg.offset, reg.length);
+  }
 
   stats_.regions_walked += static_cast<std::uint64_t>(applier.pieces);
   stats_.my_pieces += static_cast<std::uint64_t>(applier.my_pieces);
   co_await charge_regions(applier.pieces,
                           is_write ? config_->server.per_region_cost_write
                                    : config_->server.per_region_cost);
-  if (cache_ != nullptr) {
-    cache_->maybe_background_flush(plan);
+  if (cache != nullptr) {
+    cache->maybe_background_flush(plan);
     co_await charge_cache_plan(std::move(plan));
   } else {
     co_await charge_disk(applier.my_bytes);
@@ -639,6 +958,11 @@ sim::Task<void> IOServer::handle_batch(Request& request) {
   const std::size_t n = p.sub_ops.size();
   ++stats_.batch_requests;
   stats_.batch_sub_ops += static_cast<std::uint64_t>(n);
+  // Replica envelopes carry the primary's pre-clipped physical sub-ops
+  // verbatim; they land in the (handle, primary) replica bstream, cache
+  // bypassed (write-through — see handle_contig).
+  const bool replica = request.replica_of >= 0;
+  const int acting = replica ? request.replica_of : server_index_;
 
   // The envelope itself is unsequenced (op_seq 0, so it skipped the
   // top-level replay check); each sub-op carries its own replay identity.
@@ -676,7 +1000,7 @@ sim::Task<void> IOServer::handle_batch(Request& request) {
       crc_fail = true;
       continue;
     }
-    if (cache_ != nullptr) {
+    if (!replica && cache_ != nullptr) {
       cache_->write(sub.handle, sub.offset, sub.length,
                     (request.carry_data && sub.data)
                         ? std::span<const std::uint8_t>(sub.data->data(),
@@ -684,7 +1008,9 @@ sim::Task<void> IOServer::handle_batch(Request& request) {
                         : std::span<const std::uint8_t>{},
                     plan);
     } else {
-      Bstream& bstream = store_[sub.handle];
+      Bstream& bstream =
+          replica ? replica_store_[{sub.handle, request.replica_of}]
+                  : store_[sub.handle];
       if (request.carry_data && sub.data) {
         bstream.write(sub.offset,
                       std::span<const std::uint8_t>(sub.data->data(),
@@ -693,6 +1019,7 @@ sim::Task<void> IOServer::handle_batch(Request& request) {
         bstream.note_write(sub.offset, sub.length);
       }
     }
+    note_strip_writes(sub.handle, acting, sub.offset, sub.length);
     reply.sub_acked[i] = 1;
     ++applied_subs;
     applied_bytes += sub.length;
@@ -703,7 +1030,7 @@ sim::Task<void> IOServer::handle_batch(Request& request) {
   stats_.my_pieces += static_cast<std::uint64_t>(applied_subs);
   stats_.bytes_written += static_cast<std::uint64_t>(applied_bytes);
   co_await charge_regions(applied_subs, config_->server.per_region_cost_write);
-  if (cache_ != nullptr) {
+  if (!replica && cache_ != nullptr) {
     cache_->maybe_background_flush(plan);
     co_await charge_cache_plan(std::move(plan));
   } else {
@@ -813,19 +1140,27 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
     co_return;
   }
 
+  const bool replica = request.replica_of >= 0;
+  const int acting = replica ? request.replica_of : server_index_;
+  cache::BlockCache* cache = replica ? nullptr : cache_.get();
+  Bstream& target = replica
+                        ? replica_store_[{request.handle, request.replica_of}]
+                        : store_[request.handle];
+  std::vector<Region> applied;
   cache::AccessPlan plan;
   Applier applier{layout_,
-                  server_index_,
-                  store_[request.handle],
+                  acting,
+                  target,
                   is_write,
                   request.carry_data,
                   p.data,
                   (!is_write && request.carry_data)
                       ? std::make_shared<std::vector<std::uint8_t>>()
                       : nullptr,
-                  cache_.get(),
+                  cache,
                   &plan,
-                  request.handle};
+                  request.handle,
+                  (is_write && config_->replication > 1) ? &applied : nullptr};
   if (applier.reply_data) {
     // One allocation up front instead of per-piece regrowth: the stream
     // window bounds this server's share of the reply.
@@ -849,7 +1184,7 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
     const FileLayout* layout;
     int server;
   };
-  PruneCtx prune_ctx{&layout_, server_index_};
+  PruneCtx prune_ctx{&layout_, acting};
   if (config_->server.pruned_expansion) {
     cursor.set_filter(
         [](const void* ctx, std::int64_t lo, std::int64_t hi) {
@@ -863,6 +1198,9 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
                  [&](std::int64_t off, std::int64_t len) {
                    applier.apply(Region{off, len});
                  });
+  for (const Region& reg : applied) {
+    note_strip_writes(request.handle, acting, reg.offset, reg.length);
+  }
 
   const std::int64_t skipped = cursor.subtrees_skipped();
   stats_.regions_walked += static_cast<std::uint64_t>(applier.pieces);
@@ -881,8 +1219,8 @@ sim::Task<void> IOServer::handle_datatype(Request& request) {
     // Each pruned subtree still costs one span/stripe intersection probe.
     co_await cpu_.use(scaled(config_->server.subtree_probe_cost * skipped));
   }
-  if (cache_ != nullptr) {
-    cache_->maybe_background_flush(plan);
+  if (cache != nullptr) {
+    cache->maybe_background_flush(plan);
     co_await charge_cache_plan(std::move(plan));
   } else {
     co_await charge_disk(applier.my_bytes);

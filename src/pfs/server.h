@@ -13,11 +13,14 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "cache/buffer_cache.h"
 #include "common/box.h"
@@ -69,6 +72,12 @@ struct ServerStats {
   std::uint64_t batch_requests = 0;      ///< kBatchWrite envelopes handled
   std::uint64_t batch_sub_ops = 0;       ///< sub-ops carried by those envelopes
   std::uint64_t batch_subs_replayed = 0; ///< sub-ops re-acked, not re-applied
+  std::uint64_t resyncs = 0;                ///< restart resync phases run
+  std::uint64_t resync_strips_pulled = 0;   ///< strips re-pulled from peers
+  std::uint64_t resync_bytes_pulled = 0;    ///< bytes those strips carried
+  std::uint64_t resync_peers_skipped = 0;   ///< peers unreachable after retries
+  std::uint64_t resync_served = 0;          ///< kResyncPull requests answered
+  std::uint64_t resync_refused = 0;         ///< data ops refused while resyncing
 };
 
 class IOServer {
@@ -95,6 +104,18 @@ class IOServer {
   /// an iod whose storage outlives the process.
   void schedule_crash(SimTime at, SimTime restart_delay);
   [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  /// True while the restart resync phase runs (replication > 1 only):
+  /// data ops are refused — reads with kUnavailable so clients fail over
+  /// to a replica, writes with kOverloaded + retry_after — until every
+  /// strip whose epoch trails a replica peer's has been re-pulled.
+  [[nodiscard]] bool resyncing() const noexcept { return resyncing_; }
+
+  /// The replica copy this server holds of `primary`'s strips of `handle`
+  /// (offsets in the primary's physical space), or nullptr when no replica
+  /// write ever landed. Replication > 1 only.
+  [[nodiscard]] const Bstream* find_replica_bstream(std::uint64_t handle,
+                                                    int primary) const;
 
   /// Attach the observability context (nullptr detaches). Not owned.
   /// Request counters are resolved once here; the request loop then pays
@@ -155,6 +176,17 @@ class IOServer {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
                 client_node)) << 48) ^ op_seq;
   }
+
+  /// Restart resync phase (replication > 1): pull every strip whose epoch
+  /// trails a replica peer's, then clear resyncing_ and serve data again.
+  sim::Task<void> resync();
+  /// Donor side of resync: answer a peer's kResyncPull with the extents
+  /// (and epochs) of every shared strip this server is ahead on.
+  sim::Task<void> handle_resync_pull(Request& request);
+  /// Advance the per-strip write epochs covered by an applied physical
+  /// write region (acting as `primary`). No-op at replication 1.
+  void note_strip_writes(std::uint64_t handle, int primary,
+                         std::int64_t offset, std::int64_t length);
 
   sim::Task<void> handle_contig(Request& request);
   sim::Task<void> handle_list(Request& request);
@@ -220,6 +252,10 @@ class IOServer {
   obs::Counter* obs_cache_flushed_ = nullptr;  ///< server_cache_dirty_flushed_bytes_total
   obs::Counter* obs_dl_cache_hits_ = nullptr;  ///< server_dataloop_cache_hits_total
   obs::Counter* obs_dl_cache_misses_ = nullptr;  ///< server_dataloop_cache_misses_total
+  obs::Counter* obs_crash_discarded_ = nullptr;  ///< server_crash_discarded_total
+  // Registered only at replication > 1 (the subsystem is otherwise inert).
+  obs::Counter* obs_resync_strips_ = nullptr;  ///< server_resync_strips_pulled_total
+  obs::Counter* obs_resync_bytes_ = nullptr;   ///< server_resync_bytes_pulled_total
   // Trace context of the request currently being handled (requests are
   // handled sequentially, so plain members suffice).
   std::uint64_t req_trace_ = 0;
@@ -230,6 +266,27 @@ class IOServer {
   double last_cpu_busy_ = 0;
 
   std::unordered_map<std::uint64_t, Bstream> store_;
+
+  // ---- k-way strip replication (ClusterConfig::replication > 1; every
+  // structure below stays empty at replication 1).
+  //
+  // Replica copies this server holds of OTHER primaries' strips, keyed
+  // (handle, primary) and addressed at the primary's physical offsets.
+  // Durable like store_; replica writes bypass the buffer cache (write-
+  // through), so a replica copy is the crash-durability backstop for the
+  // primary's write-back dirty data. std::map: deterministic iteration.
+  std::map<std::pair<std::uint64_t, int>, Bstream> replica_store_;
+  // Per-strip write epochs for every copy this server holds (its own
+  // primaries and its replicas), keyed (handle, primary, strip index in
+  // the primary's physical space). Each copy of a strip applies the same
+  // multiset of logical writes, so equal epochs imply identical bytes; a
+  // crash zeroes the epochs of strips covered by lost write-back dirty
+  // data, and restart resync pulls every strip whose epoch trails a
+  // peer's. Durable across crashes except for that zeroing.
+  std::map<std::tuple<std::uint64_t, int, std::int64_t>, std::uint64_t>
+      strip_epochs_;
+  bool resyncing_ = false;
+  std::uint64_t resync_reply_seq_ = 0;  ///< server-to-server reply tags
 
   // Buffer cache (src/cache/), enabled when both ServerConfig block-size
   // and capacity knobs are nonzero. The adapter exposes the bstream map as

@@ -555,6 +555,93 @@ TEST(CacheDurability, WriteThroughCrashIsLossless) {
   EXPECT_EQ(cluster.server(0).stats().cache_dirty_lost_bytes, 0u);
 }
 
+TEST(CacheDurability, FlushCachesWhileServerCrashedIsSafeNoOp) {
+  // Host-side flush_caches() invoked mid-outage, while the server process
+  // is down: the crash already destroyed the staged dirty blocks, so the
+  // flush must be a no-op — it cannot wedge the run, resurrect lost
+  // bytes, or double-flush anything after the restart.
+  auto cfg = cache_crash_config(/*write_through=*/false);
+  cfg.server.cache_capacity_bytes = 16 * 256;  // no eviction pressure
+  pfs::Cluster cluster(cfg);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(1024, 71);
+  cluster.schedule_server_crash(/*index=*/0, /*at=*/50 * kMillisecond,
+                                /*restart_delay=*/30 * kMillisecond);
+  cluster.scheduler().schedule_call(60 * kMillisecond,
+                                    [&cluster] { cluster.flush_caches(); });
+
+  std::vector<std::uint8_t> back(1024, 0xFF);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& src, std::vector<std::uint8_t>& out,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/flush-crashed");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        Status w = co_await c.write_contig(f.handle, 0, src.data(), 1024);
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        co_await sched.delay(100 * kMillisecond - sched.now());
+        Status r = co_await c.read_contig(f.handle, 0, out.data(), 1024);
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        done = true;
+      }(cluster.scheduler(), *client, data, back, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.server(0).stats().crashes, 1u);
+  // The staged bytes died with the process; the mid-crash flush neither
+  // saved them nor flushed anything.
+  EXPECT_EQ(back, std::vector<std::uint8_t>(1024, 0));
+  EXPECT_EQ(cluster.server(0).stats().cache_dirty_lost_bytes, 1024u);
+  EXPECT_EQ(cluster.server(0).stats().cache_dirty_flushed_bytes, 0u);
+}
+
+TEST(CacheDurability, FlushCachesInsideOutageWindowStillFlushes) {
+  // A FaultPlan outage only severs the network; flush_caches() is a
+  // host-side settle and must work normally inside the window. Dirty
+  // bytes flushed during the outage then survive a later crash, and the
+  // restart does not flush them a second time.
+  auto cfg = cache_crash_config(/*write_through=*/false);
+  cfg.server.cache_capacity_bytes = 16 * 256;
+  pfs::Cluster cluster(cfg);
+  FaultPlan plan(5);
+  plan.add_outage(/*node=*/0, /*from=*/40 * kMillisecond,
+                  /*until=*/80 * kMillisecond);
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(1024, 72);
+  cluster.scheduler().schedule_call(60 * kMillisecond,
+                                    [&cluster] { cluster.flush_caches(); });
+  cluster.schedule_server_crash(/*index=*/0, /*at=*/90 * kMillisecond,
+                                /*restart_delay=*/30 * kMillisecond);
+
+  std::vector<std::uint8_t> back(1024, 0xFF);
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, Client& c,
+         const std::vector<std::uint8_t>& src, std::vector<std::uint8_t>& out,
+         bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/flush-outage");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        Status w = co_await c.write_contig(f.handle, 0, src.data(), 1024);
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        co_await sched.delay(150 * kMillisecond - sched.now());
+        Status r = co_await c.read_contig(f.handle, 0, out.data(), 1024);
+        EXPECT_TRUE(r.is_ok()) << r.to_string();
+        done = true;
+      }(cluster.scheduler(), *client, data, back, finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.server(0).stats().crashes, 1u);
+  // Flushed once, inside the outage; the crash then had nothing to lose
+  // and the restart flushed nothing a second time. (Host-side flushes
+  // land in the cache's own stats, not the per-request server counters.)
+  EXPECT_EQ(back, data);
+  ASSERT_NE(cluster.server(0).block_cache(), nullptr);
+  EXPECT_EQ(cluster.server(0).block_cache()->stats().dirty_flushed_bytes,
+            1024u);
+  EXPECT_EQ(cluster.server(0).stats().cache_dirty_lost_bytes, 0u);
+}
+
 TEST(CacheDurability, ReplaySuppressionStillHoldsWithCacheOn) {
   // LostAckIsReplayedNotReapplied with the buffer cache in the write path:
   // the replay window must still re-ack instead of re-applying, and the

@@ -855,6 +855,88 @@ TEST(Hedging, SlowButAlivePrimaryCountsViaExtendedDeadline) {
   EXPECT_GT(degraded_read_latency, cluster.config().client.rpc_timeout);
 }
 
+TEST(Hedging, BreakerOpenDuringHedgeDelaySuppressesHedge) {
+  // Fail-fast hedging: a hedge armed while the lane was healthy must NOT
+  // be issued if the breaker opens during the hedge delay — aiming a
+  // second copy at a server already judged down is the one place extra
+  // load cannot help. Timeline (T = outage start, all deterministic with
+  // jitter off): a concurrent write times out at T+20ms (failure 1) and
+  // again at T+42ms, opening the breaker. The probe read issues at T+41ms
+  // — breaker still closed, hedge armed at the lane's p95 (~2.3ms) — and
+  // reaches its hedge-issue point at ~T+43.3ms with the breaker now open:
+  // the hedge is suppressed and the primary gets the full fresh timeout.
+  auto cfg = straggler_config(1);
+  cfg.client.rpc_timeout = 20 * kMillisecond;
+  cfg.client.rpc_max_attempts = 5;
+  cfg.client.rpc_backoff_base = 2 * kMillisecond;
+  cfg.client.rpc_backoff_jitter = 0;  // exact breaker-open timing
+  cfg.client.hedge_quantile = 95;
+  cfg.client.hedge_min_samples = 8;
+  cfg.client.breaker_failures = 2;
+  pfs::Cluster cluster(cfg);
+  FaultPlan plan(5);
+  cluster.set_fault_plan(&plan);
+  auto client = cluster.make_client(0);
+  const auto data = pattern_bytes(8192, 65);
+
+  Status write_status, read_status;
+  bool finished = false;
+  cluster.scheduler().spawn(
+      [](sim::Scheduler& sched, FaultPlan& plan, Client& c,
+         const std::vector<std::uint8_t>& src, Status& write_status,
+         Status& read_status, bool& done) -> Task<void> {
+        MetaResult f = co_await c.create("/suppress");
+        EXPECT_TRUE(f.status.is_ok()) << f.status.to_string();
+        Status w = co_await c.write_contig(
+            f.handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        EXPECT_TRUE(w.is_ok()) << w.to_string();
+        std::vector<std::uint8_t> back(src.size());
+        for (int i = 0; i < 16; ++i) {  // arm the lane's latency quantile
+          Status r = co_await c.read_contig(
+              f.handle, 0, back.data(), static_cast<std::int64_t>(back.size()));
+          EXPECT_TRUE(r.is_ok()) << r.to_string();
+        }
+        const SimTime t0 = sched.now();
+        plan.add_outage(/*node=*/0, t0, t0 + 300 * kMillisecond);
+        // Writes never hedge, so this one only feeds the breaker: its two
+        // timeouts open it at t0+42ms.
+        sched.spawn([](Client& c, std::uint64_t handle,
+                       const std::vector<std::uint8_t>& src,
+                       Status& out) -> Task<void> {
+          out = co_await c.write_contig(
+              handle, 0, src.data(), static_cast<std::int64_t>(src.size()));
+        }(c, f.handle, src, write_status));
+        // A fresh op issued while the breaker is open (t0+50ms, inside the
+        // 50 ms cool-down that starts at t0+42ms) fails fast: microseconds,
+        // not a burned timeout. The breaker check is per RPC, so it must be
+        // a new op, not a retry of one already in flight.
+        sched.spawn([](sim::Scheduler& sched, Client& c, std::uint64_t handle,
+                       SimTime at, std::int64_t n) -> Task<void> {
+          co_await sched.delay(at - sched.now());
+          std::vector<std::uint8_t> buf(static_cast<std::size_t>(n));
+          const SimTime t1 = sched.now();
+          Status fast = co_await c.read_contig(handle, 0, buf.data(), n);
+          EXPECT_FALSE(fast.is_ok());
+          EXPECT_LT(sched.now() - t1, kMillisecond);
+        }(sched, c, f.handle, t0 + 50 * kMillisecond,
+          static_cast<std::int64_t>(src.size())));
+        co_await sched.delay(t0 + 41 * kMillisecond - sched.now());
+        read_status = co_await c.read_contig(
+            f.handle, 0, back.data(), static_cast<std::int64_t>(back.size()));
+        done = true;
+      }(cluster.scheduler(), plan, *client, data, write_status, read_status,
+        finished));
+  cluster.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(client->hedges_suppressed(), 1u);
+  EXPECT_EQ(client->hedges_issued(), 0u);  // suppressed, not merely lost
+  EXPECT_GT(client->breaker_fast_fails(), 0u);
+  // The outage outlives both ops' retry budgets; they fail typed.
+  EXPECT_FALSE(write_status.is_ok()) << write_status.to_string();
+  EXPECT_FALSE(read_status.is_ok()) << read_status.to_string();
+  EXPECT_GT(plan.counters().outage_dropped, 0u);
+}
+
 // ---- Degraded-node windows --------------------------------------------------
 
 TEST(DegradedWindows, FactorIsMaxOverMatchingWindows) {
